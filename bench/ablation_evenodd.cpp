@@ -1,0 +1,113 @@
+// Ablation of the even-odd decomposition (paper Section 3.1: flop-reduced
+// sum-factorization kernels, cited with 1.5-2x speedup over generic
+// kernels at the node level in cache-resident settings): cache-resident
+// kernel timings and the effect on the full (memory-bound) operator.
+
+#include "bench/bench_common.h"
+#include "matrixfree/fe_evaluation.h"
+#include "operators/laplace_operator.h"
+
+using namespace dgflow;
+using namespace dgflow::bench;
+
+int main()
+{
+  print_header("Ablation: even-odd decomposition of the 1D kernels",
+               "paper Sec. 3.1 (flop-minimizing optimizations)");
+
+  // [1] cache-resident kernel: derivative sweeps on one SIMD batch
+  {
+    Table t({"n=nq", "generic [ns/call]", "even-odd [ns/call]", "speedup"});
+    using VA = VectorizedArray<double>;
+    for (const unsigned int n : {4u, 6u, 8u})
+    {
+      ShapeInfo<double> shape(n - 1, n);
+      AlignedVector<VA> in(n * n * n), out(n * n * n);
+      for (unsigned int i = 0; i < in.size(); ++i)
+        in[i] = VA(0.01 * i);
+      const unsigned int reps = 200000;
+      const double t_gen = best_of(5, [&]() {
+                             for (unsigned int r = 0; r < reps; ++r)
+                               for (unsigned int d = 0; d < 3; ++d)
+                                 apply_matrix_1d<false, false>(
+                                   shape.grad_colloc.data(), n, n, in.data(),
+                                   out.data(), d, {{n, n, n}});
+                           }) /
+                           reps;
+      const double t_eo = best_of(5, [&]() {
+                            for (unsigned int r = 0; r < reps; ++r)
+                              for (unsigned int d = 0; d < 3; ++d)
+                                apply_matrix_1d_evenodd<false, false>(
+                                  shape.grad_colloc_eo_e.data(),
+                                  shape.grad_colloc_eo_o.data(), n, n, -1,
+                                  in.data(), out.data(), d, {{n, n, n}});
+                          }) /
+                          reps;
+      t.add_row(n, Table::format(t_gen * 1e9, 4), Table::format(t_eo * 1e9, 4),
+                Table::format(t_gen / t_eo, 3));
+    }
+    std::printf("\n[1] three derivative sweeps over one SIMD cell batch "
+                "(cache resident):\n");
+    t.print();
+  }
+
+  // [2] full operator (memory-bound regime): the kernel speedup is hidden
+  // behind the memory transfer, as the roofline analysis predicts
+  {
+    Table t({"k", "MDoF", "generic [DoF/s]", "even-odd [DoF/s]", "speedup"});
+    BoundaryMap bc;
+    for (unsigned int id = 0; id < 6; ++id)
+      bc.set(id, BoundaryType::dirichlet);
+    for (const unsigned int degree : {3u, 5u})
+    {
+      Mesh mesh(unit_cube());
+      while (mesh.n_active_cells() * pow_int(degree + 1, 3) < 2e6)
+        mesh.refine_uniform(1);
+      TrilinearGeometry geom(mesh.coarse());
+      MatrixFree<double> mf;
+      MatrixFree<double>::AdditionalData data;
+      data.degrees = {degree};
+      data.n_q_points_1d = {degree + 1};
+      mf.reinit(mesh, geom, data);
+
+      Vector<double> src(mf.n_dofs(0, 1)), dst(src.size());
+      for (std::size_t i = 0; i < src.size(); ++i)
+        src[i] = 1e-4 * (i % 811);
+
+      double rates[2];
+      for (const bool eo : {false, true})
+      {
+        FEEvaluation<double, 1> phi(mf, 0, 0, eo);
+        auto cell_laplace = [&]() {
+          for (unsigned int b = 0; b < mf.n_cell_batches(); ++b)
+          {
+            phi.reinit(b);
+            phi.read_dof_values(src);
+            phi.evaluate(false, true);
+            for (unsigned int q = 0; q < phi.n_q_points; ++q)
+              phi.submit_gradient(phi.get_gradient(q), q);
+            phi.integrate(false, true);
+            phi.distribute_local_to_global(dst);
+          }
+        };
+        const double t = best_of(5, [&]() {
+                           for (int i = 0; i < 5; ++i)
+                             cell_laplace();
+                         }) /
+                         5.;
+        rates[eo ? 1 : 0] = src.size() / t;
+      }
+      t.add_row(degree, Table::format(src.size() / 1e6, 3),
+                Table::sci(rates[0], 3), Table::sci(rates[1], 3),
+                Table::format(rates[1] / rates[0], 3));
+    }
+    std::printf("\n[2] cell-Laplacian operator sweep (streamed from "
+                "memory):\n");
+    t.print();
+  }
+
+  std::printf("\nexpected: clear kernel-level speedup growing with n; the "
+              "operator-level gain is smaller because the evaluation is "
+              "memory-bound (paper Fig. 7).\n");
+  return 0;
+}

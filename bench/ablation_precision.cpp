@@ -1,0 +1,76 @@
+// Ablation of the mixed-precision multigrid (paper Section 3.4): the
+// V-cycle in single vs double precision - iteration counts must not degrade
+// (the paper cites [44]) while the single-precision cycle is substantially
+// faster (half the memory traffic, twice the SIMD lanes).
+
+#include "bench/bench_common.h"
+#include "multigrid/hybrid_multigrid.h"
+#include "solvers/cg.h"
+
+using namespace dgflow;
+using namespace dgflow::bench;
+
+namespace
+{
+template <typename LevelNumber>
+void run_case(const Mesh &mesh, const Geometry &geom, const BoundaryMap &bc,
+              const unsigned int degree, Table &table, const char *label)
+{
+  MatrixFree<double> mf;
+  MatrixFree<double>::AdditionalData data;
+  data.degrees = {degree};
+  data.n_q_points_1d = {degree + 1};
+  mf.reinit(mesh, geom, data);
+  LaplaceOperator<double> laplace;
+  laplace.reinit(mf, 0, 0, bc);
+
+  HybridMultigrid<LevelNumber> mg;
+  mg.setup(mesh, geom, degree, bc);
+
+  Vector<double> rhs, x(laplace.n_dofs());
+  laplace.assemble_rhs(rhs, [](const Point &) { return 1.; },
+                       [](const Point &) { return 0.; });
+  SolverControl control;
+  control.rel_tol = 1e-10;
+  control.max_iterations = 200;
+
+  // warm-up + best-of timing of the full solve
+  solve_cg(laplace, x, rhs, mg, control);
+  unsigned int iterations = 0;
+  const double t = best_of(3, [&]() {
+    x = 0.;
+    iterations = solve_cg(laplace, x, rhs, mg, control).iterations;
+  });
+  table.add_row(label, iterations, Table::format(t, 3),
+                Table::sci(laplace.n_dofs() * iterations / t, 3));
+}
+} // namespace
+
+int main()
+{
+  print_header("Ablation: single vs double precision multigrid V-cycle",
+               "paper Section 3.4: SP V-cycle does not affect convergence "
+               "and improves throughput");
+
+  Mesh mesh(unit_cube());
+  mesh.refine_uniform(3);
+  TrilinearGeometry geom(mesh.coarse());
+  BoundaryMap bc;
+  for (unsigned int id = 0; id < 6; ++id)
+    bc.set(id, BoundaryType::dirichlet);
+
+  for (const unsigned int degree : {2u, 3u})
+  {
+    Table table({"V-cycle precision", "CG its", "solve [s]",
+                 "DoF/s per iteration"});
+    run_case<float>(mesh, geom, bc, degree, table, "single (paper)");
+    run_case<double>(mesh, geom, bc, degree, table, "double");
+    std::printf("\nk = %u, 16^3 cells:\n", degree);
+    table.print();
+  }
+  std::printf("\nexpected: identical iteration counts; the SP cycle "
+              "noticeably faster (the gap is below the ideal 2x because of "
+              "the double-precision outer CG, cf. the paper's 30%% "
+              "smoother speedup).\n");
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Figure 6 (right): CEED benchmark problem BP3 - throughput per CG
+// iteration of a continuous finite element Laplacian (degrees 3 and 6,
+// over-integration omitted as in the paper's deal.II configuration) as a
+// function of problem size, compared against the published per-node values
+// for one SuperMUC-NG Skylake node, one Nvidia V100 of Summit (CEED-MS35)
+// and one Fujitsu A64FX node.
+
+#include "bench/bench_common.h"
+#include "operators/cfe_laplace_operator.h"
+#include "solvers/cg.h"
+
+using namespace dgflow;
+using namespace dgflow::bench;
+
+int main()
+{
+  print_header(
+    "Fig. 6 (right): CEED BP3 throughput per CG iteration vs problem size",
+    "paper Fig. 6 right: Skylake node competitive with V100/A64FX despite "
+    "4x lower bandwidth; strong advantage at 1e4-1e6 DoF");
+
+  Table table({"k", "refine", "n_dofs", "CG its", "DoF/s per CG it (1 core)",
+               "proj. node (x48 x0.8)"});
+
+  for (const unsigned int degree : {3u, 6u})
+    for (unsigned int refine = 1; refine <= 5; ++refine)
+    {
+      Mesh mesh(unit_cube());
+      mesh.refine_uniform(refine);
+      const std::size_t est_dofs =
+        pow_int((1u << refine) * degree + 1, 3);
+      if (est_dofs > 2.5e6)
+        break;
+      TrilinearGeometry geom(mesh.coarse());
+
+      MatrixFree<double> mf;
+      MatrixFree<double>::AdditionalData data;
+      data.degrees = {degree};
+      data.basis_types = {BasisType::lagrange_gauss_lobatto};
+      data.n_q_points_1d = {degree + 1};
+      mf.reinit(mesh, geom, data);
+
+      const CFESpace space = make_lattice_space(
+        mesh, degree, {{1, 1, 1}}, [](unsigned int) { return true; });
+      CFELaplaceOperator<double> laplace;
+      laplace.reinit(mf, 0, 0, space);
+
+      Vector<double> b(laplace.n_dofs()), x(laplace.n_dofs());
+      for (std::size_t i = 0; i < b.size(); ++i)
+        b[i] = space.dirichlet[i] ? 0. : 1. + 1e-3 * (i % 37);
+
+      PreconditionIdentity precond; // BP3 measures the raw CG iteration
+      SolverControl control;
+      control.max_iterations = 20; // fixed iteration count, timing only
+      control.rel_tol = 0.;
+      control.abs_tol = 0.;
+      const double t = best_of(2, [&]() {
+        x = 0.;
+        solve_cg(laplace, x, b, precond, control);
+      });
+      const double rate = 20. * laplace.n_dofs() / t;
+
+      table.add_row(degree, refine, laplace.n_dofs(), 20,
+                    Table::sci(rate, 3), Table::sci(rate * 48 * 0.8, 3));
+    }
+  table.print();
+
+  std::printf("\npublished saturated BP3 rates per device (paper Fig. 6 "
+              "right, CEED-MS35/36):\n");
+  std::printf("  SuperMUC-NG Skylake node (2x24 cores): ~2.5e9 DoF/s\n");
+  std::printf("  Nvidia V100 (Summit):                  ~3e9 DoF/s at >1e7 "
+              "DoF, <1e9 below 1e6 DoF\n");
+  std::printf("  Fujitsu A64FX node:                    ~2e9 DoF/s\n");
+  std::printf("expected shape: CPU throughput saturates at much smaller "
+              "problem sizes than the GPU (cache effects), which is the "
+              "strong-scaling advantage the paper builds on.\n");
+  return 0;
+}

@@ -1,0 +1,111 @@
+// Figure 8: strong scaling of the matrix-free DG Laplacian mat-vec (k=3) on
+// the lung geometry (adaptive, hanging nodes) and the generic bifurcation
+// (uniformly refined). The local machine has one core, so the scaling curves
+// are produced by the calibrated distributed performance model (see
+// DESIGN.md): the saturated and cache-regime rates come from measurements on
+// this machine projected to one SuperMUC-NG node, the lung's SIMD-lane fill
+// fraction is measured from the real meshes, and the network terms use the
+// published machine constants. The left panel prints run time vs work per
+// rank, the right panel throughput vs run time (the "double bump").
+
+#include "bench/bench_common.h"
+#include "operators/laplace_operator.h"
+#include "perfmodel/scaling_model.h"
+
+using namespace dgflow;
+using namespace dgflow::bench;
+
+namespace
+{
+/// Measured per-core saturated DP mat-vec rate at degree 3 on @p lung_mesh.
+double measure_rate(const CoarseMesh &coarse, const BoundaryMap &bc,
+                    double *fill_fraction)
+{
+  Mesh mesh(coarse);
+  while (mesh.n_active_cells() * 64 < 6e5)
+    mesh.refine_uniform(1);
+  TrilinearGeometry geom(mesh.coarse());
+  MatrixFree<double> mf;
+  MatrixFree<double>::AdditionalData data;
+  data.degrees = {3};
+  data.n_q_points_1d = {4};
+  data.geometry_degree = 1;
+  mf.reinit(mesh, geom, data);
+  LaplaceOperator<double> laplace;
+  laplace.reinit(mf, 0, 0, bc);
+  Vector<double> src(laplace.n_dofs()), dst(laplace.n_dofs());
+  for (std::size_t i = 0; i < src.size(); ++i)
+    src[i] = 1e-4 * (i % 331);
+  const double t = best_of(5, [&]() {
+                     for (int i = 0; i < 10; ++i)
+                       laplace.vmult(dst, src);
+                   }) /
+                   10.;
+  if (fill_fraction != nullptr)
+    *fill_fraction = mf.face_lane_fill_fraction();
+  return laplace.n_dofs() / t;
+}
+} // namespace
+
+int main()
+{
+  print_header("Fig. 8: strong scaling of the k=3 mat-vec (lung vs "
+               "bifurcation), model-projected",
+               "paper Fig. 8: saturation below 1e-4 s; cache-regime bump; "
+               "lung throughput close to the bifurcation away from the "
+               "scaling limit");
+
+  // calibrate the model from local measurements
+  BoundaryMap bc_dirichlet;
+  for (unsigned int id = 0; id < 300; ++id)
+    bc_dirichlet.set(id, BoundaryType::dirichlet);
+
+  double lung_fill = 1., bif_fill = 1.;
+  const LungMesh lung = lung_mesh_for_generations(4);
+  const LungMesh bif = bifurcation_mesh();
+  const double rate_lung = measure_rate(lung.coarse, bc_dirichlet, &lung_fill);
+  const double rate_bif = measure_rate(bif.coarse, bc_dirichlet, &bif_fill);
+  std::printf("measured per-core saturated rates (k=3, DP): bifurcation "
+              "%.3g DoF/s, lung %.3g DoF/s (face-lane fill %.2f vs %.2f)\n",
+              rate_bif, rate_lung, bif_fill, lung_fill);
+
+  ScalingModel model;
+  model.machine = MachineModel::supermuc_ng();
+  // mesh efficiency: ratio of the measured unstructured-mesh rate to the
+  // bifurcation rate (partially filled lanes, many face orientations)
+  const double lung_efficiency = rate_lung / rate_bif;
+
+  struct Case
+  {
+    const char *name;
+    double n_dofs;
+    double efficiency;
+  };
+  const Case cases[] = {{"bifurcation  26 MDoF", 2.6e7, 1.0},
+                        {"bifurcation 210 MDoF", 2.1e8, 1.0},
+                        {"lung  22 MDoF", 2.2e7, lung_efficiency},
+                        {"lung 179 MDoF", 1.79e8, lung_efficiency}};
+
+  for (const auto &c : cases)
+  {
+    std::printf("\n%s (model, SuperMUC-NG):\n", c.name);
+    Table table({"nodes", "DoF/rank", "time/mat-vec [s]",
+                 "throughput [DoF/s]"});
+    model.mesh_efficiency = c.efficiency;
+    const double max_nodes = c.n_dofs > 1e8 ? 2048 : 512;
+    for (double nodes = 1; nodes <= max_nodes; nodes *= 2)
+    {
+      const double t = model.matvec_time(c.n_dofs, 3, nodes);
+      table.add_row(int(nodes),
+                    Table::sci(c.n_dofs / (nodes * 48), 2),
+                    Table::sci(t, 3), Table::sci(c.n_dofs / t, 3));
+    }
+    table.print();
+  }
+
+  std::printf("\nexpected shape (paper): run times fall to slightly below "
+              "1e-4 s; the throughput-vs-time curve shows the cache bump "
+              "below 1e-3 s and the latency collapse near 1e-4 s; the lung "
+              "tracks the bifurcation except near the scaling limit.\n");
+  return 0;
+}

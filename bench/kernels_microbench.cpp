@@ -1,0 +1,103 @@
+// Google-benchmark micro-kernels: the sum-factorization building blocks
+// (1D tensor contractions, face interpolation), the cell evaluator, and the
+// full operator mat-vecs - the node-level quantities behind Figs. 6 and 7.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+#include "matrixfree/fe_evaluation.h"
+#include "operators/laplace_operator.h"
+
+using namespace dgflow;
+
+namespace
+{
+template <int degree>
+void bm_apply_matrix_1d(benchmark::State &state)
+{
+  constexpr unsigned int n = degree + 1;
+  using VA = VectorizedArray<double>;
+  AlignedVector<double> matrix(n * n);
+  for (unsigned int i = 0; i < n * n; ++i)
+    matrix[i] = 0.1 * (i % 7) - 0.3;
+  AlignedVector<VA> in(n * n * n), out(n * n * n);
+  for (unsigned int i = 0; i < in.size(); ++i)
+    in[i] = VA(0.01 * i);
+
+  for (auto _ : state)
+    for (unsigned int d = 0; d < 3; ++d)
+    {
+      apply_matrix_1d<false, false>(matrix.data(), n, n, in.data(),
+                                    out.data(), d, {{n, n, n}});
+      benchmark::DoNotOptimize(out.data());
+    }
+  // 3 sweeps of n^3 points x 2n flops, per SIMD lane
+  state.SetItemsProcessed(state.iterations() * 3 * n * n * n * VA::width);
+}
+
+template <int degree>
+void bm_cell_evaluate_gradients(benchmark::State &state)
+{
+  Mesh mesh(unit_cube());
+  mesh.refine_uniform(2);
+  TrilinearGeometry geom(mesh.coarse());
+  MatrixFree<double> mf;
+  MatrixFree<double>::AdditionalData data;
+  data.degrees = {degree};
+  data.n_q_points_1d = {degree + 1};
+  mf.reinit(mesh, geom, data);
+  FEEvaluation<double, 1> phi(mf, 0, 0);
+  Vector<double> src(mf.n_dofs(0, 1));
+  for (std::size_t i = 0; i < src.size(); ++i)
+    src[i] = 1e-3 * (i % 41);
+
+  for (auto _ : state)
+    for (unsigned int b = 0; b < mf.n_cell_batches(); ++b)
+    {
+      phi.reinit(b);
+      phi.read_dof_values(src);
+      phi.evaluate(false, true);
+      benchmark::DoNotOptimize(phi.begin_dof_values());
+    }
+  state.SetItemsProcessed(state.iterations() * src.size());
+}
+
+template <int degree>
+void bm_laplace_vmult(benchmark::State &state)
+{
+  Mesh mesh(unit_cube());
+  mesh.refine_uniform(degree <= 3 ? 4 : 3);
+  TrilinearGeometry geom(mesh.coarse());
+  MatrixFree<double> mf;
+  MatrixFree<double>::AdditionalData data;
+  data.degrees = {degree};
+  data.n_q_points_1d = {degree + 1};
+  mf.reinit(mesh, geom, data);
+  BoundaryMap bc;
+  for (unsigned int id = 0; id < 6; ++id)
+    bc.set(id, BoundaryType::dirichlet);
+  LaplaceOperator<double> laplace;
+  laplace.reinit(mf, 0, 0, bc);
+  Vector<double> src(laplace.n_dofs()), dst(laplace.n_dofs());
+  for (std::size_t i = 0; i < src.size(); ++i)
+    src[i] = 1e-3 * (i % 101);
+
+  for (auto _ : state)
+  {
+    laplace.vmult(dst, src);
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetItemsProcessed(state.iterations() * src.size());
+}
+} // namespace
+
+BENCHMARK(bm_apply_matrix_1d<1>);
+BENCHMARK(bm_apply_matrix_1d<3>);
+BENCHMARK(bm_apply_matrix_1d<5>);
+BENCHMARK(bm_cell_evaluate_gradients<2>);
+BENCHMARK(bm_cell_evaluate_gradients<3>);
+BENCHMARK(bm_laplace_vmult<2>);
+BENCHMARK(bm_laplace_vmult<3>);
+BENCHMARK(bm_laplace_vmult<4>);
+
+BENCHMARK_MAIN();

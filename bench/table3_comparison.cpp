@@ -1,0 +1,67 @@
+// Table 3: minimum wall time per time step of state-of-the-art high-order
+// incompressible flow solvers in the strong-scaling limit. The literature
+// rows are the paper's; our row combines the measured per-step cost of the
+// lung application on this machine with the calibrated scaling model at the
+// paper's node counts.
+
+#include "bench/bench_common.h"
+#include "lung/lung_application.h"
+#include "perfmodel/scaling_model.h"
+
+using namespace dgflow;
+using namespace dgflow::bench;
+
+int main()
+{
+  print_header("Table 3: state-of-the-art comparison, min wall time per step",
+               "paper Table 3");
+
+  // measure the per-step wall time of the g=3 application on this machine
+  LungApplicationParameters prm;
+  prm.generations = 3;
+  LungApplication app(prm);
+  double wall = 0;
+  unsigned int measured = 0;
+  for (unsigned int s = 0; s < 120; ++s)
+  {
+    const auto info = app.advance();
+    if (s >= 30)
+    {
+      wall += info.wall_time;
+      ++measured;
+    }
+  }
+  const double t_step_local = wall / measured;
+
+  // model projection to the paper's strong-scaling limit (g=3 on 2 nodes)
+  ScalingModel model;
+  model.mesh_efficiency = 0.8;
+  ScalingModel::MultigridConfig config;
+  config.cg_iterations = 7;
+  config.n_h_levels = 2;
+  const double n_cells = app.mesh().n_active_cells();
+  const double t_step_model =
+    model.poisson_solve_time(n_cells * 27, 2, config) +
+    6. * model.matvec_time(n_cells * 192, 3, 2);
+
+  Table table({"publication", "supercomputer", "min t_wall/N_dt [s]"});
+  table.add_row("Offermans et al. [51]", "Mira (Power BQC)", "0.1");
+  table.add_row("CEED-MS35 [39]", "Summit (Nvidia V100)", "0.066 - 0.1");
+  table.add_row("CEED-MS36 [40]", "Fugaku (Fujitsu A64FX)", "0.1 - 0.2");
+  table.add_row("Krank et al. [41]", "SuperMUC (Intel SB)", "0.05");
+  table.add_row("Arndt et al. [6]", "SuperMUC-NG (Intel Sky)",
+                "0.015 - 0.03");
+  table.add_row("paper (Kronbichler et al.)", "SuperMUC-NG (Intel Sky)",
+                "0.017 - 0.045");
+  table.add_row("this reproduction (measured)", "1 core, this machine",
+                Table::format(t_step_local, 3));
+  table.add_row("this reproduction (model)", "SuperMUC-NG, 2 nodes",
+                Table::format(t_step_model, 3));
+  table.print();
+
+  std::printf("\nexpected shape: the dual-splitting DG solver with hybrid "
+              "multigrid operates in the few-hundredths-of-a-second per "
+              "step regime in the strong-scaling limit, ahead of the "
+              "published spectral-element numbers.\n");
+  return 0;
+}

@@ -1,0 +1,8 @@
+#!/bin/sh
+# Runs the full benchmark harness sequentially (single-core machine: do not
+# run anything else concurrently or the timings are polluted).
+set -e
+cd "$(dirname "$0")"
+for b in build/bench/*; do
+  [ -x "$b" ] && [ -f "$b" ] && "$b"
+done

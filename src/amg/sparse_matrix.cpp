@@ -1,0 +1,150 @@
+#include "amg/sparse_matrix.h"
+
+#include <algorithm>
+
+#include "common/exceptions.h"
+
+namespace dgflow
+{
+SparseMatrix SparseMatrix::from_triplets(const std::size_t n_rows,
+                                         const std::size_t n_cols,
+                                         std::vector<Triplet> triplets)
+{
+  std::sort(triplets.begin(), triplets.end(),
+            [](const Triplet &a, const Triplet &b) {
+              return a.row != b.row ? a.row < b.row : a.col < b.col;
+            });
+
+  SparseMatrix m;
+  m.n_cols_ = n_cols;
+  m.row_ptr_.assign(n_rows + 1, 0);
+  m.col_idx_.reserve(triplets.size());
+  m.values_.reserve(triplets.size());
+
+  for (std::size_t i = 0; i < triplets.size();)
+  {
+    const std::size_t r = triplets[i].row, c = triplets[i].col;
+    DGFLOW_ASSERT(r < n_rows && c < n_cols, "triplet out of range");
+    double v = 0;
+    while (i < triplets.size() && triplets[i].row == r && triplets[i].col == c)
+      v += triplets[i++].value;
+    m.col_idx_.push_back(c);
+    m.values_.push_back(v);
+    m.row_ptr_[r + 1] = m.col_idx_.size();
+  }
+  // rows without entries: propagate prefix
+  for (std::size_t r = 1; r <= n_rows; ++r)
+    m.row_ptr_[r] = std::max(m.row_ptr_[r], m.row_ptr_[r - 1]);
+  return m;
+}
+
+void SparseMatrix::vmult(Vector<double> &dst, const Vector<double> &src) const
+{
+  dst.reinit(n_rows(), true);
+  dst = 0.;
+  vmult_add(dst, src);
+}
+
+void SparseMatrix::vmult_add(Vector<double> &dst,
+                             const Vector<double> &src) const
+{
+  const std::size_t nr = n_rows();
+  for (std::size_t r = 0; r < nr; ++r)
+  {
+    double sum = 0;
+    for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k)
+      sum += values_[k] * src[col_idx_[k]];
+    dst[r] += sum;
+  }
+}
+
+SparseMatrix SparseMatrix::transpose() const
+{
+  std::vector<Triplet> t;
+  t.reserve(n_nonzeros());
+  for (std::size_t r = 0; r < n_rows(); ++r)
+    for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k)
+      t.push_back({col_idx_[k], r, values_[k]});
+  return from_triplets(n_cols_, n_rows(), std::move(t));
+}
+
+SparseMatrix SparseMatrix::multiply(const SparseMatrix &A,
+                                    const SparseMatrix &B)
+{
+  DGFLOW_ASSERT(A.n_cols() == B.n_rows(), "dimension mismatch");
+  std::vector<Triplet> t;
+  std::vector<double> accum(B.n_cols(), 0.);
+  std::vector<std::size_t> touched;
+  for (std::size_t r = 0; r < A.n_rows(); ++r)
+  {
+    touched.clear();
+    for (std::size_t ka = A.row_ptr_[r]; ka < A.row_ptr_[r + 1]; ++ka)
+    {
+      const std::size_t j = A.col_idx_[ka];
+      const double av = A.values_[ka];
+      for (std::size_t kb = B.row_ptr_[j]; kb < B.row_ptr_[j + 1]; ++kb)
+      {
+        const std::size_t c = B.col_idx_[kb];
+        if (accum[c] == 0.)
+          touched.push_back(c);
+        accum[c] += av * B.values_[kb];
+      }
+    }
+    for (const std::size_t c : touched)
+    {
+      if (accum[c] != 0.)
+        t.push_back({r, c, accum[c]});
+      accum[c] = 0.;
+    }
+  }
+  return from_triplets(A.n_rows(), B.n_cols(), std::move(t));
+}
+
+Vector<double> SparseMatrix::diagonal() const
+{
+  Vector<double> d(n_rows());
+  for (std::size_t r = 0; r < n_rows(); ++r)
+    for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k)
+      if (col_idx_[k] == r)
+        d[r] = values_[k];
+  return d;
+}
+
+void SparseMatrix::gauss_seidel_forward(Vector<double> &x,
+                                        const Vector<double> &b) const
+{
+  for (std::size_t r = 0; r < n_rows(); ++r)
+  {
+    double sum = b[r], diag = 1.;
+    for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k)
+    {
+      const std::size_t c = col_idx_[k];
+      if (c == r)
+        diag = values_[k];
+      else
+        sum -= values_[k] * x[c];
+    }
+    x[r] = sum / diag;
+  }
+}
+
+void SparseMatrix::gauss_seidel_backward(Vector<double> &x,
+                                         const Vector<double> &b) const
+{
+  for (std::size_t rr = n_rows(); rr > 0; --rr)
+  {
+    const std::size_t r = rr - 1;
+    double sum = b[r], diag = 1.;
+    for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k)
+    {
+      const std::size_t c = col_idx_[k];
+      if (c == r)
+        diag = values_[k];
+      else
+        sum -= values_[k] * x[c];
+    }
+    x[r] = sum / diag;
+  }
+}
+
+} // namespace dgflow

@@ -1,0 +1,45 @@
+#pragma once
+
+// Assertion macros. DGFLOW_ASSERT is active in all build types: the solver
+// stack contains enough setup-time invariants that the cost is negligible
+// compared to silent corruption. Hot inner loops use DGFLOW_DEBUG_ASSERT.
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace dgflow
+{
+[[noreturn]] inline void assertion_failure(const char *cond, const char *file,
+                                           const int line,
+                                           const std::string &msg)
+{
+  std::ostringstream ss;
+  ss << "dgflow assertion failed: " << cond << "\n  at " << file << ":" << line
+     << "\n  " << msg;
+  throw std::runtime_error(ss.str());
+}
+} // namespace dgflow
+
+#define DGFLOW_ASSERT(cond, msg)                                             \
+  do                                                                          \
+  {                                                                           \
+    if (!(cond))                                                              \
+    {                                                                         \
+      std::ostringstream dgflow_msg_;                                         \
+      dgflow_msg_ << msg;                                                     \
+      ::dgflow::assertion_failure(#cond, __FILE__, __LINE__,                  \
+                                  dgflow_msg_.str());                         \
+    }                                                                         \
+  } while (false)
+
+#ifdef NDEBUG
+#define DGFLOW_DEBUG_ASSERT(cond, msg)                                        \
+  do                                                                          \
+  {                                                                           \
+  } while (false)
+#else
+#define DGFLOW_DEBUG_ASSERT(cond, msg) DGFLOW_ASSERT(cond, msg)
+#endif

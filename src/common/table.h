@@ -1,0 +1,97 @@
+#pragma once
+
+// Minimal fixed-width table printer used by the benchmark harnesses to emit
+// the rows/series of the paper's tables and figures.
+
+#include <cstdio>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace dgflow
+{
+class Table
+{
+public:
+  explicit Table(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+  {}
+
+  template <typename... Args>
+  void add_row(Args &&...args)
+  {
+    std::vector<std::string> row;
+    (row.push_back(to_string(std::forward<Args>(args))), ...);
+    rows_.push_back(std::move(row));
+  }
+
+  void print(std::ostream &out = std::cout) const
+  {
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+      widths[c] = headers_[c].size();
+    for (const auto &row : rows_)
+      for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c)
+        widths[c] = std::max(widths[c], row[c].size());
+
+    print_row(out, headers_, widths);
+    std::size_t total = 1;
+    for (const auto w : widths)
+      total += w + 3;
+    out << std::string(total, '-') << '\n';
+    for (const auto &row : rows_)
+      print_row(out, row, widths);
+  }
+
+  static std::string format(const double v, const int precision = 4)
+  {
+    std::ostringstream ss;
+    ss << std::setprecision(precision) << v;
+    return ss.str();
+  }
+
+  /// Scientific notation like the paper's tables (e.g. "3.5e5").
+  static std::string sci(const double v, const int precision = 2)
+  {
+    std::ostringstream ss;
+    ss << std::scientific << std::setprecision(precision - 1) << v;
+    std::string s = ss.str();
+    // compress exponent: 3.50e+05 -> 3.5e5
+    const auto e = s.find('e');
+    if (e != std::string::npos)
+    {
+      std::string mant = s.substr(0, e);
+      int expo = std::stoi(s.substr(e + 1));
+      s = mant + "e" + std::to_string(expo);
+    }
+    return s;
+  }
+
+private:
+  template <typename T>
+  static std::string to_string(T &&v)
+  {
+    if constexpr (std::is_convertible_v<T, std::string>)
+      return std::string(std::forward<T>(v));
+    else if constexpr (std::is_floating_point_v<std::decay_t<T>>)
+      return format(v);
+    else
+      return std::to_string(v);
+  }
+
+  static void print_row(std::ostream &out, const std::vector<std::string> &row,
+                        const std::vector<std::size_t> &widths)
+  {
+    for (std::size_t c = 0; c < row.size(); ++c)
+      out << ' ' << std::setw(static_cast<int>(widths[c])) << row[c] << "  ";
+    out << '\n';
+  }
+
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace dgflow

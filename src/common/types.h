@@ -1,0 +1,37 @@
+#pragma once
+
+// Fundamental index and size types used throughout dgflow.
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+
+#ifndef DGFLOW_RESTRICT
+#define DGFLOW_RESTRICT __restrict__
+#endif
+
+namespace dgflow
+{
+/// Spatial dimension. The solver is specialized to 3D, matching the paper.
+constexpr unsigned int dim = 3;
+
+/// Index of a cell, face, or vertex within the local mesh.
+using index_t = std::uint32_t;
+
+/// Global degree-of-freedom index.
+using gdof_t = std::uint64_t;
+
+/// Marker for "no entity".
+constexpr index_t invalid_index = std::numeric_limits<index_t>::max();
+constexpr gdof_t invalid_gdof = std::numeric_limits<gdof_t>::max();
+
+/// Returns v^e for small non-negative integer exponents (constexpr-friendly).
+constexpr std::size_t pow_int(const std::size_t v, const unsigned int e)
+{
+  std::size_t r = 1;
+  for (unsigned int i = 0; i < e; ++i)
+    r *= v;
+  return r;
+}
+
+} // namespace dgflow

@@ -1,0 +1,154 @@
+#pragma once
+
+// Solution vector with the BLAS-1 style operations needed by the Krylov and
+// multigrid solvers. Templated on the scalar type: the outer conjugate
+// gradient runs in double while the multigrid V-cycle runs in float
+// (mixed-precision, paper Section 3.4); copy_and_convert() moves data across
+// precisions.
+
+#include <cmath>
+
+#include "common/aligned_vector.h"
+#include "common/exceptions.h"
+
+#ifndef DGFLOW_RESTRICT
+#define DGFLOW_RESTRICT __restrict__
+#endif
+
+namespace dgflow
+{
+template <typename Number>
+class Vector
+{
+public:
+  using value_type = Number;
+
+  Vector() = default;
+  explicit Vector(const std::size_t n) { reinit(n); }
+
+  void reinit(const std::size_t n, const bool fast = false)
+  {
+    data_.resize_without_init(n);
+    if (!fast)
+      data_.fill(Number(0));
+  }
+
+  std::size_t size() const { return data_.size(); }
+
+  Number &operator()(const std::size_t i) { return data_[i]; }
+  Number operator()(const std::size_t i) const { return data_[i]; }
+  Number &operator[](const std::size_t i) { return data_[i]; }
+  Number operator[](const std::size_t i) const { return data_[i]; }
+
+  Number *data() { return data_.data(); }
+  const Number *data() const { return data_.data(); }
+
+  void operator=(const Number s) { data_.fill(s); }
+
+  /// this += a * x
+  void add(const Number a, const Vector &x)
+  {
+    DGFLOW_DEBUG_ASSERT(x.size() == size(), "size mismatch");
+    Number *DGFLOW_RESTRICT d = data_.data();
+    const Number *DGFLOW_RESTRICT xd = x.data_.data();
+    const std::size_t n = size();
+    for (std::size_t i = 0; i < n; ++i)
+      d[i] += a * xd[i];
+  }
+
+  /// this = s * this + a * x
+  void sadd(const Number s, const Number a, const Vector &x)
+  {
+    DGFLOW_DEBUG_ASSERT(x.size() == size(), "size mismatch");
+    Number *DGFLOW_RESTRICT d = data_.data();
+    const Number *DGFLOW_RESTRICT xd = x.data_.data();
+    const std::size_t n = size();
+    for (std::size_t i = 0; i < n; ++i)
+      d[i] = s * d[i] + a * xd[i];
+  }
+
+  /// this = a * x
+  void equ(const Number a, const Vector &x)
+  {
+    DGFLOW_DEBUG_ASSERT(x.size() == size(), "size mismatch");
+    Number *DGFLOW_RESTRICT d = data_.data();
+    const Number *DGFLOW_RESTRICT xd = x.data_.data();
+    const std::size_t n = size();
+    for (std::size_t i = 0; i < n; ++i)
+      d[i] = a * xd[i];
+  }
+
+  /// this = a * x + b * y
+  void equ(const Number a, const Vector &x, const Number b, const Vector &y)
+  {
+    DGFLOW_DEBUG_ASSERT(x.size() == size() && y.size() == size(),
+                        "size mismatch");
+    Number *DGFLOW_RESTRICT d = data_.data();
+    const Number *DGFLOW_RESTRICT xd = x.data_.data();
+    const Number *DGFLOW_RESTRICT yd = y.data_.data();
+    const std::size_t n = size();
+    for (std::size_t i = 0; i < n; ++i)
+      d[i] = a * xd[i] + b * yd[i];
+  }
+
+  void scale(const Number a)
+  {
+    for (std::size_t i = 0; i < size(); ++i)
+      data_[i] *= a;
+  }
+
+  /// Pointwise multiply: this[i] *= x[i] (Jacobi preconditioning).
+  void scale_pointwise(const Vector &x)
+  {
+    DGFLOW_DEBUG_ASSERT(x.size() == size(), "size mismatch");
+    for (std::size_t i = 0; i < size(); ++i)
+      data_[i] *= x.data_[i];
+  }
+
+  Number dot(const Vector &x) const
+  {
+    DGFLOW_DEBUG_ASSERT(x.size() == size(), "size mismatch");
+    // Accumulate in double regardless of storage precision: keeps the CG
+    // orthogonality usable when Number = float.
+    double s = 0;
+    const Number *DGFLOW_RESTRICT d = data_.data();
+    const Number *DGFLOW_RESTRICT xd = x.data_.data();
+    const std::size_t n = size();
+    for (std::size_t i = 0; i < n; ++i)
+      s += double(d[i]) * double(xd[i]);
+    return Number(s);
+  }
+
+  Number norm_sqr() const { return dot(*this); }
+
+  Number l2_norm() const { return std::sqrt(dot(*this)); }
+
+  Number linfty_norm() const
+  {
+    Number m = 0;
+    for (std::size_t i = 0; i < size(); ++i)
+      m = std::max(m, std::abs(data_[i]));
+    return m;
+  }
+
+  /// Convert-copy from a vector of another precision.
+  template <typename Number2>
+  void copy_and_convert(const Vector<Number2> &x)
+  {
+    data_.resize_without_init(x.size());
+    for (std::size_t i = 0; i < x.size(); ++i)
+      data_[i] = Number(x[i]);
+  }
+
+  void swap(Vector &other) { std::swap(data_, other.data_); }
+
+  std::size_t memory_consumption() const
+  {
+    return data_.memory_consumption();
+  }
+
+private:
+  AlignedVector<Number> data_;
+};
+
+} // namespace dgflow

@@ -1,0 +1,257 @@
+#include "dof/dof_handler.h"
+
+#include "common/exceptions.h"
+
+namespace dgflow
+{
+namespace
+{
+constexpr unsigned int L = Mesh::max_level;
+constexpr std::uint64_t M = 1ull << L; ///< lattice resolution (inclusive)
+
+std::uint64_t pack_key(const index_t tree, const std::uint64_t x,
+                       const std::uint64_t y, const std::uint64_t z)
+{
+  return (std::uint64_t(tree) << 42) | (x << 28) | (y << 14) | z;
+}
+
+struct UnionFind
+{
+  std::vector<std::uint32_t> parent;
+
+  std::uint32_t add()
+  {
+    parent.push_back(parent.size());
+    return parent.size() - 1;
+  }
+
+  std::uint32_t find(std::uint32_t i)
+  {
+    while (parent[i] != i)
+    {
+      parent[i] = parent[parent[i]];
+      i = parent[i];
+    }
+    return i;
+  }
+
+  void unite(const std::uint32_t a, const std::uint32_t b)
+  {
+    const std::uint32_t ra = find(a), rb = find(b);
+    if (ra != rb)
+      parent[std::max(ra, rb)] = std::min(ra, rb);
+  }
+};
+} // namespace
+
+void CFEDofHandler::reinit(const Mesh &mesh)
+{
+  mesh_ = &mesh;
+  const CoarseMesh &coarse = mesh.coarse();
+  const index_t n_cells = mesh.n_active_cells();
+
+  UnionFind uf;
+  std::unordered_map<std::uint64_t, std::uint32_t> node_of_key;
+  node_of_key.reserve(8 * n_cells);
+  auto get_node = [&](const std::uint64_t key) {
+    const auto [it, inserted] = node_of_key.emplace(key, 0);
+    if (inserted)
+      it->second = uf.add();
+    return it->second;
+  };
+
+  // full-resolution lattice coordinates of a cell corner
+  auto corner_coords = [&](const index_t c, const unsigned int corner,
+                           index_t &tree, std::array<std::uint64_t, 3> &X) {
+    const TreeCoord &tc = mesh.cell(c);
+    tree = tc.tree;
+    const unsigned int shift = L - tc.level;
+    X[0] = (std::uint64_t(tc.x) + (corner & 1)) << shift;
+    X[1] = (std::uint64_t(tc.y) + ((corner >> 1) & 1)) << shift;
+    X[2] = (std::uint64_t(tc.z) + ((corner >> 2) & 1)) << shift;
+  };
+
+  // register all cell corners
+  std::vector<std::uint32_t> cell_nodes(8 * std::size_t(n_cells));
+  for (index_t c = 0; c < n_cells; ++c)
+    for (unsigned int v = 0; v < 8; ++v)
+    {
+      index_t tree;
+      std::array<std::uint64_t, 3> X;
+      corner_coords(c, v, tree, X);
+      cell_nodes[8 * std::size_t(c) + v] =
+        get_node(pack_key(tree, X[0], X[1], X[2]));
+    }
+
+  // unify across coarse faces: every corner lying on a tree face is also
+  // registered under the neighbor tree's coordinates; union-find closure
+  // then identifies vertices shared only across tree edges/corners through
+  // the ring of face-connected trees
+  for (index_t c = 0; c < n_cells; ++c)
+    for (unsigned int v = 0; v < 8; ++v)
+    {
+      index_t tree;
+      std::array<std::uint64_t, 3> X;
+      corner_coords(c, v, tree, X);
+      const std::uint32_t node = cell_nodes[8 * std::size_t(c) + v];
+      for (unsigned int d = 0; d < dim; ++d)
+      {
+        if (X[d] != 0 && X[d] != M)
+          continue;
+        const unsigned int s = (X[d] == M) ? 1 : 0;
+        const auto &nb = coarse.neighbors[tree][2 * d + s];
+        if (nb.cell == invalid_index)
+          continue;
+        const auto t = face_tangential_dims(d);
+        std::uint64_t t0 = X[t[0]], t1 = X[t[1]];
+        const unsigned int o = nb.orientation;
+        if (o & 1)
+          std::swap(t0, t1);
+        if (o & 2)
+          t0 = M - t0;
+        if (o & 4)
+          t1 = M - t1;
+        const unsigned int db = nb.face_no / 2, sb = nb.face_no % 2;
+        const auto tb = face_tangential_dims(db);
+        std::array<std::uint64_t, 3> Y;
+        Y[db] = sb == 0 ? 0 : M;
+        Y[tb[0]] = t0;
+        Y[tb[1]] = t1;
+        uf.unite(node, get_node(pack_key(nb.cell, Y[0], Y[1], Y[2])));
+      }
+    }
+
+  // hanging-vertex constraints from the hanging faces
+  const auto faces = mesh.build_face_list();
+  std::unordered_map<std::uint32_t,
+                     std::vector<std::pair<std::uint32_t, double>>>
+    hanging;
+  for (const auto &f : faces)
+  {
+    if (!f.is_hanging())
+      continue;
+    const auto fv_m = face_vertices(f.face_no_m);
+    const auto fv_p = face_vertices(f.face_no_p);
+    std::array<std::uint32_t, 4> plus_nodes;
+    for (unsigned int i = 0; i < 4; ++i)
+      plus_nodes[i] = cell_nodes[8 * std::size_t(f.cell_p) + fv_p[i]];
+
+    for (unsigned int c1 = 0; c1 < 2; ++c1)
+      for (unsigned int c0 = 0; c0 < 2; ++c0)
+      {
+        const auto [cp0, cp1] = orient_face_coords(f.orientation, c0, c1, 2);
+        const unsigned int rel0 = f.subface0 + cp0; // in {0,1,2}, halves
+        const unsigned int rel1 = f.subface1 + cp1;
+        if (rel0 % 2 == 0 && rel1 % 2 == 0)
+          continue; // coincides with a coarse vertex
+        const std::uint32_t node =
+          cell_nodes[8 * std::size_t(f.cell_m) + fv_m[c1 * 2 + c0]];
+        const std::uint32_t root = uf.find(node);
+        if (hanging.count(root))
+          continue; // already constrained consistently via another face
+        std::vector<std::pair<std::uint32_t, double>> masters;
+        for (unsigned int a1 = 0; a1 < 2; ++a1)
+          for (unsigned int a0 = 0; a0 < 2; ++a0)
+          {
+            const double w = (a0 ? rel0 / 2. : 1. - rel0 / 2.) *
+                             (a1 ? rel1 / 2. : 1. - rel1 / 2.);
+            if (w > 0)
+              masters.emplace_back(plus_nodes[a1 * 2 + a0], w);
+          }
+        hanging[root] = std::move(masters);
+      }
+  }
+
+  // assign dofs to unconstrained roots in traversal order
+  std::unordered_map<std::uint32_t, std::uint32_t> dof_of_root;
+  n_dofs_ = 0;
+  for (index_t c = 0; c < n_cells; ++c)
+    for (unsigned int v = 0; v < 8; ++v)
+    {
+      const std::uint32_t root = uf.find(cell_nodes[8 * std::size_t(c) + v]);
+      if (hanging.count(root) || dof_of_root.count(root))
+        continue;
+      dof_of_root[root] = n_dofs_++;
+    }
+
+  // resolve constraint chains (a master may itself hang on a yet coarser
+  // entity; 2:1 balance keeps the chains short)
+  auto resolve = [&](const std::uint32_t root) {
+    std::vector<std::pair<std::uint32_t, double>> work = hanging.at(root);
+    for (unsigned int round = 0; round < 8; ++round)
+    {
+      bool changed = false;
+      std::vector<std::pair<std::uint32_t, double>> next;
+      for (const auto &[node, w] : work)
+      {
+        const std::uint32_t r = uf.find(node);
+        const auto it = hanging.find(r);
+        if (it == hanging.end())
+          next.emplace_back(r, w);
+        else
+        {
+          changed = true;
+          for (const auto &[mnode, mw] : it->second)
+            next.emplace_back(uf.find(mnode), w * mw);
+        }
+      }
+      work = std::move(next);
+      if (!changed)
+        break;
+      DGFLOW_ASSERT(round < 7, "constraint chain did not resolve");
+    }
+    std::vector<ConstraintEntry> out;
+    for (const auto &[r, w] : work)
+    {
+      DGFLOW_ASSERT(dof_of_root.count(r) > 0, "master vertex has no dof");
+      const std::uint32_t dof = dof_of_root[r];
+      bool found = false;
+      for (auto &e : out)
+        if (e.dof == dof)
+        {
+          e.weight += w;
+          found = true;
+        }
+      if (!found)
+        out.push_back({dof, w});
+    }
+    return out;
+  };
+
+  constraints_.clear();
+  std::unordered_map<std::uint32_t, std::uint32_t> constraint_of_root;
+  cell_entries_.assign(8 * std::size_t(n_cells), 0);
+  for (index_t c = 0; c < n_cells; ++c)
+    for (unsigned int v = 0; v < 8; ++v)
+    {
+      const std::uint32_t root = uf.find(cell_nodes[8 * std::size_t(c) + v]);
+      if (hanging.count(root))
+      {
+        const auto [it, inserted] =
+          constraint_of_root.emplace(root, constraints_.size());
+        if (inserted)
+          constraints_.push_back(resolve(root));
+        cell_entries_[8 * std::size_t(c) + v] = it->second | constraint_bit;
+      }
+      else
+        cell_entries_[8 * std::size_t(c) + v] = dof_of_root.at(root);
+    }
+
+  // boundary dofs
+  boundary_dof_ids_.clear();
+  for (const auto &f : faces)
+  {
+    if (!f.is_boundary())
+      continue;
+    const auto fv = face_vertices(f.face_no_m);
+    for (unsigned int i = 0; i < 4; ++i)
+    {
+      const std::uint32_t entry =
+        cell_entries_[8 * std::size_t(f.cell_m) + fv[i]];
+      if (!is_constrained(entry))
+        boundary_dof_ids_.emplace_back(entry, f.boundary_id);
+    }
+  }
+}
+
+} // namespace dgflow

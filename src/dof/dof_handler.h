@@ -1,0 +1,76 @@
+#pragma once
+
+// Continuous Q1 ("CFE") degree-of-freedom handler on the active forest mesh:
+// the auxiliary conforming space of the hybrid multigrid scheme (paper
+// Section 3.4, Figure 5). Vertices are identified globally via integer
+// lattice keys (full-resolution coordinates within each tree, unified across
+// coarse faces through the orientation maps); vertices hanging on a 2:1
+// interface carry interpolation constraints onto the coarse face/edge dofs.
+
+#include <unordered_map>
+#include <vector>
+
+#include "mesh/mesh.h"
+
+namespace dgflow
+{
+class CFEDofHandler
+{
+public:
+  /// One weighted master entry of a hanging-vertex constraint.
+  struct ConstraintEntry
+  {
+    std::uint32_t dof;
+    double weight;
+  };
+
+  void reinit(const Mesh &mesh);
+
+  std::size_t n_dofs() const { return n_dofs_; }
+  const Mesh &mesh() const { return *mesh_; }
+
+  /// Cell-local dof table: 8 entries per cell (lexicographic corners).
+  /// Entries with the constraint bit set refer to constraints() instead of
+  /// a global dof.
+  static constexpr std::uint32_t constraint_bit = 0x80000000u;
+
+  std::uint32_t cell_entry(const index_t cell, const unsigned int corner) const
+  {
+    return cell_entries_[8 * std::size_t(cell) + corner];
+  }
+
+  static bool is_constrained(const std::uint32_t entry)
+  {
+    return (entry & constraint_bit) != 0;
+  }
+
+  const std::vector<ConstraintEntry> &
+  constraint(const std::uint32_t entry) const
+  {
+    return constraints_[entry & ~constraint_bit];
+  }
+
+  std::size_t n_constraints() const { return constraints_.size(); }
+
+  /// Marks all dofs lying on boundary faces whose id satisfies the
+  /// predicate; returns one flag per dof.
+  template <typename Predicate>
+  std::vector<char> boundary_dof_flags(const Predicate &pred) const
+  {
+    std::vector<char> flags(n_dofs_, 0);
+    for (const auto &[dof, id] : boundary_dof_ids_)
+      if (pred(id))
+        flags[dof] = 1;
+    return flags;
+  }
+
+private:
+  const Mesh *mesh_ = nullptr;
+  std::size_t n_dofs_ = 0;
+  std::vector<std::uint32_t> cell_entries_;
+  std::vector<std::vector<ConstraintEntry>> constraints_;
+  /// (dof, boundary id) pairs of dofs on the domain boundary.
+  std::vector<std::pair<std::uint32_t, unsigned int>> boundary_dof_ids_;
+};
+
+} // namespace dgflow

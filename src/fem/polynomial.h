@@ -1,0 +1,65 @@
+#pragma once
+
+// Lagrange polynomial bases on arbitrary node sets. The solver uses nodal
+// bases collocated at Gauss points (making the DG mass matrix diagonal even
+// on deformed cells, the key to the cheap inverse-mass application M^{-1} in
+// the splitting scheme) and Gauss-Lobatto nodes for geometry interpolation.
+
+#include <vector>
+
+#include "common/exceptions.h"
+
+namespace dgflow
+{
+class LagrangeBasis
+{
+public:
+  explicit LagrangeBasis(std::vector<double> nodes) : nodes_(std::move(nodes))
+  {
+    DGFLOW_ASSERT(!nodes_.empty(), "empty node set");
+    // barycentric weights
+    const unsigned int n = nodes_.size();
+    bary_.assign(n, 1.);
+    for (unsigned int i = 0; i < n; ++i)
+      for (unsigned int j = 0; j < n; ++j)
+        if (i != j)
+          bary_[i] /= (nodes_[i] - nodes_[j]);
+  }
+
+  unsigned int size() const { return nodes_.size(); }
+  unsigned int degree() const { return nodes_.size() - 1; }
+  const std::vector<double> &nodes() const { return nodes_; }
+
+  /// phi_i(x); stable direct product formula (degrees used here are <= 9).
+  double value(const unsigned int i, const double x) const
+  {
+    double v = bary_[i];
+    for (unsigned int j = 0; j < nodes_.size(); ++j)
+      if (j != i)
+        v *= (x - nodes_[j]);
+    return v;
+  }
+
+  /// phi_i'(x) via the product-rule sum.
+  double derivative(const unsigned int i, const double x) const
+  {
+    double d = 0;
+    for (unsigned int m = 0; m < nodes_.size(); ++m)
+    {
+      if (m == i)
+        continue;
+      double term = bary_[i];
+      for (unsigned int j = 0; j < nodes_.size(); ++j)
+        if (j != i && j != m)
+          term *= (x - nodes_[j]);
+      d += term;
+    }
+    return d;
+  }
+
+private:
+  std::vector<double> nodes_;
+  std::vector<double> bary_;
+};
+
+} // namespace dgflow

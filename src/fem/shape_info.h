@@ -1,0 +1,148 @@
+#pragma once
+
+// Precomputed 1D shape-function data for the sum-factorization kernels: the
+// basis evaluated at quadrature points, at the two face endpoints, and on
+// subfaces (for hanging-node faces). One ShapeInfo instance per (polynomial
+// degree, quadrature size) pair is shared by all cells - this is what keeps
+// the interpolation matrices I_e, I_f of Eq. (7) in cache.
+
+#include <vector>
+
+#include "common/exceptions.h"
+#include "fem/polynomial.h"
+#include "fem/quadrature.h"
+#include "fem/tensor_kernels.h"
+
+namespace dgflow
+{
+enum class BasisType
+{
+  lagrange_gauss,         ///< nodes at Gauss points (collocation; diagonal mass)
+  lagrange_gauss_lobatto, ///< nodes at Gauss-Lobatto points (geometry)
+};
+
+template <typename Number>
+struct ShapeInfo
+{
+  unsigned int degree;
+  unsigned int n_dofs_1d; ///< degree + 1
+  unsigned int n_q_1d;
+  bool collocation; ///< basis nodes coincide with quadrature points
+
+  /// values[q * n_dofs_1d + i] = phi_i(x_q)
+  std::vector<Number> values;
+  /// gradients[q * n_dofs_1d + i] = phi_i'(x_q)
+  std::vector<Number> gradients;
+  /// collocation derivative: deriv of the Lagrange basis *at the quadrature
+  /// points* evaluated at the quadrature points, grad_colloc[q2 * n_q + q1]
+  std::vector<Number> grad_colloc;
+
+  /// face_value[s][i] = phi_i(s), s in {0,1}
+  std::vector<Number> face_value[2];
+  /// face_grad[s][i] = phi_i'(s)
+  std::vector<Number> face_grad[2];
+
+  /// subface_values[s][q * n + i] = phi_i((x_q + s) / 2): the trace of the
+  /// coarse side of a hanging face evaluated at the quadrature points of
+  /// subface s (per direction). subface_gradients holds phi_i'((x_q+s)/2)
+  /// (derivative w.r.t. the *coarse* cell coordinate).
+  std::vector<Number> subface_values[2];
+  std::vector<Number> subface_gradients[2];
+
+  std::vector<Number> q_weights; ///< 1D quadrature weights
+  std::vector<double> q_points;  ///< 1D quadrature points
+  std::vector<double> nodes;     ///< basis nodes
+
+  /// Even-odd compressed matrices (paper Sec. 3.1): symmetric point sets
+  /// make values symmetric (sign +1) and derivatives anti-symmetric (-1).
+  std::vector<Number> values_eo_e, values_eo_o;
+  std::vector<Number> gradients_eo_e, gradients_eo_o;
+  std::vector<Number> grad_colloc_eo_e, grad_colloc_eo_o;
+
+  ShapeInfo() = default;
+
+  ShapeInfo(const unsigned int degree_, const unsigned int n_q_1d_,
+            const BasisType basis_type = BasisType::lagrange_gauss)
+    : degree(degree_), n_dofs_1d(degree_ + 1), n_q_1d(n_q_1d_)
+  {
+    DGFLOW_ASSERT(n_q_1d >= 1, "need quadrature points");
+    const Quadrature1D quad = gauss_quadrature(n_q_1d);
+    q_points = quad.points;
+    q_weights.assign(quad.weights.begin(), quad.weights.end());
+
+    switch (basis_type)
+    {
+      case BasisType::lagrange_gauss:
+        nodes = gauss_quadrature(n_dofs_1d).points;
+        break;
+      case BasisType::lagrange_gauss_lobatto:
+        nodes = n_dofs_1d == 1 ? std::vector<double>{0.5}
+                               : gauss_lobatto_quadrature(n_dofs_1d).points;
+        break;
+    }
+    const LagrangeBasis basis(nodes);
+
+    collocation =
+      basis_type == BasisType::lagrange_gauss && n_q_1d == n_dofs_1d;
+
+    const unsigned int n = n_dofs_1d;
+    values.resize(n_q_1d * n);
+    gradients.resize(n_q_1d * n);
+    for (unsigned int q = 0; q < n_q_1d; ++q)
+      for (unsigned int i = 0; i < n; ++i)
+      {
+        values[q * n + i] = Number(basis.value(i, q_points[q]));
+        gradients[q * n + i] = Number(basis.derivative(i, q_points[q]));
+      }
+    if (collocation)
+      // snap to exact identity (roundoff in the Newton-computed points)
+      for (unsigned int q = 0; q < n_q_1d; ++q)
+        for (unsigned int i = 0; i < n; ++i)
+          values[q * n + i] = (q == i) ? Number(1) : Number(0);
+
+    // derivative matrix of the Lagrange basis at the quadrature points
+    const LagrangeBasis qbasis(q_points);
+    grad_colloc.resize(n_q_1d * n_q_1d);
+    for (unsigned int q2 = 0; q2 < n_q_1d; ++q2)
+      for (unsigned int q1 = 0; q1 < n_q_1d; ++q1)
+        grad_colloc[q2 * n_q_1d + q1] =
+          Number(qbasis.derivative(q1, q_points[q2]));
+
+    // even-odd compressions
+    const unsigned int mh = (n_q_1d + 1) / 2, nh = (n + 1) / 2;
+    values_eo_e.resize(mh * nh);
+    values_eo_o.resize(mh * nh);
+    build_even_odd_matrices(values.data(), n_q_1d, n, values_eo_e.data(),
+                            values_eo_o.data());
+    gradients_eo_e.resize(mh * nh);
+    gradients_eo_o.resize(mh * nh);
+    build_even_odd_matrices(gradients.data(), n_q_1d, n,
+                            gradients_eo_e.data(), gradients_eo_o.data());
+    grad_colloc_eo_e.resize(mh * mh);
+    grad_colloc_eo_o.resize(mh * mh);
+    build_even_odd_matrices(grad_colloc.data(), n_q_1d, n_q_1d,
+                            grad_colloc_eo_e.data(), grad_colloc_eo_o.data());
+
+    for (unsigned int s = 0; s < 2; ++s)
+    {
+      face_value[s].resize(n);
+      face_grad[s].resize(n);
+      for (unsigned int i = 0; i < n; ++i)
+      {
+        face_value[s][i] = Number(basis.value(i, double(s)));
+        face_grad[s][i] = Number(basis.derivative(i, double(s)));
+      }
+      subface_values[s].resize(n_q_1d * n);
+      subface_gradients[s].resize(n_q_1d * n);
+      for (unsigned int q = 0; q < n_q_1d; ++q)
+        for (unsigned int i = 0; i < n; ++i)
+        {
+          const double x = 0.5 * (q_points[q] + s);
+          subface_values[s][q * n + i] = Number(basis.value(i, x));
+          subface_gradients[s][q * n + i] = Number(basis.derivative(i, x));
+        }
+    }
+  }
+};
+
+} // namespace dgflow

@@ -1,0 +1,291 @@
+#pragma once
+
+// Sum-factorization kernels (paper Section 3.1, Figure 2): application of 1D
+// interpolation/differentiation matrices along one direction of a 3D tensor
+// of coefficients, plus face-normal contractions. The data type T is
+// typically VectorizedArray<Number>, so each call processes a whole SIMD
+// batch of cells; the matrix entries are scalars broadcast into registers
+// (the matrix is the same for every cell, which is why it stays in cache).
+
+#include <array>
+
+#include "common/exceptions.h"
+#include "common/types.h"
+
+namespace dgflow
+{
+/// Applies the m x n row-major matrix M along direction @p direction of the
+/// tensor @p in with extents @p e (where e[direction] == n). The output has
+/// extent m in that direction. With contract_over_rows, applies M^T instead
+/// (extent e[direction] == m on input, n on output) - used for integration.
+/// in and out must not alias.
+template <bool contract_over_rows, bool add, typename MT, typename T>
+inline void apply_matrix_1d(const MT *DGFLOW_RESTRICT M, const unsigned int m,
+                            const unsigned int n, const T *DGFLOW_RESTRICT in,
+                            T *DGFLOW_RESTRICT out,
+                            const unsigned int direction,
+                            const std::array<unsigned int, 3> &e)
+{
+  const unsigned int n_in = contract_over_rows ? m : n;
+  const unsigned int n_out = contract_over_rows ? n : m;
+  DGFLOW_DEBUG_ASSERT(e[direction] == n_in, "extent mismatch");
+
+  // stride of the contraction direction and loop bounds over the other dims
+  unsigned int stride = 1;
+  for (unsigned int d = 0; d < direction; ++d)
+    stride *= e[d];
+  unsigned int n_blocks = 1;
+  for (unsigned int d = direction + 1; d < 3; ++d)
+    n_blocks *= e[d];
+
+  const unsigned int in_block = stride * n_in;
+  const unsigned int out_block = stride * n_out;
+
+  for (unsigned int b = 0; b < n_blocks; ++b)
+  {
+    const T *in_b = in + b * in_block;
+    T *out_b = out + b * out_block;
+    for (unsigned int s = 0; s < stride; ++s)
+      for (unsigned int r = 0; r < n_out; ++r)
+      {
+        T sum = contract_over_rows ? M[r] * in_b[s] : M[r * n] * in_b[s];
+        for (unsigned int c = 1; c < n_in; ++c)
+        {
+          const MT coeff = contract_over_rows ? M[c * n + r] : M[r * n + c];
+          sum += coeff * in_b[c * stride + s];
+        }
+        if (add)
+          out_b[r * stride + s] += sum;
+        else
+          out_b[r * stride + s] = sum;
+      }
+  }
+}
+
+/// Contracts the tensor with a vector v[n] along @p direction, producing the
+/// 2D plane of the remaining dims: out[plane] = sum_i v[i] in(..,i,..).
+/// Used to interpolate cell values onto a face (v = basis values at x=0/1).
+template <bool add, typename MT, typename T>
+inline void contract_to_face(const MT *DGFLOW_RESTRICT v, const unsigned int n,
+                             const T *DGFLOW_RESTRICT in,
+                             T *DGFLOW_RESTRICT out,
+                             const unsigned int direction,
+                             const std::array<unsigned int, 3> &e)
+{
+  DGFLOW_DEBUG_ASSERT(e[direction] == n, "extent mismatch");
+  unsigned int stride = 1;
+  for (unsigned int d = 0; d < direction; ++d)
+    stride *= e[d];
+  unsigned int n_blocks = 1;
+  for (unsigned int d = direction + 1; d < 3; ++d)
+    n_blocks *= e[d];
+
+  for (unsigned int b = 0; b < n_blocks; ++b)
+  {
+    const T *in_b = in + b * stride * n;
+    T *out_b = out + b * stride;
+    for (unsigned int s = 0; s < stride; ++s)
+    {
+      T sum = v[0] * in_b[s];
+      for (unsigned int i = 1; i < n; ++i)
+        sum += v[i] * in_b[i * stride + s];
+      if (add)
+        out_b[s] += sum;
+      else
+        out_b[s] = sum;
+    }
+  }
+}
+
+/// Transpose of contract_to_face: expands a face plane into the cell tensor,
+/// out(..,i,..) (+)= v[i] * in[plane].
+template <bool add, typename MT, typename T>
+inline void expand_from_face(const MT *DGFLOW_RESTRICT v, const unsigned int n,
+                             const T *DGFLOW_RESTRICT in,
+                             T *DGFLOW_RESTRICT out,
+                             const unsigned int direction,
+                             const std::array<unsigned int, 3> &e)
+{
+  DGFLOW_DEBUG_ASSERT(e[direction] == n, "extent mismatch");
+  unsigned int stride = 1;
+  for (unsigned int d = 0; d < direction; ++d)
+    stride *= e[d];
+  unsigned int n_blocks = 1;
+  for (unsigned int d = direction + 1; d < 3; ++d)
+    n_blocks *= e[d];
+
+  for (unsigned int b = 0; b < n_blocks; ++b)
+  {
+    const T *in_b = in + b * stride;
+    T *out_b = out + b * stride * n;
+    for (unsigned int s = 0; s < stride; ++s)
+      for (unsigned int i = 0; i < n; ++i)
+      {
+        if (add)
+          out_b[i * stride + s] += v[i] * in_b[s];
+        else
+          out_b[i * stride + s] = v[i] * in_b[s];
+      }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Even-odd decomposition (paper Section 3.1, following Kronbichler & Kormann
+// 2019): shape matrices on symmetric point sets satisfy
+// M[r][c] = s * M[m-1-r][n-1-c] with s = +1 (values) or -1 (derivatives).
+// Splitting the input into even/odd halves lets two half-size matrices do
+// the work of one full-size product, cutting the multiply count in half.
+// The compressed matrices Me/Mo have ceil(m/2) rows and ceil(n/2) columns:
+//   Me[r][i] = (M[r][i] + M[r][n-1-i]) / 2   (middle column: M[r][mid])
+//   Mo[r][i] = (M[r][i] - M[r][n-1-i]) / 2
+// ---------------------------------------------------------------------------
+
+/// Builds the compressed even/odd matrices from a full m x n matrix.
+template <typename MT>
+inline void build_even_odd_matrices(const MT *M, const unsigned int m,
+                                    const unsigned int n, MT *Me, MT *Mo)
+{
+  const unsigned int mh = (m + 1) / 2, nh = (n + 1) / 2;
+  for (unsigned int r = 0; r < mh; ++r)
+    for (unsigned int i = 0; i < nh; ++i)
+    {
+      if (2 * i + 1 == n) // middle column
+      {
+        Me[r * nh + i] = M[r * n + i];
+        Mo[r * nh + i] = MT(0);
+      }
+      else
+      {
+        Me[r * nh + i] = MT(0.5) * (M[r * n + i] + M[r * n + (n - 1 - i)]);
+        Mo[r * nh + i] = MT(0.5) * (M[r * n + i] - M[r * n + (n - 1 - i)]);
+      }
+    }
+}
+
+/// Even-odd application of the compressed matrix along @p direction.
+/// @p sign is the matrix symmetry (+1 values, -1 derivatives). Semantics
+/// identical to apply_matrix_1d on the full matrix.
+template <bool contract_over_rows, bool add, typename MT, typename T>
+inline void apply_matrix_1d_evenodd(const MT *DGFLOW_RESTRICT Me,
+                                    const MT *DGFLOW_RESTRICT Mo,
+                                    const unsigned int m, const unsigned int n,
+                                    const int sign,
+                                    const T *DGFLOW_RESTRICT in,
+                                    T *DGFLOW_RESTRICT out,
+                                    const unsigned int direction,
+                                    const std::array<unsigned int, 3> &e)
+{
+  // the transpose of a (anti)symmetric matrix has the same structure; for
+  // sign = -1 the even/odd compressed parts swap roles
+  const unsigned int n_in = contract_over_rows ? m : n;
+  const unsigned int n_out = contract_over_rows ? n : m;
+  DGFLOW_DEBUG_ASSERT(e[direction] == n_in, "extent mismatch");
+  DGFLOW_DEBUG_ASSERT(n_in <= 16 && n_out <= 16, "kernel size limit");
+
+  const unsigned int rows = contract_over_rows ? n : m; // of effective matrix
+  const unsigned int cols = contract_over_rows ? m : n;
+  const unsigned int rh = (rows + 1) / 2, ch = (cols + 1) / 2;
+  const unsigned int mh = (m + 1) / 2, nh = (n + 1) / 2;
+
+  unsigned int stride = 1;
+  for (unsigned int d = 0; d < direction; ++d)
+    stride *= e[d];
+  unsigned int n_blocks = 1;
+  for (unsigned int d = direction + 1; d < 3; ++d)
+    n_blocks *= e[d];
+
+  const unsigned int in_block = stride * n_in;
+  const unsigned int out_block = stride * n_out;
+
+  // effective compressed matrices (entry [r][i] of the applied matrix)
+  const auto me = [&](const unsigned int r, const unsigned int i) {
+    if (!contract_over_rows)
+      return Me[r * nh + i];
+    return sign > 0 ? Me[i * nh + r] : Mo[i * nh + r];
+  };
+  const auto mo = [&](const unsigned int r, const unsigned int i) {
+    if (!contract_over_rows)
+      return Mo[r * nh + i];
+    return sign > 0 ? Mo[i * nh + r] : Me[i * nh + r];
+  };
+  (void)mh;
+
+  for (unsigned int b = 0; b < n_blocks; ++b)
+  {
+    const T *in_b = in + b * in_block;
+    T *out_b = out + b * out_block;
+    for (unsigned int s = 0; s < stride; ++s)
+    {
+      T xe[16], xo[16];
+      for (unsigned int i = 0; i < n_in / 2; ++i)
+      {
+        const T a = in_b[i * stride + s];
+        const T c = in_b[(n_in - 1 - i) * stride + s];
+        xe[i] = a + c;
+        xo[i] = a - c;
+      }
+      if (n_in % 2 == 1)
+        xe[n_in / 2] = in_b[(n_in / 2) * stride + s];
+
+      for (unsigned int r = 0; r < n_out / 2; ++r)
+      {
+        T ye = me(r, 0) * xe[0];
+        for (unsigned int i = 1; i < ch; ++i)
+          ye += me(r, i) * xe[i];
+        T yo = mo(r, 0) * xo[0];
+        for (unsigned int i = 1; i < cols / 2; ++i)
+          yo += mo(r, i) * xo[i];
+
+        const T v0 = ye + yo;
+        const T v1 = sign > 0 ? ye - yo : yo - ye;
+        if (add)
+        {
+          out_b[r * stride + s] += v0;
+          out_b[(n_out - 1 - r) * stride + s] += v1;
+        }
+        else
+        {
+          out_b[r * stride + s] = v0;
+          out_b[(n_out - 1 - r) * stride + s] = v1;
+        }
+      }
+      if (n_out % 2 == 1)
+      {
+        const unsigned int r = n_out / 2;
+        T y;
+        if (sign > 0)
+        {
+          y = me(r, 0) * xe[0];
+          for (unsigned int i = 1; i < ch; ++i)
+            y += me(r, i) * xe[i];
+        }
+        else
+        {
+          y = mo(r, 0) * xo[0];
+          for (unsigned int i = 1; i < cols / 2; ++i)
+            y += mo(r, i) * xo[i];
+        }
+        if (add)
+          out_b[r * stride + s] += y;
+        else
+          out_b[r * stride + s] = y;
+      }
+    }
+  }
+  (void)rh;
+}
+
+/// 2D variant of apply_matrix_1d for operations on face planes, direction in
+/// {0,1}, extents e2 of the plane.
+template <bool contract_over_rows, bool add, typename MT, typename T>
+inline void apply_matrix_2d(const MT *DGFLOW_RESTRICT M, const unsigned int m,
+                            const unsigned int n, const T *DGFLOW_RESTRICT in,
+                            T *DGFLOW_RESTRICT out,
+                            const unsigned int direction,
+                            const std::array<unsigned int, 2> &e)
+{
+  const std::array<unsigned int, 3> e3{{e[0], e[1], 1}};
+  apply_matrix_1d<contract_over_rows, add>(M, m, n, in, out, direction, e3);
+}
+
+} // namespace dgflow

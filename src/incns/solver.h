@@ -1,0 +1,517 @@
+#pragma once
+
+// The incompressible Navier-Stokes solver: high-order dual splitting scheme
+// (paper Eqs. 1-5) with mixed-order DG spaces (velocity degree k, pressure
+// degree k-1), adaptive CFL time stepping (Eq. 6), hybrid-multigrid
+// preconditioned CG for the pressure Poisson equation and inverse-mass /
+// Jacobi preconditioned CG for the projection, viscous and penalty steps.
+// Initial guesses of all solves are extrapolated from previous time steps,
+// enabling the relaxed solver tolerances used for the application runs
+// (Section 5.3).
+
+#include "common/timer.h"
+#include "matrixfree/field_tools.h"
+#include "multigrid/hybrid_multigrid.h"
+#include "operators/convective_operator.h"
+#include "operators/divergence_gradient.h"
+#include "operators/helmholtz_operator.h"
+#include "operators/laplace_operator.h"
+#include "operators/mass_operator.h"
+#include "operators/penalty_operator.h"
+#include "timeint/bdf.h"
+
+namespace dgflow
+{
+template <typename Number = double>
+class INSSolver
+{
+public:
+  using VA = VectorizedArray<Number>;
+  using VectorType = Vector<Number>;
+
+  struct Parameters
+  {
+    unsigned int degree = 3;        ///< velocity degree k (pressure k-1)
+    double viscosity = 1.7e-5;      ///< kinematic viscosity
+    double cfl = 0.4;
+    double fixed_dt = 0.;           ///< > 0 disables the CFL controller
+    double max_dt = 1e30;
+    double rel_tol_pressure = 1e-6;
+    double rel_tol_viscous = 1e-6;
+    double rel_tol_projection = 1e-6; ///< penalty step tolerance
+    double penalty_zeta = 1.;
+    /// SIP penalty safety factor of all operators (see MatrixFree)
+    double penalty_safety = 4.;
+    /// velocity-scale floor of the penalty parameters in units of h/dt
+    /// (damps the spurious projection modes at startup/low flow)
+    double penalty_floor = 0.05;
+    /// include the extrapolated rotational term -nu curl(omega).n in the
+    /// consistent pressure Neumann condition. Required for full temporal
+    /// accuracy in viscosity-dominated flows; for convection-dominated
+    /// application runs on coarse meshes the second-derivative feedback can
+    /// destabilize the explicit extrapolation (cf. Fehn et al. 2017) and
+    /// the term may be dropped at O(dt) boundary-local cost.
+    bool rotational_pressure_bc = true;
+    unsigned int geometry_degree = 2;
+    typename HybridMultigrid<float>::Options multigrid;
+    /// optional analytic velocity Neumann data on pressure boundaries
+    VectorFunctionT velocity_neumann_data;
+  };
+
+  struct StepInfo
+  {
+    double time = 0;     ///< time after the step
+    double dt = 0;
+    unsigned int pressure_iterations = 0;
+    unsigned int viscous_iterations = 0;
+    unsigned int penalty_iterations = 0;
+    double wall_time = 0;
+  };
+
+  void setup(const Mesh &mesh, const Geometry &geometry, FlowBoundaryMap bc,
+             const Parameters &prm)
+  {
+    prm_ = prm;
+    bc_ = std::move(bc);
+    DGFLOW_ASSERT(prm.degree >= 2, "velocity degree must be at least 2");
+    const unsigned int k = prm.degree;
+
+    bool has_pressure_boundary = false;
+    for (const auto &[id, b] : bc_)
+      has_pressure_boundary |= (b.kind == FlowBoundary::Kind::pressure);
+    DGFLOW_ASSERT(has_pressure_boundary,
+                  "need at least one pressure (outflow) boundary; the pure "
+                  "Dirichlet case with a pressure nullspace is not supported");
+
+    typename MatrixFree<Number>::AdditionalData data;
+    data.degrees = {k, k - 1};
+    data.basis_types = {BasisType::lagrange_gauss, BasisType::lagrange_gauss};
+    data.n_q_points_1d = {k + 1, k, k + 2};
+    data.geometry_degree = prm.geometry_degree;
+    data.penalty_safety = prm.penalty_safety;
+    mf_.reinit(mesh, geometry, data);
+
+    convective_.reinit(mf_, u_space, quad_over, bc_);
+    divergence_.reinit(mf_, u_space, p_space, quad_u, bc_);
+    gradient_.reinit(mf_, u_space, p_space, quad_u, bc_);
+    helmholtz_.reinit(mf_, u_space, quad_u, bc_, Number(prm.viscosity));
+    penalty_.reinit(mf_, u_space, quad_u, Number(prm.penalty_zeta));
+    mass_u_.reinit(mf_, u_space, quad_u);
+    laplace_.reinit(mf_, p_space, quad_p, pressure_bc_view(bc_));
+
+    auto mg_opts = prm.multigrid;
+    mg_opts.geometry_degree = prm.geometry_degree;
+    mg_opts.penalty_safety = prm.penalty_safety;
+    pressure_mg_.setup(mesh, geometry, k - 1, pressure_bc_view(bc_), mg_opts);
+    {
+      // Jacobi fallback for meshes whose worst cells defeat the smoother
+      VectorType diag_p;
+      laplace_.compute_diagonal(diag_p);
+      pressure_jacobi_.reinit(diag_p);
+    }
+
+    // viscous diagonal is affine in the mass factor: precompute both parts
+    helmholtz_.set_mass_factor(Number(0));
+    helmholtz_.compute_diagonal(diag_viscous_);
+    diag_mass_.reinit(mf_.n_dofs(u_space, 3));
+    {
+      VectorType ones(mf_.n_dofs(u_space, 3));
+      ones = Number(1);
+      mass_u_.vmult(diag_mass_, ones);
+    }
+
+    u_.reinit(mf_.n_dofs(u_space, 3));
+    u_old_.reinit(u_.size());
+    p_.reinit(mf_.n_dofs(p_space, 1));
+    p_old_.reinit(p_.size());
+    conv_.reinit(u_.size());
+    conv_old_.reinit(u_.size());
+    time_ = 0;
+    dt_prev_ = 0;
+    step_count_ = 0;
+  }
+
+  /// Sets initial velocity (and optional pressure) by nodal interpolation.
+  void set_initial_condition(const VectorFunction &u0,
+                             const ScalarFunction &p0 = {})
+  {
+    interpolate_vector(mf_, u_space, quad_u, u0, u_);
+    if (p0)
+      interpolate(mf_, p_space, quad_p, p0, p_);
+    u_old_ = u_;
+    p_old_ = p_;
+  }
+
+  double time() const { return time_; }
+  const VectorType &velocity() const { return u_; }
+  const VectorType &pressure() const { return p_; }
+  const MatrixFree<Number> &matrix_free() const { return mf_; }
+  TimerTree &timers() { return timers_; }
+
+  static constexpr unsigned int u_space = 0, p_space = 1;
+  static constexpr unsigned int quad_u = 0, quad_p = 1, quad_over = 2;
+
+  /// CFL-admissible time step from the current velocity field (Eq. 6).
+  double compute_time_step() const
+  {
+    if (prm_.fixed_dt > 0)
+      return prm_.fixed_dt;
+    double min_h_over_u = 1e300;
+    FEEvaluation<Number, 3> phi(mf_, u_space, quad_u);
+    for (unsigned int b = 0; b < mf_.n_cell_batches(); ++b)
+    {
+      phi.reinit(b);
+      phi.read_dof_values(u_);
+      // collocated: dof values are the point values
+      VA max_u(Number(0));
+      for (unsigned int q = 0; q < phi.n_q_points; ++q)
+      {
+        Tensor1<VA> v;
+        for (unsigned int c = 0; c < dim; ++c)
+          v[c] = phi.begin_dof_values()[c * phi.dofs_per_component + q];
+        max_u = max(max_u, sqrt(dot(v, v)));
+      }
+      const VA h = mf_.cell_width()[b];
+      for (unsigned int l = 0; l < phi.n_filled_lanes(); ++l)
+      {
+        const double hu =
+          double(h[l]) / std::max(1e-12, double(max_u[l]));
+        min_h_over_u = std::min(min_h_over_u, hu);
+      }
+    }
+    const TimeStepControl control(prm_.cfl, prm_.degree);
+    return std::min(prm_.max_dt, control.next(min_h_over_u, dt_prev_));
+  }
+
+  /// Advances one time step of the dual splitting scheme.
+  StepInfo advance()
+  {
+    Timer total;
+    StepInfo info;
+    const double dt = compute_time_step();
+    DGFLOW_ASSERT(dt > 0, "vanishing time step");
+    const double t_new = time_ + dt;
+    const BDFCoefficients bdf =
+      step_count_ == 0 ? BDFCoefficients::bdf1()
+                       : BDFCoefficients::bdf2(dt / dt_prev_);
+
+    // (1) explicit convective step
+    {
+      ScopedTimer st(timers_, "convective");
+      convective_.evaluate(conv_, u_, time_);
+      // w = M^{-1} (-beta0 C(u^n) - beta1 C(u^{n-1}))
+      rhs_u_.reinit(u_.size(), true);
+      rhs_u_.equ(Number(-bdf.beta[0]), conv_);
+      if (step_count_ > 0)
+        rhs_u_.add(Number(-bdf.beta[1]), conv_old_);
+      mass_u_.apply_inverse(work_u_, rhs_u_);
+      // u_hat = (alpha0 u^n + alpha1 u^{n-1} + dt w) / gamma0
+      u_hat_.reinit(u_.size(), true);
+      u_hat_.equ(Number(bdf.alpha[0] / bdf.gamma0), u_);
+      if (step_count_ > 0)
+        u_hat_.add(Number(bdf.alpha[1] / bdf.gamma0), u_old_);
+      u_hat_.add(Number(dt / bdf.gamma0), work_u_);
+    }
+
+    // (2) pressure Poisson equation
+    {
+      ScopedTimer st(timers_, "pressure");
+      if (prm_.rotational_pressure_bc)
+        compute_vorticity(vort_, u_);
+      divergence_.apply(rhs_p_, u_hat_, t_new, true);
+      rhs_p_.scale(Number(-bdf.gamma0 / dt));
+      add_pressure_boundary_rhs(rhs_p_, t_new, bdf);
+
+      // extrapolated initial guess
+      work_p_.reinit(p_.size(), true);
+      work_p_.equ(Number(bdf.beta[0]), p_);
+      if (step_count_ > 0)
+        work_p_.add(Number(bdf.beta[1]), p_old_);
+      p_old_ = p_;
+      p_.swap(work_p_);
+
+      SolverControl control;
+      control.max_iterations = 1000;
+      control.rel_tol = prm_.rel_tol_pressure;
+      SolverResult result;
+      bool mg_failed = !pressure_mg_usable_;
+      if (pressure_mg_usable_)
+        try
+        {
+          result = solve_cg(laplace_, p_, rhs_p_, pressure_mg_, control);
+          mg_failed = !result.converged;
+        }
+        catch (const std::exception &)
+        {
+          mg_failed = true; // V-cycle diverged on a pathological mesh
+        }
+      if (mg_failed)
+        pressure_mg_usable_ = false; // do not retry the diverging cycle
+      if (mg_failed)
+      {
+        // robust (slower) fallback: point-Jacobi preconditioned CG
+        p_ = p_old_;
+        control.max_iterations = 100000;
+        result = solve_cg(laplace_, p_, rhs_p_, pressure_jacobi_, control);
+        DGFLOW_ASSERT(result.converged,
+                      "pressure solve failed to converge (Jacobi fallback)");
+      }
+      info.pressure_iterations = result.iterations;
+    }
+
+    // (3) projection
+    {
+      ScopedTimer st(timers_, "projection");
+      gradient_.apply(rhs_u_, p_, t_new, true);
+      mass_u_.apply_inverse(work_u_, rhs_u_);
+      u_hat_.add(Number(-dt / bdf.gamma0), work_u_);
+    }
+
+    // (4) viscous step
+    {
+      ScopedTimer st(timers_, "viscous");
+      const Number mass_factor = Number(bdf.gamma0 / dt);
+      helmholtz_.set_mass_factor(mass_factor);
+      mass_u_.vmult(rhs_u_, u_hat_);
+      rhs_u_.scale(mass_factor);
+      helmholtz_.add_boundary_rhs(rhs_u_, t_new, prm_.velocity_neumann_data);
+
+      viscous_jacobi_.reinit(combined_viscous_diagonal(mass_factor));
+      work_u_ = u_hat_; // initial guess
+      SolverControl control;
+      control.max_iterations = 1000;
+      control.rel_tol = prm_.rel_tol_viscous;
+      const auto result =
+        solve_cg(helmholtz_, work_u_, rhs_u_, viscous_jacobi_, control);
+      DGFLOW_ASSERT(result.converged, "viscous solve failed to converge");
+      info.viscous_iterations = result.iterations;
+    }
+
+    // (5) divergence/continuity penalty step
+    {
+      ScopedTimer st(timers_, "penalty");
+      penalty_.update(work_u_, Number(dt), Number(prm_.penalty_floor));
+      mass_u_.vmult(rhs_u_, work_u_);
+      u_old_.swap(u_);
+      u_ = work_u_; // initial guess; also becomes u^{n+1}
+      SolverControl control;
+      control.max_iterations = 1000;
+      control.rel_tol = prm_.rel_tol_projection;
+      InverseMassPreconditioner precond{&mass_u_};
+      const auto result = solve_cg(penalty_, u_, rhs_u_, precond, control);
+      DGFLOW_ASSERT(result.converged, "penalty solve failed to converge");
+      info.penalty_iterations = result.iterations;
+    }
+
+    conv_old_.swap(conv_);
+    vort_old_.swap(vort_);
+    dt_prev_ = dt;
+    time_ = t_new;
+    ++step_count_;
+    info.time = time_;
+    info.dt = dt;
+    info.wall_time = total.seconds();
+    return info;
+  }
+
+  /// Volume flux through all boundary faces with the given id (outward
+  /// positive).
+  double boundary_flux(const unsigned int boundary_id) const
+  {
+    FEFaceEvaluation<Number, 3> phi(mf_, u_space, quad_u, true);
+    double flux = 0;
+    for (unsigned int b = mf_.n_inner_face_batches(); b < mf_.n_face_batches();
+         ++b)
+    {
+      phi.reinit(b);
+      if (phi.boundary_id() != boundary_id)
+        continue;
+      phi.read_dof_values(u_);
+      phi.evaluate(true, false);
+      for (unsigned int q = 0; q < phi.n_q_points; ++q)
+      {
+        const VA un = dot(phi.get_value(q), phi.get_normal_vector(q));
+        const VA jxw = phi.JxW(q);
+        for (unsigned int l = 0; l < phi.n_filled_lanes(); ++l)
+          flux += double(un[l]) * double(jxw[l]);
+      }
+    }
+    return flux;
+  }
+
+  /// L2 norm of the velocity divergence (diagnostic for the penalty step).
+  double divergence_l2() const
+  {
+    FEEvaluation<Number, 3> phi(mf_, u_space, quad_u);
+    double err = 0;
+    for (unsigned int b = 0; b < mf_.n_cell_batches(); ++b)
+    {
+      phi.reinit(b);
+      phi.read_dof_values(u_);
+      phi.evaluate(false, true);
+      for (unsigned int q = 0; q < phi.n_q_points; ++q)
+      {
+        const VA d = phi.get_divergence(q);
+        const VA jxw = phi.JxW(q);
+        for (unsigned int l = 0; l < phi.n_filled_lanes(); ++l)
+          err += double(d[l]) * double(d[l]) * double(jxw[l]);
+      }
+    }
+    return std::sqrt(err);
+  }
+
+private:
+  struct InverseMassPreconditioner
+  {
+    const MassOperator<Number, 3> *mass;
+    void vmult(VectorType &dst, const VectorType &src) const
+    {
+      mass->apply_inverse(dst, src);
+    }
+  };
+
+  Vector<Number> combined_viscous_diagonal(const Number mass_factor) const
+  {
+    Vector<Number> diag(diag_viscous_.size());
+    for (std::size_t i = 0; i < diag.size(); ++i)
+      diag[i] = mass_factor * diag_mass_[i] + diag_viscous_[i];
+    return diag;
+  }
+
+  /// Projects the vorticity curl(u) onto the velocity space (collocated
+  /// nodal evaluation), used by the consistent pressure Neumann condition.
+  void compute_vorticity(VectorType &w, const VectorType &u) const
+  {
+    w.reinit(mf_.n_dofs(u_space, 3), true);
+    FEEvaluation<Number, 3> phi(mf_, u_space, quad_u);
+    const unsigned int npc = phi.dofs_per_component;
+    for (unsigned int b = 0; b < mf_.n_cell_batches(); ++b)
+    {
+      phi.reinit(b);
+      phi.read_dof_values(u);
+      phi.evaluate(false, true);
+      for (unsigned int q = 0; q < phi.n_q_points; ++q)
+      {
+        const Tensor2<VA> g = phi.get_gradient(q);
+        phi.begin_dof_values()[0 * npc + q] = g[2][1] - g[1][2];
+        phi.begin_dof_values()[1 * npc + q] = g[0][2] - g[2][0];
+        phi.begin_dof_values()[2 * npc + q] = g[1][0] - g[0][1];
+      }
+      phi.set_dof_values(w);
+    }
+  }
+
+  /// Pressure boundary contributions of Eq. (2): inhomogeneous Dirichlet
+  /// data g_p on pressure boundaries and the consistent Neumann data
+  /// h = -(dg_u/dt + extrapolated [(u.grad)u + nu curl(curl u)]).n on
+  /// velocity boundaries (Karniadakis et al. 1991 / Fehn et al. 2017).
+  void add_pressure_boundary_rhs(VectorType &rhs, const double t_new,
+                                 const BDFCoefficients &bdf)
+  {
+    FEFaceEvaluation<Number, 1> q_test(mf_, p_space, quad_p, true);
+    FEFaceEvaluation<Number, 3> w_now(mf_, u_space, quad_p, true);
+    FEFaceEvaluation<Number, 3> w_prev(mf_, u_space, quad_p, true);
+
+    for (unsigned int b = mf_.n_inner_face_batches(); b < mf_.n_face_batches();
+         ++b)
+    {
+      q_test.reinit(b);
+      const FlowBoundary &bdata = bc_.at(q_test.boundary_id());
+
+      if (bdata.kind == FlowBoundary::Kind::pressure)
+      {
+        // SIP Dirichlet data terms for g_p(t_new)
+        const VA sigma = q_test.penalty_parameter();
+        for (unsigned int q = 0; q < q_test.n_q_points; ++q)
+        {
+          const auto xq = q_test.quadrature_point(q);
+          VA g;
+          for (unsigned int l = 0; l < VA::width; ++l)
+            g[l] = Number(
+              bdata.pressure(Point(xq[0][l], xq[1][l], xq[2][l]), t_new));
+          q_test.submit_value(Number(2) * sigma * g, q);
+          q_test.submit_normal_derivative(-g, q);
+        }
+        q_test.integrate(true, true);
+        q_test.distribute_local_to_global(rhs);
+      }
+      else
+      {
+        // consistent pressure Neumann data (du_g/dt + extrapolated
+        // convective term; the viscous curl-curl contribution is omitted,
+        // see DESIGN.md)
+        const bool use_rot = prm_.rotational_pressure_bc;
+        const bool have_old =
+          use_rot && step_count_ > 0 && bdf.beta[1] != 0.;
+        if (use_rot)
+        {
+          w_now.reinit(b);
+          w_now.read_dof_values(vort_);
+          w_now.evaluate(false, true);
+        }
+        if (have_old)
+        {
+          w_prev.reinit(b);
+          w_prev.read_dof_values(vort_old_);
+          w_prev.evaluate(false, true);
+        }
+        const Number nu = Number(prm_.viscosity);
+        // The consistent Neumann condition dp/dn = -(du_g/dt + (u.grad)u +
+        // nu curl(omega)).n interacts with the divergence term D(u_hat)
+        // whose wall trace is replaced by g(t^{n+1}): the BDF combination
+        // (alpha_i g - gamma0 g(t^{n+1}))/dt reproduces -du_g/dt.n to the
+        // scheme's order, and the convective flux cancels against the
+        // convective part of u_hat. What remains to be supplied explicitly
+        // is only the extrapolated rotational term -nu curl(omega).n.
+        auto viscous_curl = [nu](const FEFaceEvaluation<Number, 3> &w,
+                                 const unsigned int q) {
+          const Tensor2<VA> wg = w.get_gradient(q);
+          return Tensor1<VA>(nu * (wg[2][1] - wg[1][2]),
+                             nu * (wg[0][2] - wg[2][0]),
+                             nu * (wg[1][0] - wg[0][1]));
+        };
+        for (unsigned int q = 0; q < q_test.n_q_points; ++q)
+        {
+          const Tensor1<VA> n = q_test.get_normal_vector(q);
+          Tensor1<VA> h;
+          if (use_rot)
+            h = Number(bdf.beta[0]) * viscous_curl(w_now, q);
+          if (have_old)
+            h += Number(bdf.beta[1]) * viscous_curl(w_prev, q);
+          q_test.submit_value(-dot(h, n), q);
+          q_test.submit_normal_derivative(VA(Number(0)), q);
+        }
+        q_test.integrate(true, true);
+        q_test.distribute_local_to_global(rhs);
+      }
+    }
+  }
+
+  Parameters prm_;
+  FlowBoundaryMap bc_;
+  MatrixFree<Number> mf_;
+
+  ConvectiveOperator<Number> convective_;
+  DivergenceOperator<Number> divergence_;
+  GradientOperator<Number> gradient_;
+  HelmholtzOperator<Number> helmholtz_;
+  PenaltyOperator<Number> penalty_;
+  MassOperator<Number, 3> mass_u_;
+  LaplaceOperator<Number> laplace_;
+  HybridMultigrid<float> pressure_mg_;
+  PreconditionJacobi<Number> pressure_jacobi_;
+  PreconditionJacobi<Number> viscous_jacobi_;
+
+  VectorType u_, u_old_, p_, p_old_;
+  VectorType conv_, conv_old_;
+  VectorType vort_, vort_old_;
+  VectorType u_hat_, rhs_u_, rhs_p_, work_u_, work_p_;
+  VectorType diag_viscous_, diag_mass_;
+
+  double time_ = 0, dt_prev_ = 0;
+  unsigned long step_count_ = 0;
+  bool pressure_mg_usable_ = true;
+  TimerTree timers_;
+};
+
+} // namespace dgflow

@@ -1,0 +1,149 @@
+#pragma once
+
+// Legacy-VTK output of DG solution fields for visualization: every cell is
+// subdivided into k^3 linear sub-hexes on its collocation lattice (the
+// standard way to render high-order DG fields), with point data carried
+// discontinuously per cell. Works for any scalar/vector fields living on
+// the collocated spaces of a MatrixFree object.
+
+#include <fstream>
+#include <string>
+
+#include "matrixfree/fe_evaluation.h"
+
+namespace dgflow
+{
+template <typename Number>
+class VTKWriter
+{
+public:
+  /// @p space/@p quad must be a collocated pair (the lattice points come
+  /// from the quadrature points).
+  VTKWriter(const MatrixFree<Number> &mf, const unsigned int space,
+            const unsigned int quad)
+    : mf_(mf), space_(space), quad_(quad)
+  {
+    DGFLOW_ASSERT(mf.shape_info(space, quad).collocation,
+                  "VTK output uses the collocation lattice");
+  }
+
+  /// Attaches a scalar field living on (space_s, quad_s); the values are
+  /// evaluated at this writer's lattice points.
+  void add_scalar(const std::string &name, const Vector<Number> &field,
+                  const unsigned int space_s, const unsigned int quad_s)
+  {
+    scalars_.push_back({name, &field, space_s, quad_s});
+  }
+
+  /// Attaches a 3-component field on this writer's own space.
+  void add_vector(const std::string &name, const Vector<Number> &field)
+  {
+    vectors_.push_back({name, &field});
+  }
+
+  void write(const std::string &filename) const
+  {
+    std::ofstream out(filename);
+    DGFLOW_ASSERT(out.good(), "cannot open " << filename);
+
+    const unsigned int n1 = mf_.degree(space_) + 1;
+    const unsigned int points_per_cell = n1 * n1 * n1;
+    const unsigned int subcells_per_cell = (n1 - 1) * (n1 - 1) * (n1 - 1);
+    const std::size_t n_cells = mf_.n_cells();
+    const std::size_t n_points = n_cells * points_per_cell;
+    const std::size_t n_sub = n_cells * subcells_per_cell;
+
+    out << "# vtk DataFile Version 3.0\ndgflow output\nASCII\n";
+    out << "DATASET UNSTRUCTURED_GRID\n";
+    out << "POINTS " << n_points << " double\n";
+
+    FEEvaluation<Number, 1> phi(mf_, space_, quad_);
+    for (unsigned int b = 0; b < mf_.n_cell_batches(); ++b)
+    {
+      phi.reinit(b);
+      const auto &batch = mf_.cell_batch(b);
+      for (unsigned int l = 0; l < batch.n_filled; ++l)
+        for (unsigned int q = 0; q < points_per_cell; ++q)
+        {
+          const auto x = phi.quadrature_point(q);
+          out << x[0][l] << ' ' << x[1][l] << ' ' << x[2][l] << '\n';
+        }
+    }
+
+    out << "CELLS " << n_sub << ' ' << 9 * n_sub << '\n';
+    for (std::size_t c = 0; c < n_cells; ++c)
+    {
+      const std::size_t base = c * points_per_cell;
+      for (unsigned int k = 0; k + 1 < n1; ++k)
+        for (unsigned int j = 0; j + 1 < n1; ++j)
+          for (unsigned int i = 0; i + 1 < n1; ++i)
+          {
+            auto id = [&](unsigned int di, unsigned int dj, unsigned int dk) {
+              return base + ((k + dk) * n1 + (j + dj)) * n1 + (i + di);
+            };
+            // VTK_HEXAHEDRON ordering
+            out << "8 " << id(0, 0, 0) << ' ' << id(1, 0, 0) << ' '
+                << id(1, 1, 0) << ' ' << id(0, 1, 0) << ' ' << id(0, 0, 1)
+                << ' ' << id(1, 0, 1) << ' ' << id(1, 1, 1) << ' '
+                << id(0, 1, 1) << '\n';
+          }
+    }
+    out << "CELL_TYPES " << n_sub << '\n';
+    for (std::size_t c = 0; c < n_sub; ++c)
+      out << "12\n";
+
+    out << "POINT_DATA " << n_points << '\n';
+    for (const auto &v : vectors_)
+    {
+      out << "VECTORS " << v.name << " double\n";
+      FEEvaluation<Number, 3> eval(mf_, space_, quad_);
+      for (unsigned int b = 0; b < mf_.n_cell_batches(); ++b)
+      {
+        eval.reinit(b);
+        eval.read_dof_values(*v.field);
+        const auto &batch = mf_.cell_batch(b);
+        const unsigned int npc = eval.dofs_per_component;
+        for (unsigned int l = 0; l < batch.n_filled; ++l)
+          for (unsigned int q = 0; q < points_per_cell; ++q)
+            out << eval.begin_dof_values()[0 * npc + q][l] << ' '
+                << eval.begin_dof_values()[1 * npc + q][l] << ' '
+                << eval.begin_dof_values()[2 * npc + q][l] << '\n';
+      }
+    }
+    for (const auto &s : scalars_)
+    {
+      out << "SCALARS " << s.name << " double 1\nLOOKUP_TABLE default\n";
+      FEEvaluation<Number, 1> eval(mf_, s.space, s.quad);
+      for (unsigned int b = 0; b < mf_.n_cell_batches(); ++b)
+      {
+        eval.reinit(b);
+        eval.read_dof_values(*s.field);
+        eval.evaluate(true, false);
+        const auto &batch = mf_.cell_batch(b);
+        for (unsigned int l = 0; l < batch.n_filled; ++l)
+          for (unsigned int q = 0; q < eval.n_q_points; ++q)
+            out << eval.get_value(q)[l] << '\n';
+      }
+    }
+  }
+
+private:
+  struct ScalarField
+  {
+    std::string name;
+    const Vector<Number> *field;
+    unsigned int space, quad;
+  };
+  struct VectorField
+  {
+    std::string name;
+    const Vector<Number> *field;
+  };
+
+  const MatrixFree<Number> &mf_;
+  unsigned int space_, quad_;
+  std::vector<ScalarField> scalars_;
+  std::vector<VectorField> vectors_;
+};
+
+} // namespace dgflow

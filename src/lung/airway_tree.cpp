@@ -1,0 +1,140 @@
+#include "lung/airway_tree.h"
+
+#include <cmath>
+#include <random>
+
+#include "common/exceptions.h"
+
+namespace dgflow
+{
+namespace
+{
+/// Rotates v around unit axis by angle (Rodrigues).
+Point rotate(const Point &v, const Point &axis, const double angle)
+{
+  const double c = std::cos(angle), s = std::sin(angle);
+  return c * v + s * cross(axis, v) + (1. - c) * dot(axis, v) * axis;
+}
+} // namespace
+
+AirwayTree AirwayTree::generate(const AirwayTreeParameters &prm)
+{
+  DGFLOW_ASSERT(prm.n_generations >= 1, "need at least one generation");
+  AirwayTree tree;
+  tree.prm_ = prm;
+  std::mt19937 rng(prm.seed);
+  std::uniform_real_distribution<double> jit(-prm.jitter, prm.jitter);
+
+  // trachea along -z, frame aligned with x/y
+  Airway trachea;
+  trachea.start = Point(0, 0, 0);
+  trachea.end = Point(0, 0, -prm.trachea_length);
+  trachea.diameter = prm.trachea_diameter;
+  trachea.generation = 0;
+  trachea.e1 = Point(1, 0, 0);
+  trachea.e2 = Point(0, 1, 0);
+  tree.airways_.push_back(trachea);
+
+  // breadth-first recursive growth
+  for (std::size_t i = 0; i < tree.airways_.size(); ++i)
+  {
+    // airways_ may reallocate below; copy the parent data first
+    const Airway parent = tree.airways_[i];
+    if (parent.generation >= prm.n_generations)
+      continue;
+
+    const Point dir = parent.direction();
+    // branching plane spanned by dir and e1 (the mesher glues the minor
+    // child on the +e1 side of the parent tube)
+    const Point axis = normalize(cross(dir, parent.e1));
+
+    const double child_d = parent.diameter * prm.diameter_ratio;
+
+    auto make_child = [&](const double angle, const bool minor) {
+      Airway child;
+      child.parent = static_cast<int>(i);
+      child.generation = parent.generation + 1;
+      child.diameter = child_d;
+      const double child_l =
+        prm.length_to_diameter * child_d * (1. + jit(rng));
+      const Point cdir =
+        normalize(rotate(dir, axis, minor ? angle : -angle));
+      child.start = parent.end;
+      child.end = parent.end + child_l * cdir;
+      // outlet frame: parallel-transport e1 onto the new direction, then
+      // spin the branching plane for the next generation
+      Point e1 = parent.e1 - dot(parent.e1, cdir) * cdir;
+      if (norm(e1) < 1e-8)
+        e1 = parent.e2;
+      e1 = normalize(e1);
+      const double spin = prm.plane_rotation * (1. + jit(rng));
+      e1 = rotate(e1, cdir, spin);
+      child.e1 = e1;
+      child.e2 = normalize(cross(cdir, e1));
+      return child;
+    };
+
+    const double a_jit = 1. + jit(rng);
+    const Airway major = make_child(prm.branch_angle_major * a_jit, false);
+    const Airway minor = make_child(prm.branch_angle_minor * a_jit, true);
+
+    tree.airways_[i].child_major = static_cast<int>(tree.airways_.size());
+    tree.airways_.push_back(major);
+    tree.airways_[i].child_minor = static_cast<int>(tree.airways_.size());
+    tree.airways_.push_back(minor);
+  }
+  return tree;
+}
+
+unsigned int AirwayTree::n_terminal() const
+{
+  unsigned int n = 0;
+  for (const auto &a : airways_)
+    n += a.terminal() ? 1 : 0;
+  return n;
+}
+
+std::vector<unsigned int> AirwayTree::terminal_airways() const
+{
+  std::vector<unsigned int> t;
+  for (unsigned int i = 0; i < airways_.size(); ++i)
+    if (airways_[i].terminal())
+      t.push_back(i);
+  return t;
+}
+
+double AirwayTree::airway_resistance(const double mu, const double length,
+                                     const double diameter)
+{
+  const double r = diameter / 2.;
+  return 8. * mu * length / (M_PI * r * r * r * r);
+}
+
+double AirwayTree::subtree_resistance(const double mu,
+                                      const unsigned int generation,
+                                      const unsigned int last_generation) const
+{
+  // symmetric morphometric continuation: each deeper generation doubles the
+  // number of parallel branches and scales dimensions homothetically
+  double R = 0;
+  double d = prm_.trachea_diameter *
+             std::pow(prm_.diameter_ratio, double(generation));
+  double parallel = 1.;
+  for (unsigned int g = generation; g <= last_generation; ++g)
+  {
+    const double l =
+      g == 0 ? prm_.trachea_length : prm_.length_to_diameter * d;
+    R += airway_resistance(mu, l, d) / parallel;
+    d *= prm_.diameter_ratio;
+    parallel *= 2.;
+  }
+  return R;
+}
+
+double AirwayTree::total_resistance(const double mu,
+                                    const unsigned int last_generation) const
+{
+  return subtree_resistance(mu, 0, last_generation);
+}
+
+} // namespace dgflow

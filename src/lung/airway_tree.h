@@ -1,0 +1,84 @@
+#pragma once
+
+// Morphology-based airway tree generation (paper Section 3.3): a recursive
+// bifurcating tree with adult morphometric dimensions following the
+// Weibel/Tawhai rules the paper cites - diameters scale with the classical
+// homothety ratio 2^{-1/3} per generation, lengths are about three
+// diameters, and the branching plane rotates between generations. The
+// patient-specific CT segmentation of the top generations is replaced by
+// the same morphometric model (see DESIGN.md substitution table).
+//
+// Each bifurcation is binary: a "major" child continuing the parent tube
+// and a "minor" child branching sideways - matching the side-branch
+// junction template of the hex mesher.
+
+#include <vector>
+
+#include "common/tensor.h"
+
+namespace dgflow
+{
+struct Airway
+{
+  Point start, end;       ///< centerline endpoints
+  Point e1, e2;            ///< cross-section frame at the outlet
+  double diameter = 0;
+  unsigned int generation = 0; ///< 0 = trachea
+  int parent = -1;
+  int child_major = -1;    ///< continues this tube (same lattice axis)
+  int child_minor = -1;    ///< side branch
+  bool terminal() const { return child_major < 0; }
+
+  Point direction() const { return normalize(end - start); }
+  double length() const { return norm(end - start); }
+};
+
+struct AirwayTreeParameters
+{
+  unsigned int n_generations = 5;   ///< deepest generation index g
+  double trachea_diameter = 0.018;  ///< [m], adult
+  double trachea_length = 0.12;     ///< [m]
+  double diameter_ratio = 0.7937;   ///< 2^{-1/3} homothety
+  double length_to_diameter = 3.0;
+  double branch_angle_major = 20. * M_PI / 180.;
+  double branch_angle_minor = 40. * M_PI / 180.;
+  double plane_rotation = 77. * M_PI / 180.; ///< between generations
+  unsigned int seed = 0;            ///< deterministic jitter seed
+  double jitter = 0.08;             ///< relative length/angle variation
+};
+
+class AirwayTree
+{
+public:
+  static AirwayTree generate(const AirwayTreeParameters &prm);
+
+  const std::vector<Airway> &airways() const { return airways_; }
+  const AirwayTreeParameters &parameters() const { return prm_; }
+
+  unsigned int n_terminal() const;
+  unsigned int n_generations() const { return prm_.n_generations; }
+
+  /// Indices of the terminal airways in tree order.
+  std::vector<unsigned int> terminal_airways() const;
+
+  /// Analytic Poiseuille resistance 8 mu l / (pi r^4) of one airway [Pa s/m^3].
+  static double airway_resistance(const double mu, const double length,
+                                  const double diameter);
+
+  /// Resistance of the full subtree hanging below an airway of generation g
+  /// (exclusive), continuing the morphometric scaling to generation
+  /// @p last_generation with symmetric halving at each split.
+  double subtree_resistance(const double mu, const unsigned int generation,
+                            const unsigned int last_generation = 25) const;
+
+  /// Total tree resistance from the trachea inlet through generation
+  /// @p last_generation (for validation against the measured total).
+  double total_resistance(const double mu,
+                          const unsigned int last_generation = 25) const;
+
+private:
+  std::vector<Airway> airways_;
+  AirwayTreeParameters prm_;
+};
+
+} // namespace dgflow

@@ -1,0 +1,141 @@
+#pragma once
+
+// The full lung airflow application (paper Section 5.3): generates the
+// morphometric airway tree and hex mesh, wires the incompressible flow
+// solver's pressure boundaries to the ventilator (tracheal inlet) and the
+// terminal RC compartments (outlets), and advances the explicit 0D/3D
+// coupling time step by time step. The Navier-Stokes solver works with
+// kinematic pressure p/rho; the driver converts the ventilation model's
+// Pa values accordingly.
+
+#include "incns/solver.h"
+#include "lung/lung_mesh.h"
+#include "lung/ventilation.h"
+
+namespace dgflow
+{
+struct LungApplicationParameters
+{
+  unsigned int generations = 3;
+  unsigned int degree = 3;
+  /// CFL constant; the paper runs CFL = 0.4 with ExaDG's element-size
+  /// convention, which corresponds to a smaller constant with the minimal
+  /// directional width used here on the sheared junction cells
+  double cfl = 0.2;
+  double rel_tol = 1e-3; ///< paper's application-run tolerance
+  /// upper bound on the CFL step; also the startup step from rest, before
+  /// the pressure impulse has created a velocity scale
+  double max_dt = 2e-4;
+  /// divergence/continuity penalty strength (zeta of Fehn et al. 2018)
+  double penalty_zeta = 1.;
+  /// penalty velocity floor in units of h/dt (see INSSolver::Parameters)
+  double penalty_floor = 0.05;
+  /// extra uniform refinements (paper's level l)
+  unsigned int global_refinements = 0;
+  /// refine airway generations <= this value once (255 = off)
+  unsigned int refine_upto_generation = 255;
+  LungModelParameters lung;
+  VentilatorSettings ventilator;
+  AirwayTreeParameters tree;
+  LungMeshParameters meshing;
+};
+
+class LungApplication
+{
+public:
+  using Solver = INSSolver<double>;
+
+  explicit LungApplication(const LungApplicationParameters &prm) : prm_(prm)
+  {
+    prm_.tree.n_generations = prm.generations;
+    tree_ = AirwayTree::generate(prm_.tree);
+    lung_mesh_ = build_lung_mesh(tree_, prm_.meshing);
+    mesh_ = std::make_unique<Mesh>(lung_mesh_.coarse);
+    if (prm_.refine_upto_generation != 255)
+      mesh_->refine(
+        lung_mesh_.refine_flags_upto_generation(prm_.refine_upto_generation));
+    if (prm_.global_refinements > 0)
+      mesh_->refine_uniform(prm_.global_refinements);
+    geometry_ = std::make_unique<TrilinearGeometry>(mesh_->coarse());
+    ventilation_ =
+      std::make_unique<VentilationModel>(tree_, prm_.lung, prm_.ventilator);
+
+    const double rho = prm_.lung.air_density;
+    FlowBoundaryMap bc;
+    {
+      FlowBoundary wall;
+      wall.kind = FlowBoundary::Kind::velocity_dirichlet;
+      wall.velocity = [](const Point &, double) { return Tensor1<double>(); };
+      bc[LungMesh::wall_id] = wall;
+
+      FlowBoundary inlet;
+      inlet.kind = FlowBoundary::Kind::pressure;
+      inlet.pressure = [this, rho](const Point &, double t) {
+        return ventilation_->inlet_pressure(t) / rho;
+      };
+      bc[LungMesh::inlet_id] = inlet;
+
+      for (unsigned int o = 0; o < ventilation_->n_outlets(); ++o)
+      {
+        FlowBoundary outlet;
+        outlet.kind = FlowBoundary::Kind::pressure;
+        outlet.pressure = [this, rho, o](const Point &, double) {
+          return ventilation_->outlet_pressure(o) / rho;
+        };
+        bc[lung_mesh_.outlet_ids[o]] = outlet;
+      }
+    }
+
+    Solver::Parameters sp;
+    sp.degree = prm_.degree;
+    sp.viscosity = prm_.lung.kinematic_viscosity;
+    sp.cfl = prm_.cfl;
+    sp.max_dt = prm_.max_dt;
+    sp.rel_tol_pressure = prm_.rel_tol;
+    sp.rel_tol_viscous = prm_.rel_tol;
+    sp.rel_tol_projection = prm_.rel_tol;
+    sp.penalty_zeta = prm_.penalty_zeta;
+    sp.penalty_floor = prm_.penalty_floor;
+    sp.rotational_pressure_bc = false; // see Parameters doc
+    sp.geometry_degree = 1; // lung geometry is vertex-based
+    solver_.setup(*mesh_, *geometry_, bc, sp);
+    solver_.set_initial_condition(
+      [](const Point &) { return Tensor1<double>(); });
+    outlet_fluxes_.assign(ventilation_->n_outlets(), 0.);
+  }
+
+  /// One coupled 0D/3D time step; returns the flow solver's step record.
+  Solver::StepInfo advance()
+  {
+    const auto info = solver_.advance();
+    for (unsigned int o = 0; o < ventilation_->n_outlets(); ++o)
+      outlet_fluxes_[o] = solver_.boundary_flux(lung_mesh_.outlet_ids[o]);
+    const double inflow = -solver_.boundary_flux(LungMesh::inlet_id);
+    ventilation_->update(info.time, info.dt, inflow, outlet_fluxes_);
+    return info;
+  }
+
+  /// Estimated steps per breathing cycle from the current CFL step.
+  double estimated_steps_per_cycle() const
+  {
+    return prm_.ventilator.period / solver_.compute_time_step();
+  }
+
+  Solver &solver() { return solver_; }
+  const Mesh &mesh() const { return *mesh_; }
+  const AirwayTree &tree() const { return tree_; }
+  const LungMesh &lung_mesh() const { return lung_mesh_; }
+  VentilationModel &ventilation() { return *ventilation_; }
+
+private:
+  LungApplicationParameters prm_;
+  AirwayTree tree_;
+  LungMesh lung_mesh_;
+  std::unique_ptr<Mesh> mesh_;
+  std::unique_ptr<TrilinearGeometry> geometry_;
+  std::unique_ptr<VentilationModel> ventilation_;
+  Solver solver_;
+  std::vector<double> outlet_fluxes_;
+};
+
+} // namespace dgflow

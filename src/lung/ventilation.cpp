@@ -1,0 +1,102 @@
+#include "lung/ventilation.h"
+
+#include <cmath>
+
+#include "common/exceptions.h"
+
+namespace dgflow
+{
+VentilationModel::VentilationModel(const AirwayTree &tree,
+                                   const LungModelParameters &lung,
+                                   const VentilatorSettings &vent)
+  : vent_(vent)
+{
+  const auto terminals = tree.terminal_airways();
+  const double mu = lung.air_density * lung.kinematic_viscosity;
+  const unsigned int n = terminals.size();
+  DGFLOW_ASSERT(n > 0, "tree has no terminal airways");
+
+  // per-outlet tissue resistance: the parallel combination over all outlets
+  // reproduces the prescribed tissue share of the total resistance
+  const double tissue_per_outlet =
+    lung.tissue_fraction * lung.total_resistance * n;
+
+  outlets_.resize(n);
+  for (unsigned int o = 0; o < n; ++o)
+  {
+    const auto &aw = tree.airways()[terminals[o]];
+    outlets_[o].R =
+      tree.subtree_resistance(mu, aw.generation + 1) + tissue_per_outlet;
+    outlets_[o].C = lung.total_compliance / n;
+  }
+}
+
+double VentilationModel::ventilator_pressure(const double t) const
+{
+  const double phase = std::fmod(t, vent_.period);
+  const double t_in = vent_.inhale_fraction * vent_.period;
+  const double tau = vent_.rise_time;
+  auto ramp = [tau](const double x) {
+    if (x <= 0)
+      return 0.;
+    if (x >= tau)
+      return 1.;
+    return 0.5 * (1. - std::cos(M_PI * x / tau));
+  };
+  // rise at inhale onset, fall at exhale onset
+  const double level = ramp(phase) * (1. - ramp(phase - t_in));
+  return vent_.dp * level;
+}
+
+double VentilationModel::inlet_pressure(const double t) const
+{
+  const double q = last_inlet_flux_;
+  const double drop = vent_.tubus_k1 * q + vent_.tubus_k2 * q * std::abs(q);
+  return ventilator_pressure(t) - drop;
+}
+
+void VentilationModel::update(const double t, const double dt,
+                              const double inlet_flux,
+                              const std::vector<double> &outlet_fluxes)
+{
+  DGFLOW_ASSERT(outlet_fluxes.size() == outlets_.size(),
+                "outlet flux count mismatch");
+  const double w = std::exp(-dt / vent_.tubus_flux_timescale);
+  last_inlet_flux_ = w * last_inlet_flux_ + (1. - w) * inlet_flux;
+  for (unsigned int o = 0; o < outlets_.size(); ++o)
+  {
+    Outlet &out = outlets_[o];
+    out.Q = outlet_fluxes[o];
+    out.V += dt * out.Q;
+    out.p = out.R * out.Q + out.V / out.C;
+  }
+  if (inlet_flux > 0)
+    inhaled_ += dt * inlet_flux;
+
+  // cycle boundary: run the tidal volume controller
+  if (t - cycle_start_ >= vent_.period)
+  {
+    tidal_volume_last_ = inhaled_;
+    const double error = vent_.target_tidal_volume - inhaled_;
+    // a volume error of dV requires roughly dV / C_total more pressure
+    double c_total = 0;
+    for (const auto &o : outlets_)
+      c_total += o.C;
+    vent_.dp += vent_.controller_relaxation * error / c_total;
+    vent_.dp = std::max(0., vent_.dp);
+    inhaled_ = 0;
+    cycle_start_ += vent_.period;
+  }
+}
+
+double VentilationModel::predicted_steady_flow(
+  const double dp_applied, const double resolved_tree_resistance) const
+{
+  // outlets in parallel
+  double inv = 0;
+  for (const auto &o : outlets_)
+    inv += 1. / o.R;
+  return dp_applied / (resolved_tree_resistance + 1. / inv);
+}
+
+} // namespace dgflow

@@ -1,0 +1,118 @@
+#pragma once
+
+// Mechanical ventilation boundary models (paper Section 5.3):
+//  - pressure-controlled ventilator: PEEP + dp during inhalation, PEEP
+//    during exhalation (period T, inhalation:exhalation = 1:2), with the
+//    tracheal tubus pressure drop of Guttmann et al. subtracted, and a
+//    discrete per-cycle controller adjusting dp towards the target tidal
+//    volume;
+//  - terminal-airway single-compartment RC models: the analytic Poiseuille
+//    resistance of the unresolved subtree (generations g+1..25) plus a
+//    tissue share, and the total compliance distributed uniformly over the
+//    outlets.
+// All pressures are gauge values in Pa relative to the PEEP equilibrium.
+
+#include <vector>
+
+#include "lung/airway_tree.h"
+
+namespace dgflow
+{
+constexpr double cmH2O = 98.0665;   ///< Pa
+constexpr double liter = 1e-3;      ///< m^3
+
+struct VentilatorSettings
+{
+  double peep = 8 * cmH2O;          ///< positive end-expiratory pressure
+  double dp = 8 * cmH2O;            ///< initial driving pressure
+  double period = 3.0;              ///< breathing period T [s]
+  double inhale_fraction = 1. / 3.; ///< I:E = 1:2
+  /// pressure rise/fall time of the ventilator [s] (cosine ramp; real
+  /// devices have 50-150 ms rise times, and the smooth ramp keeps the
+  /// explicit convective step stable at the phase transitions)
+  double rise_time = 0.06;
+  double target_tidal_volume = 500e-6; ///< [m^3]
+  double controller_relaxation = 0.8;
+  /// tubus pressure drop dP = K1 Q + K2 Q|Q| (Q in m^3/s)
+  double tubus_k1 = 2 * cmH2O / (1. * liter);        // per (l/s)
+  double tubus_k2 = 8 * cmH2O / (1. * liter * liter); // per (l/s)^2
+  /// low-pass timescale [s] of the flux entering the explicit tubus
+  /// coupling (keeps the pressure-flow feedback loop stable)
+  double tubus_flux_timescale = 0.02;
+};
+
+struct LungModelParameters
+{
+  double total_resistance = 0.15e3 / liter; ///< 0.15 kPa s/l in Pa s/m^3
+  double tissue_fraction = 0.2;
+  double total_compliance = 100e-6 / cmH2O; ///< 100 ml/cmH2O in m^3/Pa
+  double air_density = 1.2;                 ///< kg/m^3
+  double kinematic_viscosity = 1.7e-5;      ///< m^2/s
+};
+
+class VentilationModel
+{
+public:
+  VentilationModel(const AirwayTree &tree, const LungModelParameters &lung,
+                   const VentilatorSettings &vent);
+
+  unsigned int n_outlets() const { return outlets_.size(); }
+
+  /// Ventilator pressure at the machine side (square wave above PEEP,
+  /// relative to the PEEP baseline).
+  double ventilator_pressure(const double t) const;
+
+  /// Pressure applied at the tracheal inlet: ventilator pressure minus the
+  /// tubus drop computed from the most recent inlet flow rate.
+  double inlet_pressure(const double t) const;
+
+  /// Pressure applied at terminal outlet @p o (gauge, relative to PEEP).
+  double outlet_pressure(const unsigned int o) const
+  {
+    return outlets_[o].p;
+  }
+
+  /// Advances the compartment states with the fluxes of the completed time
+  /// step (outlet fluxes positive out of the 3D domain, inlet flux positive
+  /// into the domain); runs the tidal-volume controller at cycle ends.
+  void update(const double t, const double dt, const double inlet_flux,
+              const std::vector<double> &outlet_fluxes);
+
+  double current_dp() const { return vent_.dp; }
+  double tidal_volume_last_cycle() const { return tidal_volume_last_; }
+  double inhaled_volume_current_cycle() const { return inhaled_; }
+
+  /// Resistance of one outlet's RC model (diagnostics / tests).
+  double outlet_resistance(const unsigned int o) const
+  {
+    return outlets_[o].R;
+  }
+  double outlet_compliance(const unsigned int o) const
+  {
+    return outlets_[o].C;
+  }
+
+  /// Analytic steady-state flow for a constant driving pressure (laminar,
+  /// resistances only): dp / (R_tree + R_outlets_parallel). Used to validate
+  /// the resolved 3D resistance against the Poiseuille prediction.
+  double predicted_steady_flow(const double dp_applied,
+                               const double resolved_tree_resistance) const;
+
+private:
+  struct Outlet
+  {
+    double R = 0, C = 0;
+    double V = 0; ///< volume above PEEP equilibrium
+    double Q = 0;
+    double p = 0;
+  };
+
+  VentilatorSettings vent_;
+  std::vector<Outlet> outlets_;
+  double last_inlet_flux_ = 0;
+  double inhaled_ = 0;
+  double tidal_volume_last_ = 0;
+  double cycle_start_ = 0;
+};
+
+} // namespace dgflow

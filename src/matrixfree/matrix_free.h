@@ -1,0 +1,601 @@
+#pragma once
+
+// Matrix-free operator-evaluation data (paper Section 3.1/3.2): SIMD batches
+// of cells and faces, precomputed metric terms (inverse Jacobians, JxW,
+// normals) at quadrature points in struct-of-array layout with
+// VectorizedArray entries, and the shared 1D shape data. Operators drive
+// FEEvaluation/FEFaceEvaluation over these batches; the loops vectorize
+// across cells and faces (a "SIMD cell" = VectorizedArray<Number>::width
+// physical cells).
+//
+// Faces are grouped into batches of equal (face numbers, orientation,
+// subface) so a whole batch shares one interpolation pipeline; on lung
+// meshes many distinct keys exist and the trailing partially-filled batches
+// reproduce the paper's partially-filled-SIMD-lane overhead.
+
+#include <limits>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "common/aligned_vector.h"
+#include "common/exceptions.h"
+#include "common/tensor.h"
+#include "common/vector.h"
+#include "fem/shape_info.h"
+#include "fem/tensor_kernels.h"
+#include "mapping/geometry.h"
+#include "mesh/mesh.h"
+#include "simd/vectorized_array.h"
+
+namespace dgflow
+{
+template <typename Number>
+class MatrixFree
+{
+public:
+  using VA = VectorizedArray<Number>;
+  static constexpr unsigned int n_lanes = VA::width;
+
+  struct AdditionalData
+  {
+    /// polynomial degrees of the function spaces (index = space id)
+    std::vector<unsigned int> degrees;
+    /// 1D quadrature sizes (index = quadrature id)
+    std::vector<unsigned int> n_q_points_1d;
+    /// basis per space: Gauss collocation (DG) or Gauss-Lobatto (continuous
+    /// FE spaces of the multigrid hierarchy); empty = all Gauss
+    std::vector<BasisType> basis_types;
+    /// degree of the per-cell polynomial geometry approximation
+    unsigned int geometry_degree = 2;
+    /// multiplier on the interior-penalty parameter (k+1)^2 A_f/V; values
+    /// above 1 keep SIP coercive on strongly sheared cells (the lung
+    /// junction templates need ~4)
+    double penalty_safety = 2.;
+    /// optional per-space multiplier on top of penalty_safety (empty = 1);
+    /// the multigrid hierarchy uses it to let coarser polynomial levels
+    /// inherit the finest level's penalty scale
+    std::vector<double> penalty_scaling;
+  };
+
+  struct CellBatch
+  {
+    std::array<index_t, n_lanes> cells;
+    unsigned char n_filled;
+  };
+
+  struct FaceBatch
+  {
+    std::array<index_t, n_lanes> cells_m;
+    std::array<index_t, n_lanes> cells_p;
+    unsigned char n_filled;
+    unsigned char face_no_m, face_no_p;
+    unsigned char orientation;
+    unsigned char subface0, subface1; ///< 255 when conforming
+    unsigned int boundary_id;         ///< boundary batches only
+    bool interior;
+
+    bool is_hanging() const { return subface0 != 255; }
+  };
+
+  /// Metric data at cell quadrature points, one entry per (batch, q).
+  struct CellMetric
+  {
+    AlignedVector<Tensor2<VA>> inv_jac_t; ///< J^{-T}
+    AlignedVector<VA> JxW;
+    AlignedVector<Tensor1<VA>> q_points;
+    unsigned int n_q = 0; ///< points per cell (n_q_1d^3)
+  };
+
+  /// Metric data at face quadrature points in the minus side's ordering.
+  struct FaceMetric
+  {
+    AlignedVector<Tensor1<VA>> normal; ///< unit outward normal of minus side
+    AlignedVector<VA> JxW;
+    AlignedVector<Tensor2<VA>> inv_jac_t_m;
+    AlignedVector<Tensor2<VA>> inv_jac_t_p;
+    AlignedVector<Tensor1<VA>> q_points;
+    /// Hillewaert penalty geometry factor max(A_f/V_m, A_f/V_p), per batch.
+    AlignedVector<VA> penalty_factor;
+    unsigned int n_q = 0; ///< points per face (n_q_1d^2)
+  };
+
+  void reinit(const Mesh &mesh, const Geometry &geometry,
+              const AdditionalData &data);
+
+  const Mesh &mesh() const { return *mesh_; }
+
+  index_t n_cells() const { return mesh_->n_active_cells(); }
+  unsigned int n_cell_batches() const { return cell_batches_.size(); }
+  unsigned int n_inner_face_batches() const { return n_inner_batches_; }
+  unsigned int n_face_batches() const { return face_batches_.size(); }
+
+  const CellBatch &cell_batch(const unsigned int b) const
+  {
+    return cell_batches_[b];
+  }
+  const FaceBatch &face_batch(const unsigned int b) const
+  {
+    return face_batches_[b];
+  }
+
+  unsigned int n_spaces() const { return degrees_.size(); }
+  unsigned int degree(const unsigned int space) const
+  {
+    return degrees_[space];
+  }
+  unsigned int n_q_1d(const unsigned int quad) const { return n_q_1d_[quad]; }
+
+  /// Scalar dofs per cell of a space.
+  unsigned int dofs_per_cell(const unsigned int space) const
+  {
+    const unsigned int n = degrees_[space] + 1;
+    return n * n * n;
+  }
+
+  /// Global size of a field with n_components on the given space.
+  std::size_t n_dofs(const unsigned int space,
+                     const unsigned int n_components = 1) const
+  {
+    return std::size_t(n_cells()) * dofs_per_cell(space) * n_components;
+  }
+
+  const ShapeInfo<Number> &shape_info(const unsigned int space,
+                                      const unsigned int quad) const
+  {
+    return shape_info_[space * n_q_1d_.size() + quad];
+  }
+
+  const CellMetric &cell_metric(const unsigned int quad) const
+  {
+    return cell_metric_[quad];
+  }
+  const FaceMetric &face_metric(const unsigned int quad) const
+  {
+    return face_metric_[quad];
+  }
+
+  /// Characteristic (minimal directional) cell width per cell batch.
+  const AlignedVector<VA> &cell_width() const { return cell_width_; }
+  /// Cell volumes per active cell.
+  const std::vector<double> &cell_volumes() const { return cell_volumes_; }
+
+  /// Fraction of face-batch lanes that are filled (diagnostics; < 1 on
+  /// unstructured/adaptive meshes, cf. paper Section 5.2).
+  double face_lane_fill_fraction() const;
+
+  double penalty_safety() const { return penalty_safety_; }
+
+  double penalty_scaling(const unsigned int space) const
+  {
+    return space < penalty_scaling_.size() ? penalty_scaling_[space] : 1.;
+  }
+
+private:
+  void build_cell_batches();
+  void build_face_batches();
+  void compute_geometry_lattices(const Geometry &geometry);
+  void compute_cell_metric(const unsigned int quad);
+  void compute_face_metric(const unsigned int quad);
+
+  /// Evaluates position and Jacobian of the per-cell geometry polynomial at
+  /// a reference point of cell @p cell.
+  void evaluate_cell_geometry(const index_t cell, const Point &ref, Point &x,
+                              Tensor2<double> &jac) const;
+
+  const Mesh *mesh_ = nullptr;
+  std::vector<unsigned int> degrees_;
+  std::vector<unsigned int> n_q_1d_;
+  unsigned int geo_degree_ = 2;
+  double penalty_safety_ = 2.;
+  std::vector<double> penalty_scaling_;
+
+  std::vector<CellBatch> cell_batches_;
+  std::vector<FaceBatch> face_batches_;
+  unsigned int n_inner_batches_ = 0;
+
+  std::vector<ShapeInfo<Number>> shape_info_;
+  std::vector<CellMetric> cell_metric_;
+  std::vector<FaceMetric> face_metric_;
+
+  AlignedVector<VA> cell_width_;
+  std::vector<double> cell_volumes_;
+
+  // per-cell geometry control lattice, (geo_degree+1)^3 points each
+  std::vector<double> geo_nodes_1d_;
+  std::unique_ptr<LagrangeBasis> geo_basis_;
+  AlignedVector<Point> geo_lattice_;
+};
+
+// ---------------------------------------------------------------------------
+// implementation
+// ---------------------------------------------------------------------------
+
+template <typename Number>
+void MatrixFree<Number>::reinit(const Mesh &mesh, const Geometry &geometry,
+                                const AdditionalData &data)
+{
+  mesh_ = &mesh;
+  degrees_ = data.degrees;
+  n_q_1d_ = data.n_q_points_1d;
+  geo_degree_ = data.geometry_degree;
+  penalty_safety_ = data.penalty_safety;
+  penalty_scaling_ = data.penalty_scaling;
+  DGFLOW_ASSERT(!degrees_.empty() && !n_q_1d_.empty(),
+                "need at least one space and one quadrature");
+
+  shape_info_.clear();
+  for (unsigned int s = 0; s < degrees_.size(); ++s)
+  {
+    const BasisType basis = s < data.basis_types.size()
+                              ? data.basis_types[s]
+                              : BasisType::lagrange_gauss;
+    for (const unsigned int nq : n_q_1d_)
+      shape_info_.emplace_back(degrees_[s], nq, basis);
+  }
+
+  build_cell_batches();
+  build_face_batches();
+  compute_geometry_lattices(geometry);
+
+  cell_metric_.assign(n_q_1d_.size(), CellMetric());
+  face_metric_.assign(n_q_1d_.size(), FaceMetric());
+  for (unsigned int q = 0; q < n_q_1d_.size(); ++q)
+  {
+    compute_cell_metric(q);
+    compute_face_metric(q);
+  }
+}
+
+template <typename Number>
+void MatrixFree<Number>::build_cell_batches()
+{
+  const index_t n = mesh_->n_active_cells();
+  cell_batches_.clear();
+  cell_batches_.reserve((n + n_lanes - 1) / n_lanes);
+  for (index_t start = 0; start < n; start += n_lanes)
+  {
+    CellBatch b;
+    b.n_filled = static_cast<unsigned char>(
+      std::min<index_t>(n_lanes, n - start));
+    for (unsigned int l = 0; l < n_lanes; ++l)
+      b.cells[l] = start + std::min<index_t>(l, b.n_filled - 1);
+    cell_batches_.push_back(b);
+  }
+}
+
+template <typename Number>
+void MatrixFree<Number>::build_face_batches()
+{
+  const auto faces = mesh_->build_face_list();
+
+  // group by the face-pipeline key so a batch shares one code path
+  struct Key
+  {
+    bool interior;
+    unsigned char face_no_m, face_no_p, orientation, subface0, subface1;
+    unsigned int boundary_id;
+    bool operator<(const Key &o) const
+    {
+      return std::tie(interior, face_no_m, face_no_p, orientation, subface0,
+                      subface1, boundary_id) <
+             std::tie(o.interior, o.face_no_m, o.face_no_p, o.orientation,
+                      o.subface0, o.subface1, o.boundary_id);
+    }
+  };
+  std::map<Key, std::vector<const Mesh::Face *>> groups;
+  for (const auto &f : faces)
+  {
+    Key key{!f.is_boundary(), f.face_no_m,
+            f.is_boundary() ? static_cast<unsigned char>(0) : f.face_no_p,
+            f.orientation, f.subface0, f.subface1,
+            f.is_boundary() ? f.boundary_id : 0u};
+    groups[key].push_back(&f);
+  }
+
+  face_batches_.clear();
+  auto emit = [this](const Key &key,
+                     const std::vector<const Mesh::Face *> &list) {
+    for (std::size_t start = 0; start < list.size(); start += n_lanes)
+    {
+      FaceBatch b;
+      b.n_filled = static_cast<unsigned char>(
+        std::min<std::size_t>(n_lanes, list.size() - start));
+      for (unsigned int l = 0; l < n_lanes; ++l)
+      {
+        const auto *f = list[start + std::min<std::size_t>(l, b.n_filled - 1)];
+        b.cells_m[l] = f->cell_m;
+        b.cells_p[l] = f->cell_p;
+      }
+      b.face_no_m = key.face_no_m;
+      b.face_no_p = key.face_no_p;
+      b.orientation = key.orientation;
+      b.subface0 = key.subface0;
+      b.subface1 = key.subface1;
+      b.boundary_id = key.boundary_id;
+      b.interior = key.interior;
+      face_batches_.push_back(b);
+    }
+  };
+
+  // interior batches first
+  for (const auto &[key, list] : groups)
+    if (key.interior)
+      emit(key, list);
+  n_inner_batches_ = face_batches_.size();
+  for (const auto &[key, list] : groups)
+    if (!key.interior)
+      emit(key, list);
+}
+
+template <typename Number>
+void MatrixFree<Number>::compute_geometry_lattices(const Geometry &geometry)
+{
+  const unsigned int n = geo_degree_ + 1;
+  geo_nodes_1d_ = geo_degree_ == 0
+                    ? std::vector<double>{0.5}
+                    : gauss_lobatto_quadrature(n).points;
+  geo_basis_ = std::make_unique<LagrangeBasis>(geo_nodes_1d_);
+  const std::size_t per_cell = std::size_t(n) * n * n;
+  geo_lattice_.resize_without_init(per_cell * mesh_->n_active_cells());
+
+  for (index_t c = 0; c < mesh_->n_active_cells(); ++c)
+  {
+    const TreeCoord &tc = mesh_->cell(c);
+    const double h = 1. / (1u << tc.level);
+    const Point lower = mesh_->cell_lower_corner(c);
+    for (unsigned int k = 0; k < n; ++k)
+      for (unsigned int j = 0; j < n; ++j)
+        for (unsigned int i = 0; i < n; ++i)
+        {
+          const Point tree_ref(lower[0] + h * geo_nodes_1d_[i],
+                               lower[1] + h * geo_nodes_1d_[j],
+                               lower[2] + h * geo_nodes_1d_[k]);
+          geo_lattice_[c * per_cell + (k * n + j) * n + i] =
+            geometry.map(tc.tree, tree_ref);
+        }
+  }
+}
+
+template <typename Number>
+void MatrixFree<Number>::evaluate_cell_geometry(const index_t cell,
+                                                const Point &ref, Point &x,
+                                                Tensor2<double> &jac) const
+{
+  const unsigned int n = geo_degree_ + 1;
+  const LagrangeBasis &basis = *geo_basis_;
+  double v[3][16], g[3][16];
+  for (unsigned int d = 0; d < dim; ++d)
+    for (unsigned int i = 0; i < n; ++i)
+    {
+      v[d][i] = basis.value(i, ref[d]);
+      g[d][i] = basis.derivative(i, ref[d]);
+    }
+  x = Point();
+  jac = Tensor2<double>();
+  const std::size_t per_cell = std::size_t(n) * n * n;
+  const Point *cp = geo_lattice_.data() + cell * per_cell;
+  for (unsigned int k = 0; k < n; ++k)
+    for (unsigned int j = 0; j < n; ++j)
+      for (unsigned int i = 0; i < n; ++i)
+      {
+        const Point &p = cp[(k * n + j) * n + i];
+        const double w = v[0][i] * v[1][j] * v[2][k];
+        const double wx = g[0][i] * v[1][j] * v[2][k];
+        const double wy = v[0][i] * g[1][j] * v[2][k];
+        const double wz = v[0][i] * v[1][j] * g[2][k];
+        for (unsigned int c = 0; c < dim; ++c)
+        {
+          x[c] += w * p[c];
+          jac[c][0] += wx * p[c];
+          jac[c][1] += wy * p[c];
+          jac[c][2] += wz * p[c];
+        }
+      }
+}
+
+template <typename Number>
+void MatrixFree<Number>::compute_cell_metric(const unsigned int quad)
+{
+  const unsigned int nq1 = n_q_1d_[quad];
+  const unsigned int nq = nq1 * nq1 * nq1;
+  const Quadrature1D q1 = gauss_quadrature(nq1);
+
+  CellMetric &metric = cell_metric_[quad];
+  metric.n_q = nq;
+  metric.inv_jac_t.resize_without_init(std::size_t(n_cell_batches()) * nq);
+  metric.JxW.resize_without_init(std::size_t(n_cell_batches()) * nq);
+  metric.q_points.resize_without_init(std::size_t(n_cell_batches()) * nq);
+
+  const bool first_quad = (quad == 0);
+  if (first_quad)
+  {
+    cell_width_.resize(n_cell_batches(), VA(1e300));
+    cell_volumes_.assign(n_cells(), 0.);
+  }
+
+  for (unsigned int b = 0; b < n_cell_batches(); ++b)
+  {
+    const CellBatch &batch = cell_batches_[b];
+    for (unsigned int l = 0; l < n_lanes; ++l)
+    {
+      const index_t cell = batch.cells[l];
+      double h_min = 1e300, volume = 0;
+      for (unsigned int k = 0; k < nq1; ++k)
+        for (unsigned int j = 0; j < nq1; ++j)
+          for (unsigned int i = 0; i < nq1; ++i)
+          {
+            const unsigned int q = (k * nq1 + j) * nq1 + i;
+            Point x;
+            Tensor2<double> J;
+            evaluate_cell_geometry(
+              cell, Point(q1.points[i], q1.points[j], q1.points[k]), x, J);
+            const double det = determinant(J);
+            DGFLOW_ASSERT(det > 0, "negative Jacobian in cell " << cell);
+            const Tensor2<double> inv_t = transpose(invert(J));
+            const double jxw =
+              det * q1.weights[i] * q1.weights[j] * q1.weights[k];
+            const std::size_t idx = std::size_t(b) * nq + q;
+            for (unsigned int r = 0; r < dim; ++r)
+            {
+              metric.q_points[idx][r][l] = x[r];
+              for (unsigned int s = 0; s < dim; ++s)
+                metric.inv_jac_t[idx][r][s][l] = Number(inv_t[r][s]);
+            }
+            metric.JxW[idx][l] = Number(jxw);
+            volume += jxw;
+            for (unsigned int d = 0; d < dim; ++d)
+            {
+              const double len = std::sqrt(J[0][d] * J[0][d] +
+                                           J[1][d] * J[1][d] +
+                                           J[2][d] * J[2][d]);
+              h_min = std::min(h_min, len);
+            }
+          }
+      if (first_quad)
+      {
+        cell_width_[b][l] = Number(h_min);
+        if (l < batch.n_filled)
+          cell_volumes_[cell] = volume;
+      }
+    }
+  }
+}
+
+template <typename Number>
+void MatrixFree<Number>::compute_face_metric(const unsigned int quad)
+{
+  const unsigned int nq1 = n_q_1d_[quad];
+  const unsigned int nq = nq1 * nq1;
+  const Quadrature1D q1 = gauss_quadrature(nq1);
+
+  FaceMetric &metric = face_metric_[quad];
+  metric.n_q = nq;
+  const std::size_t total = std::size_t(face_batches_.size()) * nq;
+  metric.normal.resize_without_init(total);
+  metric.JxW.resize_without_init(total);
+  metric.inv_jac_t_m.resize_without_init(total);
+  metric.inv_jac_t_p.resize_without_init(total);
+  metric.q_points.resize_without_init(total);
+  metric.penalty_factor.resize(face_batches_.size(), VA(0.));
+
+  for (unsigned int b = 0; b < face_batches_.size(); ++b)
+  {
+    const FaceBatch &batch = face_batches_[b];
+    const unsigned int dm = batch.face_no_m / 2, sm = batch.face_no_m % 2;
+    const auto tm = face_tangential_dims(dm);
+
+    for (unsigned int l = 0; l < n_lanes; ++l)
+    {
+      const index_t cm = batch.cells_m[l];
+      double area = 0;
+
+      // minus side
+      for (unsigned int q1i = 0; q1i < nq1; ++q1i)
+        for (unsigned int q0i = 0; q0i < nq1; ++q0i)
+        {
+          Point ref;
+          ref[dm] = double(sm);
+          ref[tm[0]] = q1.points[q0i];
+          ref[tm[1]] = q1.points[q1i];
+          Point x;
+          Tensor2<double> J;
+          evaluate_cell_geometry(cm, ref, x, J);
+          const double det = determinant(J);
+          const Tensor2<double> inv_t = transpose(invert(J));
+          Tensor1<double> nrm;
+          for (unsigned int r = 0; r < dim; ++r)
+            nrm[r] = (sm == 1 ? 1. : -1.) * inv_t[r][dm];
+          const double mag = std::sqrt(dot(nrm, nrm));
+          const double sjxw = mag * det * q1.weights[q0i] * q1.weights[q1i];
+          const std::size_t idx = std::size_t(b) * nq + q1i * nq1 + q0i;
+          for (unsigned int r = 0; r < dim; ++r)
+          {
+            metric.normal[idx][r][l] = Number(nrm[r] / mag);
+            metric.q_points[idx][r][l] = x[r];
+            for (unsigned int s = 0; s < dim; ++s)
+              metric.inv_jac_t_m[idx][r][s][l] = Number(inv_t[r][s]);
+          }
+          metric.JxW[idx][l] = Number(sjxw);
+          area += sjxw;
+        }
+
+      // plus side
+      if (batch.interior)
+      {
+        const index_t cp = batch.cells_p[l];
+        const unsigned int dp = batch.face_no_p / 2, sp = batch.face_no_p % 2;
+        const auto tp = face_tangential_dims(dp);
+        const unsigned int o = batch.orientation;
+        const bool swap = (o & 1) != 0;
+        const bool flip0 = (o & 2) != 0, flip1 = (o & 4) != 0;
+
+        for (unsigned int r1i = 0; r1i < nq1; ++r1i)
+          for (unsigned int r0i = 0; r0i < nq1; ++r0i)
+          {
+            // (r0,r1) index the plus face axes (tp[0], tp[1]); the matching
+            // minus indices are (q0,q1) = swap ? (r1,r0) : (r0,r1)
+            const unsigned int q0i = swap ? r1i : r0i;
+            const unsigned int q1i = swap ? r0i : r1i;
+            // plus face coordinates from the minus coordinates
+            const double x0 = q1.points[q0i], x1 = q1.points[q1i];
+            double u0 = swap ? x1 : x0;
+            double u1 = swap ? x0 : x1;
+            if (flip0)
+              u0 = 1. - u0;
+            if (flip1)
+              u1 = 1. - u1;
+            if (batch.is_hanging())
+            {
+              u0 = 0.5 * (u0 + batch.subface0);
+              u1 = 0.5 * (u1 + batch.subface1);
+            }
+            Point ref;
+            ref[dp] = double(sp);
+            ref[tp[0]] = u0;
+            ref[tp[1]] = u1;
+            Point x;
+            Tensor2<double> J;
+            evaluate_cell_geometry(cp, ref, x, J);
+            const Tensor2<double> inv_t = transpose(invert(J));
+            const std::size_t idx = std::size_t(b) * nq + q1i * nq1 + q0i;
+            if (l < batch.n_filled)
+            {
+              // consistency: the two sides must see the same physical point
+              Point xm;
+              for (unsigned int r = 0; r < dim; ++r)
+                xm[r] = metric.q_points[idx][r][l];
+              const double tol =
+                1e3 * std::numeric_limits<Number>::epsilon();
+              DGFLOW_ASSERT(norm(xm - x) < tol * (1. + norm(x)),
+                            "face orientation mismatch at batch "
+                              << b << " lane " << l << ": |dx|="
+                              << norm(xm - x));
+            }
+            for (unsigned int r = 0; r < dim; ++r)
+              for (unsigned int s = 0; s < dim; ++s)
+                metric.inv_jac_t_p[idx][r][s][l] = Number(inv_t[r][s]);
+          }
+      }
+
+      // penalty geometry factor
+      double pen = area / cell_volumes_[cm];
+      if (batch.interior)
+        pen = std::max(pen, area / cell_volumes_[batch.cells_p[l]]);
+      metric.penalty_factor[b][l] = Number(pen);
+    }
+  }
+}
+
+template <typename Number>
+double MatrixFree<Number>::face_lane_fill_fraction() const
+{
+  std::size_t filled = 0;
+  for (const auto &b : face_batches_)
+    filled += b.n_filled;
+  return face_batches_.empty()
+           ? 1.
+           : double(filled) / (face_batches_.size() * n_lanes);
+}
+
+} // namespace dgflow

@@ -1,0 +1,136 @@
+#include "mesh/coarse_mesh.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/exceptions.h"
+
+namespace dgflow
+{
+std::array<unsigned int, 4> face_vertices(const unsigned int f)
+{
+  const unsigned int d = f / 2, s = f % 2;
+  const auto t = face_tangential_dims(d);
+  std::array<unsigned int, 4> v{};
+  for (unsigned int i1 = 0; i1 < 2; ++i1)
+    for (unsigned int i0 = 0; i0 < 2; ++i0)
+    {
+      unsigned int coords[3];
+      coords[d] = s;
+      coords[t[0]] = i0;
+      coords[t[1]] = i1;
+      v[i1 * 2 + i0] = hex_vertex_index(coords[0], coords[1], coords[2]);
+    }
+  return v;
+}
+
+unsigned int inverse_orientation(const unsigned int o)
+{
+  if ((o & 1) == 0)
+    return o; // pure flips are involutions
+  const unsigned int f0 = (o >> 1) & 1, f1 = (o >> 2) & 1;
+  return 1u | (f1 << 1) | (f0 << 2);
+}
+
+unsigned int quad_orientation(const std::array<index_t, 4> &va,
+                              const std::array<index_t, 4> &vb)
+{
+  for (unsigned int o = 0; o < 8; ++o)
+  {
+    bool match = true;
+    for (unsigned int v = 0; v < 4 && match; ++v)
+    {
+      const unsigned int u = v & 1, w = v >> 1;
+      const auto [up, wp] = orient_face_coords(o, u, w, 2);
+      match = (vb[wp * 2 + up] == va[v]);
+    }
+    if (match)
+      return o;
+  }
+  return 8;
+}
+
+namespace
+{
+/// Approximate Jacobian determinant of the trilinear map at the cell center.
+double center_jacobian_det(const CoarseMesh &mesh, const index_t c)
+{
+  const auto &cv = mesh.cells[c].vertices;
+  Tensor2<double> J;
+  for (unsigned int d = 0; d < dim; ++d)
+  {
+    const unsigned int step = 1u << d;
+    Point avg;
+    // average the four edges in direction d
+    for (unsigned int v = 0; v < 8; ++v)
+      if (((v >> d) & 1) == 0)
+      {
+        const Point e = mesh.vertices[cv[v + step]] - mesh.vertices[cv[v]];
+        avg += 0.25 * e;
+      }
+    for (unsigned int i = 0; i < dim; ++i)
+      J[i][d] = avg[i];
+  }
+  return determinant(J);
+}
+} // namespace
+
+void CoarseMesh::compute_connectivity()
+{
+  DGFLOW_ASSERT(!cells.empty(), "empty coarse mesh");
+  if (boundary_ids.size() != cells.size())
+    boundary_ids.assign(cells.size(),
+                        {default_boundary_id, default_boundary_id,
+                         default_boundary_id, default_boundary_id,
+                         default_boundary_id, default_boundary_id});
+  neighbors.assign(cells.size(), {});
+
+  for (index_t c = 0; c < n_cells(); ++c)
+    DGFLOW_ASSERT(center_jacobian_det(*this, c) > 0,
+                  "coarse cell " << c << " is left-handed or degenerate");
+
+  // collect faces keyed by their sorted vertex quadruple
+  std::map<std::array<index_t, 4>,
+           std::vector<std::pair<index_t, unsigned int>>>
+    face_map;
+  for (index_t c = 0; c < n_cells(); ++c)
+    for (unsigned int f = 0; f < 6; ++f)
+    {
+      const auto fv = face_vertices(f);
+      std::array<index_t, 4> key;
+      for (unsigned int i = 0; i < 4; ++i)
+        key[i] = cells[c].vertices[fv[i]];
+      std::sort(key.begin(), key.end());
+      face_map[key].emplace_back(c, f);
+    }
+
+  for (const auto &[key, owners] : face_map)
+  {
+    DGFLOW_ASSERT(owners.size() <= 2, "non-manifold mesh: face shared by "
+                                        << owners.size() << " cells");
+    if (owners.size() == 1)
+      continue; // boundary face keeps its id
+
+    const auto [ca, fa] = owners[0];
+    const auto [cb, fb] = owners[1];
+    std::array<index_t, 4> va, vb;
+    const auto fva = face_vertices(fa), fvb = face_vertices(fb);
+    for (unsigned int i = 0; i < 4; ++i)
+    {
+      va[i] = cells[ca].vertices[fva[i]];
+      vb[i] = cells[cb].vertices[fvb[i]];
+    }
+    const unsigned int o_ab = quad_orientation(va, vb);
+    DGFLOW_ASSERT(o_ab < 8, "no valid quad orientation between cells "
+                              << ca << " and " << cb);
+
+    neighbors[ca][fa] = {cb, static_cast<unsigned char>(fb),
+                         static_cast<unsigned char>(o_ab)};
+    neighbors[cb][fb] = {ca, static_cast<unsigned char>(fa),
+                         static_cast<unsigned char>(inverse_orientation(o_ab))};
+    boundary_ids[ca][fa] = interior_face_id;
+    boundary_ids[cb][fb] = interior_face_id;
+  }
+}
+
+} // namespace dgflow

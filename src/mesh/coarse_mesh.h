@@ -1,0 +1,123 @@
+#pragma once
+
+// Unstructured coarse hex mesh ("forest of trees", p4est-style). Each coarse
+// cell is the root of an octree refined by the Mesh class. The coarse mesh
+// stores vertices, cells with lexicographic vertex numbering, face
+// connectivity with the 8 quad orientations, and boundary ids.
+//
+// Vertex numbering within a hex (lexicographic): vertex i sits at reference
+// coordinates ((i >> 0) & 1, (i >> 1) & 1, (i >> 2) & 1).
+// Face numbering: face 2*d + s is the face with normal direction d and
+// reference coordinate x_d = s. Face-local (tangential) coordinates are the
+// remaining reference directions in ascending order.
+
+#include <array>
+#include <vector>
+
+#include "common/tensor.h"
+#include "common/types.h"
+
+namespace dgflow
+{
+/// The two tangential directions of face-normal direction d, ascending.
+constexpr std::array<unsigned int, 2> face_tangential_dims(const unsigned int d)
+{
+  return d == 0 ? std::array<unsigned int, 2>{{1, 2}}
+         : d == 1 ? std::array<unsigned int, 2>{{0, 2}}
+                  : std::array<unsigned int, 2>{{0, 1}};
+}
+
+/// Local vertex index (0..7) of the hex vertex with reference coords (x,y,z)
+/// in {0,1}.
+constexpr unsigned int hex_vertex_index(const unsigned int x,
+                                        const unsigned int y,
+                                        const unsigned int z)
+{
+  return x + 2 * y + 4 * z;
+}
+
+/// The 4 local vertex indices of face f in face-lexicographic order
+/// (first tangential dim fastest).
+std::array<unsigned int, 4> face_vertices(const unsigned int f);
+
+// ---------------------------------------------------------------------------
+// Quad orientations: the dihedral group D4 encoded in 3 bits.
+// A face shared by two cells is parametrized by each cell in its own
+// face-local coordinates; the orientation o maps the minus side's (u,v) to
+// the plus side's (u',v'):
+//   if (o & 1) swap u and v, then
+//   if (o & 2) u' = 1 - u', and if (o & 4) v' = 1 - v'.
+// ---------------------------------------------------------------------------
+
+/// Applies orientation o to binary/lattice coordinates (i0,i1) on an n x n
+/// lattice (flip means i -> n-1-i).
+inline std::array<unsigned int, 2>
+orient_face_coords(const unsigned int o, unsigned int i0, unsigned int i1,
+                   const unsigned int n)
+{
+  if (o & 1)
+    std::swap(i0, i1);
+  if (o & 2)
+    i0 = n - 1 - i0;
+  if (o & 4)
+    i1 = n - 1 - i1;
+  return {{i0, i1}};
+}
+
+/// The inverse orientation: orient_face_coords(inverse_orientation(o), ...)
+/// undoes orient_face_coords(o, ...).
+unsigned int inverse_orientation(const unsigned int o);
+
+/// Determines the orientation o such that vb[lex index of o(u,v)] ==
+/// va[lex index of (u,v)] for all four corners; returns 8 if no match.
+unsigned int quad_orientation(const std::array<index_t, 4> &va,
+                              const std::array<index_t, 4> &vb);
+
+/// Default boundary id for faces without an explicit assignment.
+constexpr unsigned int default_boundary_id = 0;
+/// Marker distinguishing interior faces in the boundary-id table.
+constexpr unsigned int interior_face_id = static_cast<unsigned int>(-1);
+
+class CoarseMesh
+{
+public:
+  struct Cell
+  {
+    std::array<index_t, 8> vertices;
+  };
+
+  /// Connectivity record of one cell face.
+  struct FaceNeighbor
+  {
+    index_t cell = invalid_index;  ///< neighbor coarse cell (invalid: boundary)
+    unsigned char face_no = 0;     ///< the neighbor's local face number
+    unsigned char orientation = 0; ///< maps this cell's face coords to the
+                                   ///< neighbor's (see above)
+  };
+
+  std::vector<Point> vertices;
+  std::vector<Cell> cells;
+  /// boundary id per (cell, face); interior_face_id once connectivity is
+  /// computed. Generators may pre-assign ids to boundary faces.
+  std::vector<std::array<unsigned int, 6>> boundary_ids;
+
+  /// Face connectivity, computed by compute_connectivity().
+  std::vector<std::array<FaceNeighbor, 6>> neighbors;
+
+  index_t n_cells() const { return static_cast<index_t>(cells.size()); }
+
+  Point vertex_of_cell(const index_t c, const unsigned int v) const
+  {
+    return vertices[cells[c].vertices[v]];
+  }
+
+  /// Matches faces by vertex sets, fills neighbors and orientations, marks
+  /// unmatched faces as boundary. Throws on non-manifold input (a face
+  /// shared by more than two cells) and on left-handed cells.
+  void compute_connectivity();
+
+  /// True if connectivity has been computed.
+  bool has_connectivity() const { return !neighbors.empty(); }
+};
+
+} // namespace dgflow

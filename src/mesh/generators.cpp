@@ -1,0 +1,63 @@
+#include "mesh/generators.h"
+
+#include "common/exceptions.h"
+
+namespace dgflow
+{
+CoarseMesh subdivided_box(const Point &lo, const Point &hi,
+                          const std::array<unsigned int, 3> &n)
+{
+  DGFLOW_ASSERT(n[0] > 0 && n[1] > 0 && n[2] > 0, "need subdivisions");
+  CoarseMesh mesh;
+  const unsigned int nvx = n[0] + 1, nvy = n[1] + 1, nvz = n[2] + 1;
+  mesh.vertices.reserve(std::size_t(nvx) * nvy * nvz);
+  for (unsigned int k = 0; k < nvz; ++k)
+    for (unsigned int j = 0; j < nvy; ++j)
+      for (unsigned int i = 0; i < nvx; ++i)
+        mesh.vertices.push_back(
+          Point(lo[0] + (hi[0] - lo[0]) * i / n[0],
+                lo[1] + (hi[1] - lo[1]) * j / n[1],
+                lo[2] + (hi[2] - lo[2]) * k / n[2]));
+
+  auto vid = [&](unsigned int i, unsigned int j, unsigned int k) {
+    return index_t((k * nvy + j) * nvx + i);
+  };
+
+  for (unsigned int k = 0; k < n[2]; ++k)
+    for (unsigned int j = 0; j < n[1]; ++j)
+      for (unsigned int i = 0; i < n[0]; ++i)
+      {
+        CoarseMesh::Cell cell;
+        for (unsigned int v = 0; v < 8; ++v)
+          cell.vertices[v] =
+            vid(i + (v & 1), j + ((v >> 1) & 1), k + ((v >> 2) & 1));
+        mesh.cells.push_back(cell);
+        std::array<unsigned int, 6> bids;
+        bids[0] = (i == 0) ? 0 : default_boundary_id;
+        bids[1] = (i == n[0] - 1) ? 1 : default_boundary_id;
+        bids[2] = (j == 0) ? 2 : default_boundary_id;
+        bids[3] = (j == n[1] - 1) ? 3 : default_boundary_id;
+        bids[4] = (k == 0) ? 4 : default_boundary_id;
+        bids[5] = (k == n[2] - 1) ? 5 : default_boundary_id;
+        mesh.boundary_ids.push_back(bids);
+      }
+  return mesh;
+}
+
+CoarseMesh unit_cube()
+{
+  return subdivided_box(Point(0, 0, 0), Point(1, 1, 1), {{1, 1, 1}});
+}
+
+CoarseMesh from_lists(std::vector<Point> vertices,
+                      std::vector<std::array<index_t, 8>> cells)
+{
+  CoarseMesh mesh;
+  mesh.vertices = std::move(vertices);
+  mesh.cells.reserve(cells.size());
+  for (const auto &c : cells)
+    mesh.cells.push_back(CoarseMesh::Cell{c});
+  return mesh;
+}
+
+} // namespace dgflow

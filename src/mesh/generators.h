@@ -1,0 +1,24 @@
+#pragma once
+
+// Basic coarse-mesh generators. The lung airway and bifurcation geometries
+// live in src/lung (they combine these building blocks with the airway-tree
+// morphology).
+
+#include "mesh/coarse_mesh.h"
+
+namespace dgflow
+{
+/// Axis-aligned box [lo, hi] subdivided into nx x ny x nz hex cells.
+/// Boundary ids are "colorized" as 2*d+s (x-: 0, x+: 1, y-: 2, ...).
+CoarseMesh subdivided_box(const Point &lo, const Point &hi,
+                          const std::array<unsigned int, 3> &subdivisions);
+
+/// Unit cube of a single coarse cell.
+CoarseMesh unit_cube();
+
+/// Builds a coarse mesh from explicit vertex/cell lists (vertex numbering
+/// lexicographic per cell); boundary ids default to 0.
+CoarseMesh from_lists(std::vector<Point> vertices,
+                      std::vector<std::array<index_t, 8>> cells);
+
+} // namespace dgflow

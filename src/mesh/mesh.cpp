@@ -1,0 +1,458 @@
+#include "mesh/mesh.h"
+
+#include <algorithm>
+
+#include "common/exceptions.h"
+
+namespace dgflow
+{
+std::uint64_t morton_key(const TreeCoord &c)
+{
+  const unsigned int shift = Mesh::max_level - c.level;
+  const std::uint64_t xyz[3] = {std::uint64_t(c.x) << shift,
+                                std::uint64_t(c.y) << shift,
+                                std::uint64_t(c.z) << shift};
+  std::uint64_t key = 0;
+  for (unsigned int b = 0; b < 12; ++b)
+    for (unsigned int d = 0; d < 3; ++d)
+      key |= ((xyz[d] >> b) & 1u) << (3 * b + d);
+  return key;
+}
+
+Mesh::Mesh(CoarseMesh coarse) : coarse_(std::move(coarse))
+{
+  if (!coarse_.has_connectivity())
+    coarse_.compute_connectivity();
+  cells_.reserve(coarse_.n_cells());
+  for (index_t t = 0; t < coarse_.n_cells(); ++t)
+    cells_.push_back(TreeCoord{t, 0, 0, 0, 0});
+  rebuild_index();
+}
+
+void Mesh::rebuild_index()
+{
+  std::sort(cells_.begin(), cells_.end(),
+            [](const TreeCoord &a, const TreeCoord &b) {
+              if (a.tree != b.tree)
+                return a.tree < b.tree;
+              return morton_key(a) < morton_key(b);
+            });
+  active_index_.clear();
+  active_index_.reserve(2 * cells_.size());
+  ancestors_.clear();
+  for (index_t i = 0; i < n_active_cells(); ++i)
+  {
+    const TreeCoord &c = cells_[i];
+    const auto [it, inserted] = active_index_.emplace(pack(c), i);
+    DGFLOW_ASSERT(inserted, "duplicate active cell");
+    // record all ancestors up to the tree root
+    TreeCoord a = c;
+    while (a.level > 0)
+    {
+      a.level--;
+      a.x >>= 1;
+      a.y >>= 1;
+      a.z >>= 1;
+      if (!ancestors_.insert(pack(a)).second)
+        break; // remaining ancestors already recorded
+    }
+  }
+}
+
+index_t Mesh::find_active(const index_t tree, const unsigned int level,
+                          const std::array<std::uint32_t, 3> &c) const
+{
+  const auto it = active_index_.find(pack(tree, level, c[0], c[1], c[2]));
+  return it == active_index_.end() ? invalid_index : it->second;
+}
+
+bool Mesh::is_ancestor(const index_t tree, const unsigned int level,
+                       const std::array<std::uint32_t, 3> &c) const
+{
+  return ancestors_.count(pack(tree, level, c[0], c[1], c[2])) > 0;
+}
+
+bool Mesh::transform_across_coarse_face(const index_t tree,
+                                        const unsigned int d,
+                                        const unsigned int s,
+                                        const unsigned int level,
+                                        std::array<std::int64_t, 3> &coords,
+                                        index_t &neighbor_tree) const
+{
+  const auto &nb = coarse_.neighbors[tree][2 * d + s];
+  if (nb.cell == invalid_index)
+    return false;
+  const std::int64_t n = std::int64_t(1) << level;
+
+  // penetration depth into the neighbor
+  const std::int64_t p = (s == 1) ? coords[d] - n : -1 - coords[d];
+  DGFLOW_DEBUG_ASSERT(p >= 0, "coordinate not out of range in direction d");
+
+  // my face-tangential coordinates (may themselves be out of range when
+  // composing edge/corner walks; flips keep the offset consistent)
+  const auto t = face_tangential_dims(d);
+  std::int64_t t0 = coords[t[0]], t1 = coords[t[1]];
+  const unsigned int o = nb.orientation;
+  if (o & 1)
+    std::swap(t0, t1);
+  if (o & 2)
+    t0 = n - 1 - t0;
+  if (o & 4)
+    t1 = n - 1 - t1;
+
+  const unsigned int db = nb.face_no / 2, sb = nb.face_no % 2;
+  const auto tb = face_tangential_dims(db);
+  std::array<std::int64_t, 3> out;
+  out[db] = (sb == 0) ? p : n - 1 - p;
+  out[tb[0]] = t0;
+  out[tb[1]] = t1;
+  coords = out;
+  neighbor_tree = nb.cell;
+  return true;
+}
+
+bool Mesh::canonicalize(index_t tree, const unsigned int level,
+                        std::array<std::int64_t, 3> coords, index_t &out_tree,
+                        std::array<std::uint32_t, 3> &out_coords) const
+{
+  const std::int64_t n = std::int64_t(1) << level;
+  // iteratively fix out-of-range directions, backtracking over the order in
+  // which faces are crossed (relevant near domain boundaries)
+  struct State
+  {
+    index_t tree;
+    std::array<std::int64_t, 3> coords;
+    unsigned int depth;
+  };
+  std::array<State, 16> stack;
+  unsigned int stack_size = 0;
+  stack[stack_size++] = {tree, coords, 0};
+
+  while (stack_size > 0)
+  {
+    const State st = stack[--stack_size];
+    bool in_range = true;
+    for (unsigned int d = 0; d < 3; ++d)
+      if (st.coords[d] < 0 || st.coords[d] >= n)
+        in_range = false;
+    if (in_range)
+    {
+      out_tree = st.tree;
+      for (unsigned int d = 0; d < 3; ++d)
+        out_coords[d] = static_cast<std::uint32_t>(st.coords[d]);
+      return true;
+    }
+    if (st.depth >= 3)
+      continue;
+    for (unsigned int d = 0; d < 3; ++d)
+    {
+      if (st.coords[d] >= 0 && st.coords[d] < n)
+        continue;
+      const unsigned int s = st.coords[d] < 0 ? 0 : 1;
+      std::array<std::int64_t, 3> c = st.coords;
+      index_t ntree;
+      if (transform_across_coarse_face(st.tree, d, s, level, c, ntree))
+      {
+        DGFLOW_ASSERT(stack_size < stack.size(), "canonicalize overflow");
+        stack[stack_size++] = {ntree, c, st.depth + 1};
+      }
+    }
+  }
+  return false;
+}
+
+Mesh::NeighborInfo Mesh::neighbor(const index_t cell_index,
+                                  const unsigned int face) const
+{
+  const TreeCoord &c = cells_[cell_index];
+  const unsigned int d = face / 2, s = face % 2;
+  const std::int64_t n = std::int64_t(1) << c.level;
+
+  std::array<std::int64_t, 3> coords = {std::int64_t(c.x), std::int64_t(c.y),
+                                        std::int64_t(c.z)};
+  coords[d] += (s == 1) ? 1 : -1;
+
+  NeighborInfo info;
+
+  const bool crosses_tree = coords[d] < 0 || coords[d] >= n;
+  index_t ntree = c.tree;
+  std::array<std::uint32_t, 3> cc;
+  if (crosses_tree)
+  {
+    if (!canonicalize(c.tree, c.level, coords, ntree, cc))
+    {
+      info.kind = NeighborInfo::Kind::boundary;
+      info.boundary_id = coarse_.boundary_ids[c.tree][face];
+      return info;
+    }
+    const auto &nb = coarse_.neighbors[c.tree][face];
+    info.face_no = nb.face_no;
+    info.orientation = nb.orientation;
+  }
+  else
+  {
+    for (unsigned int i = 0; i < 3; ++i)
+      cc[i] = static_cast<std::uint32_t>(coords[i]);
+    info.face_no = static_cast<unsigned char>(2 * d + (1 - s));
+    info.orientation = 0;
+  }
+
+  // same-level neighbor?
+  const index_t same = find_active(ntree, c.level, cc);
+  if (same != invalid_index)
+  {
+    info.kind = NeighborInfo::Kind::same_level;
+    info.cell = same;
+    return info;
+  }
+
+  // coarser neighbor?
+  if (c.level > 0)
+  {
+    const std::array<std::uint32_t, 3> cp = {cc[0] >> 1, cc[1] >> 1,
+                                             cc[2] >> 1};
+    const index_t coarser = find_active(ntree, c.level - 1, cp);
+    if (coarser != invalid_index)
+    {
+      info.kind = NeighborInfo::Kind::coarser;
+      info.cell = coarser;
+      const auto tb = face_tangential_dims(info.face_no / 2);
+      info.subface = {static_cast<unsigned char>(cc[tb[0]] & 1),
+                      static_cast<unsigned char>(cc[tb[1]] & 1)};
+      return info;
+    }
+  }
+
+  // finer neighbors: the four children adjacent to the shared face
+  const unsigned int dn = info.face_no / 2, sn = info.face_no % 2;
+  const auto tb = face_tangential_dims(dn);
+  info.kind = NeighborInfo::Kind::finer;
+  for (unsigned int sub = 0; sub < 4; ++sub)
+  {
+    std::array<std::uint32_t, 3> ch;
+    ch[dn] = 2 * cc[dn] + sn;
+    ch[tb[0]] = 2 * cc[tb[0]] + (sub & 1);
+    ch[tb[1]] = 2 * cc[tb[1]] + (sub >> 1);
+    info.children[sub] = find_active(ntree, c.level + 1, ch);
+    DGFLOW_ASSERT(info.children[sub] != invalid_index,
+                  "mesh is not 2:1 balanced at cell " << cell_index << " face "
+                                                      << face);
+  }
+  return info;
+}
+
+void Mesh::refine_uniform(const unsigned int n)
+{
+  for (unsigned int r = 0; r < n; ++r)
+  {
+    std::vector<TreeCoord> next;
+    next.reserve(8 * cells_.size());
+    for (const TreeCoord &c : cells_)
+    {
+      DGFLOW_ASSERT(c.level < max_level, "max refinement level exceeded");
+      for (unsigned int child = 0; child < 8; ++child)
+        next.push_back(TreeCoord{
+          c.tree, static_cast<std::uint8_t>(c.level + 1),
+          2 * c.x + (child & 1), 2 * c.y + ((child >> 1) & 1),
+          2 * c.z + ((child >> 2) & 1)});
+    }
+    cells_ = std::move(next);
+    rebuild_index();
+  }
+}
+
+void Mesh::refine(const std::vector<bool> &flags)
+{
+  DGFLOW_ASSERT(flags.size() == cells_.size(), "flag vector size mismatch");
+
+  auto apply_flags = [this](const std::vector<bool> &f) {
+    std::vector<TreeCoord> next;
+    next.reserve(cells_.size() + 8 * cells_.size() / 4);
+    for (index_t i = 0; i < n_active_cells(); ++i)
+    {
+      const TreeCoord &c = cells_[i];
+      if (f[i])
+      {
+        DGFLOW_ASSERT(c.level < max_level, "max refinement level exceeded");
+        for (unsigned int child = 0; child < 8; ++child)
+          next.push_back(TreeCoord{
+            c.tree, static_cast<std::uint8_t>(c.level + 1),
+            2 * c.x + (child & 1), 2 * c.y + ((child >> 1) & 1),
+            2 * c.z + ((child >> 2) & 1)});
+      }
+      else
+        next.push_back(c);
+    }
+    cells_ = std::move(next);
+    rebuild_index();
+  };
+
+  apply_flags(flags);
+
+  // 2:1 balance over faces and edges: a cell at level l is refined whenever
+  // an active cell of level >= l+2 touches one of its faces or edges, which
+  // is detected through the ancestor set at level l+1.
+  for (unsigned int iteration = 0;; ++iteration)
+  {
+    DGFLOW_ASSERT(iteration < 4 * max_level, "balance did not terminate");
+    std::vector<bool> balance_flags(cells_.size(), false);
+    bool any = false;
+
+    for (index_t i = 0; i < n_active_cells(); ++i)
+    {
+      const TreeCoord &c = cells_[i];
+      // Work at resolution level+1: a position there that is an *ancestor*
+      // of active cells means an active cell of level >= c.level+2 touches
+      // my boundary - a 2:1 violation.
+      const std::array<std::int64_t, 3> lo = {2 * std::int64_t(c.x),
+                                              2 * std::int64_t(c.y),
+                                              2 * std::int64_t(c.z)};
+
+      auto violated_at = [&](const std::array<std::int64_t, 3> &pos) -> bool {
+        index_t ntree;
+        std::array<std::uint32_t, 3> cc;
+        if (!canonicalize(c.tree, c.level + 1, pos, ntree, cc))
+          return false;
+        return is_ancestor(ntree, c.level + 1, cc);
+      };
+
+      bool flag = false;
+      // faces: the 4 level+1 positions touching each of my 6 faces
+      for (unsigned int f = 0; f < 6 && !flag; ++f)
+      {
+        const unsigned int d = f / 2, s = f % 2;
+        const auto t = face_tangential_dims(d);
+        for (unsigned int sub = 0; sub < 4 && !flag; ++sub)
+        {
+          std::array<std::int64_t, 3> pos;
+          pos[d] = (s == 1) ? lo[d] + 2 : lo[d] - 1;
+          pos[t[0]] = lo[t[0]] + (sub & 1);
+          pos[t[1]] = lo[t[1]] + (sub >> 1);
+          flag = violated_at(pos);
+        }
+      }
+      // edges: the 2 level+1 positions touching each of my 12 edges
+      for (unsigned int d1 = 0; d1 < 3 && !flag; ++d1)
+        for (unsigned int d2 = d1 + 1; d2 < 3 && !flag; ++d2)
+        {
+          const unsigned int d_free = 3 - d1 - d2;
+          for (unsigned int ss = 0; ss < 4 && !flag; ++ss)
+            for (unsigned int q = 0; q < 2 && !flag; ++q)
+            {
+              std::array<std::int64_t, 3> pos;
+              pos[d1] = (ss & 1) ? lo[d1] + 2 : lo[d1] - 1;
+              pos[d2] = (ss & 2) ? lo[d2] + 2 : lo[d2] - 1;
+              pos[d_free] = lo[d_free] + q;
+              flag = violated_at(pos);
+            }
+        }
+
+      if (flag)
+      {
+        balance_flags[i] = true;
+        any = true;
+      }
+    }
+
+    if (!any)
+      break;
+    apply_flags(balance_flags);
+  }
+}
+
+Mesh Mesh::coarsened() const
+{
+  Mesh result(coarse_);
+  result.cells_.clear();
+  std::unordered_map<std::uint64_t, unsigned int> sibling_count;
+  for (const TreeCoord &c : cells_)
+    if (c.level > 0)
+    {
+      TreeCoord p{c.tree, static_cast<std::uint8_t>(c.level - 1), c.x >> 1,
+                  c.y >> 1, c.z >> 1};
+      ++sibling_count[pack(p)];
+    }
+  std::unordered_set<std::uint64_t> emitted;
+  for (const TreeCoord &c : cells_)
+  {
+    if (c.level == 0)
+    {
+      result.cells_.push_back(c);
+      continue;
+    }
+    TreeCoord p{c.tree, static_cast<std::uint8_t>(c.level - 1), c.x >> 1,
+                c.y >> 1, c.z >> 1};
+    const std::uint64_t key = pack(p);
+    if (sibling_count[key] == 8)
+    {
+      if (emitted.insert(key).second)
+        result.cells_.push_back(p);
+    }
+    else
+      result.cells_.push_back(c);
+  }
+  result.rebuild_index();
+  return result;
+}
+
+std::vector<Mesh::Face> Mesh::build_face_list() const
+{
+  std::vector<Face> faces;
+  faces.reserve(3 * cells_.size());
+  for (index_t i = 0; i < n_active_cells(); ++i)
+    for (unsigned int f = 0; f < 6; ++f)
+    {
+      const NeighborInfo nb = neighbor(i, f);
+      switch (nb.kind)
+      {
+        case NeighborInfo::Kind::boundary:
+        {
+          Face face;
+          face.cell_m = i;
+          face.face_no_m = static_cast<unsigned char>(f);
+          face.boundary_id = nb.boundary_id;
+          faces.push_back(face);
+          break;
+        }
+        case NeighborInfo::Kind::same_level:
+          if (i < nb.cell)
+          {
+            Face face;
+            face.cell_m = i;
+            face.cell_p = nb.cell;
+            face.face_no_m = static_cast<unsigned char>(f);
+            face.face_no_p = nb.face_no;
+            face.orientation = nb.orientation;
+            faces.push_back(face);
+          }
+          break;
+        case NeighborInfo::Kind::coarser:
+        {
+          // hanging face: the fine cell is always the minus side
+          Face face;
+          face.cell_m = i;
+          face.cell_p = nb.cell;
+          face.face_no_m = static_cast<unsigned char>(f);
+          face.face_no_p = nb.face_no;
+          face.orientation = nb.orientation;
+          face.subface0 = nb.subface[0];
+          face.subface1 = nb.subface[1];
+          faces.push_back(face);
+          break;
+        }
+        case NeighborInfo::Kind::finer:
+          break; // the finer cells create the subface entries
+      }
+    }
+  return faces;
+}
+
+std::array<index_t, Mesh::max_level + 1> Mesh::level_histogram() const
+{
+  std::array<index_t, max_level + 1> h{};
+  for (const TreeCoord &c : cells_)
+    ++h[c.level];
+  return h;
+}
+
+} // namespace dgflow

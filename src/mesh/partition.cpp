@@ -1,0 +1,58 @@
+#include "mesh/partition.h"
+
+#include <set>
+
+#include "common/exceptions.h"
+
+namespace dgflow
+{
+std::vector<int> partition_cells(const Mesh &mesh, const int n_ranks)
+{
+  DGFLOW_ASSERT(n_ranks >= 1, "need at least one rank");
+  const std::size_t n = mesh.n_active_cells();
+  std::vector<int> rank(n);
+  // cells are already stored in SFC order: contiguous chunks
+  for (std::size_t i = 0; i < n; ++i)
+    rank[i] = static_cast<int>((i * std::size_t(n_ranks)) / n);
+  return rank;
+}
+
+PartitionStats compute_partition_stats(const Mesh &mesh,
+                                       const std::vector<int> &rank_of_cell,
+                                       const int n_ranks)
+{
+  PartitionStats stats;
+  stats.cells_per_rank.assign(n_ranks, 0);
+  stats.cut_faces_per_rank.assign(n_ranks, 0);
+  stats.neighbors_per_rank.assign(n_ranks, 0);
+
+  for (index_t i = 0; i < mesh.n_active_cells(); ++i)
+    ++stats.cells_per_rank[rank_of_cell[i]];
+
+  std::vector<std::set<int>> neighbor_sets(n_ranks);
+  for (const Mesh::Face &f : mesh.build_face_list())
+  {
+    if (f.is_boundary())
+      continue;
+    const int rm = rank_of_cell[f.cell_m], rp = rank_of_cell[f.cell_p];
+    if (rm != rp)
+    {
+      ++stats.cut_faces_per_rank[rm];
+      ++stats.cut_faces_per_rank[rp];
+      neighbor_sets[rm].insert(rp);
+      neighbor_sets[rp].insert(rm);
+    }
+  }
+  for (int r = 0; r < n_ranks; ++r)
+  {
+    stats.neighbors_per_rank[r] = neighbor_sets[r].size();
+    stats.max_cells = std::max(stats.max_cells, stats.cells_per_rank[r]);
+    stats.max_cut_faces =
+      std::max(stats.max_cut_faces, stats.cut_faces_per_rank[r]);
+    stats.max_neighbors =
+      std::max(stats.max_neighbors, stats.neighbors_per_rank[r]);
+  }
+  return stats;
+}
+
+} // namespace dgflow

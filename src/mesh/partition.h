@@ -1,0 +1,32 @@
+#pragma once
+
+// Domain partitioning along the space-filling-curve cell order (paper
+// Section 3.3: Morton curve via p4est). Used by the virtual-MPI runs and by
+// the scaling performance model to count per-rank work and cut faces.
+
+#include <vector>
+
+#include "mesh/mesh.h"
+
+namespace dgflow
+{
+/// Assigns each active cell to one of n_ranks contiguous SFC chunks of
+/// near-equal size. Returns the rank of each cell.
+std::vector<int> partition_cells(const Mesh &mesh, const int n_ranks);
+
+/// Communication statistics of a partition, the inputs to the scaling model.
+struct PartitionStats
+{
+  std::vector<std::size_t> cells_per_rank;
+  std::vector<std::size_t> cut_faces_per_rank; ///< faces with off-rank neighbor
+  std::vector<std::size_t> neighbors_per_rank; ///< distinct ranks to talk to
+  std::size_t max_cells = 0;
+  std::size_t max_cut_faces = 0;
+  std::size_t max_neighbors = 0;
+};
+
+PartitionStats compute_partition_stats(const Mesh &mesh,
+                                       const std::vector<int> &rank_of_cell,
+                                       const int n_ranks);
+
+} // namespace dgflow

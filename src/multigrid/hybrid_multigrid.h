@@ -1,0 +1,382 @@
+#pragma once
+
+// Hybrid geometric-polynomial-algebraic multigrid preconditioner for the DG
+// Laplacian (paper Section 3.4, Algorithm 1, Figure 5):
+//
+//   DG(k) -p-> DG(k/2) -p-> ... -p-> DG(1) -c-> CFE Q1 -h-> Q1 on coarsened
+//   meshes (global coarsening) ... -> smoothed-aggregation AMG coarse solve
+//
+// All level smoothing (Chebyshev degree 3 with point-Jacobi) and transfers
+// run in single precision ("the V-cycle is run in single precision to
+// improve the throughput of multigrid preconditioning"); the algebraic
+// coarse solve runs in double, matching the paper's BoomerAMG setup with two
+// V-cycles of one symmetric Gauss-Seidel sweep each.
+
+#include <memory>
+
+#include "common/timer.h"
+
+#include "amg/amg.h"
+#include "multigrid/transfer.h"
+#include "operators/cfe_laplace_operator.h"
+#include "operators/laplace_operator.h"
+#include "solvers/chebyshev.h"
+
+namespace dgflow
+{
+template <typename LevelNumber = float>
+class HybridMultigrid
+{
+public:
+  using LVec = Vector<LevelNumber>;
+
+  /// Type-erased level operator handed to the Chebyshev smoother.
+  struct AnyOperator
+  {
+    std::function<void(LVec &, const LVec &)> apply;
+    void vmult(LVec &dst, const LVec &src) const { apply(dst, src); }
+  };
+
+  struct Options
+  {
+    bool h_coarsening = true; ///< build globally coarsened Q1 levels
+    unsigned int amg_cycles = 2;
+    typename ChebyshevSmoother<AnyOperator, LevelNumber>::AdditionalData
+      smoother;
+    AMG::Options amg;
+    unsigned int geometry_degree = 2;
+    double penalty_safety = 2.;
+    /// coarser DG levels inherit the finest degree's penalty scale
+    /// (k_top+1)^2 instead of their own (k+1)^2: the level operators then
+    /// match the Galerkin-restricted fine operator on jump modes
+    bool inherit_fine_penalty = true;
+  };
+
+  /// Sets up the full hierarchy for the DG(degree) Laplacian on @p mesh.
+  void setup(const Mesh &mesh, const Geometry &geometry,
+             const unsigned int degree, const BoundaryMap &bc,
+             const Options &options = Options())
+  {
+    options_ = options;
+    bc_ = bc;
+
+    // polynomial chain k, k/2, ..., 1 (bisection)
+    dg_degrees_ = {degree};
+    while (dg_degrees_.back() > 1)
+      dg_degrees_.push_back(std::max(1u, dg_degrees_.back() / 2));
+
+    // one MatrixFree on the finest mesh carrying all DG spaces + Q1(GL)
+    typename MatrixFree<LevelNumber>::AdditionalData mf_data;
+    std::vector<unsigned int> quads;
+    std::vector<unsigned int> quad_of_space;
+    for (const unsigned int k : dg_degrees_)
+    {
+      mf_data.degrees.push_back(k);
+      mf_data.basis_types.push_back(BasisType::lagrange_gauss);
+      unsigned int qi = 0;
+      for (; qi < quads.size(); ++qi)
+        if (quads[qi] == k + 1)
+          break;
+      if (qi == quads.size())
+        quads.push_back(k + 1);
+      quad_of_space.push_back(qi);
+    }
+    // the Q1 auxiliary space
+    mf_data.degrees.push_back(1);
+    mf_data.basis_types.push_back(BasisType::lagrange_gauss_lobatto);
+    {
+      unsigned int qi = 0;
+      for (; qi < quads.size(); ++qi)
+        if (quads[qi] == 2)
+          break;
+      if (qi == quads.size())
+        quads.push_back(2);
+      quad_of_space.push_back(qi);
+    }
+    mf_data.n_q_points_1d = quads;
+    mf_data.geometry_degree = options.geometry_degree;
+    mf_data.penalty_safety = options.penalty_safety;
+    if (options.inherit_fine_penalty)
+    {
+      const double top = double(dg_degrees_.front() + 1);
+      for (const unsigned int k : dg_degrees_)
+        mf_data.penalty_scaling.push_back((top * top) /
+                                          double((k + 1) * (k + 1)));
+      mf_data.penalty_scaling.push_back(1.); // Q1 space (no face terms)
+    }
+    mf_fine_.reinit(mesh, geometry, mf_data);
+
+    const auto is_dirichlet = [this](const unsigned int id) {
+      return bc_.type_of(id) == BoundaryType::dirichlet;
+    };
+
+    // DG level operators
+    dg_ops_.clear();
+    dg_ops_.resize(dg_degrees_.size());
+    for (unsigned int s = 0; s < dg_degrees_.size(); ++s)
+      dg_ops_[s].reinit(mf_fine_, s, quad_of_space[s], bc_);
+
+    // Q1 space on the finest mesh
+    cfe_dofs_fine_.reinit(mesh);
+    cfe_fine_ = make_q1_space(cfe_dofs_fine_, is_dirichlet);
+    cfe_op_fine_.reinit(mf_fine_, dg_degrees_.size(),
+                        quad_of_space[dg_degrees_.size()], cfe_fine_);
+
+    // globally coarsened Q1 levels
+    coarse_meshes_.clear();
+    coarse_mfs_.clear();
+    coarse_dofs_.clear();
+    coarse_spaces_.clear();
+    coarse_ops_.clear();
+    if (options.h_coarsening)
+    {
+      const Mesh *current = &mesh;
+      while (true)
+      {
+        Mesh c = current->coarsened();
+        if (c.n_active_cells() == current->n_active_cells())
+          break;
+        coarse_meshes_.push_back(std::move(c));
+        current = &coarse_meshes_.back();
+      }
+      typename MatrixFree<LevelNumber>::AdditionalData cdata;
+      cdata.degrees = {1};
+      cdata.basis_types = {BasisType::lagrange_gauss_lobatto};
+      cdata.n_q_points_1d = {2};
+      cdata.geometry_degree = options.geometry_degree;
+      cdata.penalty_safety = options.penalty_safety;
+      coarse_mfs_.resize(coarse_meshes_.size());
+      coarse_dofs_.resize(coarse_meshes_.size());
+      coarse_spaces_.resize(coarse_meshes_.size());
+      coarse_ops_.resize(coarse_meshes_.size());
+      for (std::size_t i = 0; i < coarse_meshes_.size(); ++i)
+      {
+        coarse_mfs_[i].reinit(coarse_meshes_[i], geometry, cdata);
+        coarse_dofs_[i].reinit(coarse_meshes_[i]);
+        coarse_spaces_[i] = make_q1_space(coarse_dofs_[i], is_dirichlet);
+        coarse_ops_[i].reinit(coarse_mfs_[i], 0, 0, coarse_spaces_[i]);
+      }
+    }
+
+    build_levels();
+  }
+
+  unsigned int n_levels() const { return levels_.size(); }
+
+  std::size_t level_dofs(const unsigned int l) const
+  {
+    return levels_[l].n_dofs;
+  }
+
+  /// Preconditioner interface for the double-precision outer CG: one
+  /// V-cycle in the level precision.
+  void vmult(Vector<double> &dst, const Vector<double> &src) const
+  {
+    src_f_.copy_and_convert(src);
+    Level &top = levels_.back();
+    top.x.reinit(src.size(), true);
+    vcycle(levels_.size() - 1, top.x, src_f_);
+    dst.copy_and_convert(top.x);
+  }
+
+  /// Runs one V-cycle in the level precision (for nesting / diagnostics).
+  void vcycle_level_precision(LVec &x, const LVec &b) const
+  {
+    vcycle(levels_.size() - 1, x, b);
+  }
+
+  const MatrixFree<LevelNumber> &fine_matrix_free() const { return mf_fine_; }
+
+  /// Accumulated smoothing/transfer seconds per level and in the AMG coarse
+  /// solve since the last reset (for the paper's Fig. 10 latency breakdown).
+  const std::vector<double> &level_seconds() const { return level_seconds_; }
+  double amg_seconds() const { return amg_seconds_; }
+  void reset_level_timers() const
+  {
+    level_seconds_.assign(levels_.size(), 0.);
+    amg_seconds_ = 0.;
+  }
+
+private:
+  struct Level
+  {
+    AnyOperator op;
+    ChebyshevSmoother<AnyOperator, LevelNumber> smoother;
+    std::unique_ptr<TransferBase<LevelNumber>> to_coarser; ///< null at l=0
+    std::size_t n_dofs = 0;
+    bool is_amg = false;
+    mutable LVec x, b, r;
+  };
+
+  void build_levels()
+  {
+    levels_.clear();
+
+    // bottom-up: AMG coarse level lives inside the coarsest Q1 level
+    const bool have_h = !coarse_ops_.empty();
+    const CFELaplaceOperator<LevelNumber> &amg_host =
+      have_h ? coarse_ops_.back() : cfe_op_fine_;
+    amg_.setup(amg_host.assemble_matrix(), options_.amg);
+
+    // levels from coarsest to finest: coarse Q1 meshes (reverse order)
+    if (have_h)
+      for (std::size_t i = coarse_ops_.size(); i-- > 0;)
+      {
+        Level level;
+        const auto *op = &coarse_ops_[i];
+        level.op.apply = [op](LVec &d, const LVec &s) { op->vmult(d, s); };
+        level.n_dofs = op->n_dofs();
+        level.is_amg = (i == coarse_ops_.size() - 1);
+        levels_.push_back(std::move(level));
+        // transfer from this level to the previous (coarser) one
+      }
+
+    // fine-mesh Q1 level
+    {
+      Level level;
+      const auto *op = &cfe_op_fine_;
+      level.op.apply = [op](LVec &d, const LVec &s) { op->vmult(d, s); };
+      level.n_dofs = op->n_dofs();
+      level.is_amg = !have_h;
+      levels_.push_back(std::move(level));
+    }
+
+    // DG levels from low to high degree
+    for (std::size_t s = dg_degrees_.size(); s-- > 0;)
+    {
+      Level level;
+      const auto *op = &dg_ops_[s];
+      level.op.apply = [op](LVec &d, const LVec &s2) { op->vmult(d, s2); };
+      level.n_dofs = op->n_dofs();
+      levels_.push_back(std::move(level));
+    }
+
+    // transfers: levels_[l].to_coarser maps between levels_[l] and
+    // levels_[l-1]
+    unsigned int l = 1;
+    if (have_h)
+      for (std::size_t i = coarse_ops_.size() - 1; i-- > 0; ++l)
+      {
+        // fine = coarse_meshes_[i], coarse = coarse_meshes_[i+1]
+        levels_[l].to_coarser = std::make_unique<SparseTransfer<LevelNumber>>(
+          build_h_transfer(coarse_meshes_[i], coarse_spaces_[i],
+                           coarse_meshes_[i + 1], coarse_spaces_[i + 1]));
+      }
+    if (have_h)
+    {
+      // fine-mesh Q1 -> first coarse mesh
+      levels_[l].to_coarser = std::make_unique<SparseTransfer<LevelNumber>>(
+        build_h_transfer(mf_fine_.mesh(), cfe_fine_, coarse_meshes_[0],
+                         coarse_spaces_[0]));
+      ++l;
+    }
+    // DG(1) -> Q1
+    levels_[l].to_coarser = std::make_unique<SparseTransfer<LevelNumber>>(
+      build_c_transfer(mf_fine_.mesh(), cfe_fine_));
+    ++l;
+    // p-transfers DG(next) -> DG(previous degree)
+    for (std::size_t s = dg_degrees_.size() - 1; s-- > 0; ++l)
+      levels_[l].to_coarser = std::make_unique<DGPTransfer<LevelNumber>>(
+        mf_fine_, static_cast<unsigned int>(s),
+        static_cast<unsigned int>(s + 1));
+    DGFLOW_ASSERT(l == levels_.size(), "level/transfer bookkeeping mismatch");
+
+    // smoothers (skip the AMG-solved coarsest level)
+    for (unsigned int lev = 0; lev < levels_.size(); ++lev)
+    {
+      Level &level = levels_[lev];
+      level.x.reinit(level.n_dofs);
+      level.b.reinit(level.n_dofs);
+      level.r.reinit(level.n_dofs);
+      if (lev == 0 && level.is_amg)
+        continue;
+      LVec diag = compute_level_diagonal(lev);
+      level.smoother.reinit(level.op, diag, options_.smoother);
+    }
+  }
+
+  LVec compute_level_diagonal(const unsigned int lev) const
+  {
+    // reverse the level layout bookkeeping
+    const unsigned int n_coarse = coarse_ops_.size();
+    LVec diag;
+    if (lev < n_coarse)
+      coarse_ops_[n_coarse - 1 - lev].compute_diagonal(diag);
+    else if (lev == n_coarse)
+      cfe_op_fine_.compute_diagonal(diag);
+    else
+      dg_ops_[dg_degrees_.size() - 1 - (lev - n_coarse - 1)].compute_diagonal(
+        diag);
+    return diag;
+  }
+
+  void vcycle(const unsigned int l, LVec &x, const LVec &b) const
+  {
+    if (level_seconds_.size() != levels_.size())
+      level_seconds_.assign(levels_.size(), 0.);
+    const Level &level = levels_[l];
+    if (l == 0)
+    {
+      Timer t;
+      if (level.is_amg)
+      {
+        amg_b_.copy_and_convert(b);
+        amg_x_.reinit(amg_b_.size());
+        for (unsigned int c = 0; c < options_.amg_cycles; ++c)
+          amg_.vcycle(amg_x_, amg_b_);
+        x.copy_and_convert(amg_x_);
+        amg_seconds_ += t.seconds();
+      }
+      else
+      {
+        level.smoother.smooth(x, b, true);
+        level_seconds_[l] += t.seconds();
+      }
+      return;
+    }
+
+    Timer t1;
+    level.smoother.smooth(x, b, true);
+    level.op.vmult(level.r, x);
+    level.r.sadd(LevelNumber(-1), LevelNumber(1), b);
+    const Level &coarse = levels_[l - 1];
+    level.to_coarser->restrict_down(coarse.b, level.r);
+    coarse.x.reinit(coarse.b.size(), true);
+    level_seconds_[l] += t1.seconds();
+
+    vcycle(l - 1, coarse.x, coarse.b);
+
+    Timer t2;
+    level.to_coarser->prolongate(level.r, coarse.x);
+    x.add(LevelNumber(1), level.r);
+    level.smoother.smooth(x, b, false);
+    level_seconds_[l] += t2.seconds();
+  }
+
+  Options options_;
+  BoundaryMap bc_;
+
+  std::vector<unsigned int> dg_degrees_;
+  MatrixFree<LevelNumber> mf_fine_;
+  std::vector<LaplaceOperator<LevelNumber>> dg_ops_;
+
+  CFEDofHandler cfe_dofs_fine_;
+  CFESpace cfe_fine_;
+  CFELaplaceOperator<LevelNumber> cfe_op_fine_;
+
+  std::vector<Mesh> coarse_meshes_;
+  std::vector<MatrixFree<LevelNumber>> coarse_mfs_;
+  std::vector<CFEDofHandler> coarse_dofs_;
+  std::vector<CFESpace> coarse_spaces_;
+  std::vector<CFELaplaceOperator<LevelNumber>> coarse_ops_;
+
+  AMG amg_;
+
+  mutable std::vector<Level> levels_;
+  mutable LVec src_f_;
+  mutable Vector<double> amg_x_, amg_b_;
+  mutable std::vector<double> level_seconds_;
+  mutable double amg_seconds_ = 0.;
+};
+
+} // namespace dgflow

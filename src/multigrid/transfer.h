@@ -1,0 +1,268 @@
+#pragma once
+
+// Level-transfer operators of the hybrid multigrid hierarchy (paper Fig. 5):
+//  - polynomial coarsening between DG spaces on the same mesh (matrix-free,
+//    tensorized 1D nodal interpolation, restriction = transpose),
+//  - DG(1) <-> continuous Q1 on the same mesh ("c-transfer"),
+//  - continuous Q1 between globally coarsened meshes ("h-transfer").
+// The latter two are precomputed sparse operators including hanging-node
+// constraint expansion; Dirichlet rows/columns are zeroed so level
+// corrections never touch constrained boundary values.
+
+#include "amg/sparse_matrix.h"
+#include "fem/polynomial.h"
+#include "matrixfree/matrix_free.h"
+#include "operators/cfe_space.h"
+
+namespace dgflow
+{
+/// Abstract transfer between two consecutive levels.
+template <typename Number>
+class TransferBase
+{
+public:
+  virtual ~TransferBase() = default;
+  /// coarse -> fine (overwrite)
+  virtual void prolongate(Vector<Number> &fine,
+                          const Vector<Number> &coarse) const = 0;
+  /// fine -> coarse (overwrite), transpose of prolongate
+  virtual void restrict_down(Vector<Number> &coarse,
+                             const Vector<Number> &fine) const = 0;
+};
+
+/// Matrix-free polynomial transfer between two DG spaces on one mesh.
+template <typename Number>
+class DGPTransfer : public TransferBase<Number>
+{
+public:
+  DGPTransfer(const MatrixFree<Number> &mf, const unsigned int space_fine,
+              const unsigned int space_coarse)
+    : mf_(mf), nf_(mf.degree(space_fine) + 1),
+      nc_(mf.degree(space_coarse) + 1), space_f_(space_fine),
+      space_c_(space_coarse)
+  {
+    // 1D nodal interpolation: coarse basis evaluated at fine nodes
+    const std::vector<double> nodes_f = gauss_quadrature(nf_).points;
+    const LagrangeBasis basis_c(gauss_quadrature(nc_).points);
+    P1d_.resize(nf_ * nc_);
+    for (unsigned int i = 0; i < nf_; ++i)
+      for (unsigned int j = 0; j < nc_; ++j)
+        P1d_[i * nc_ + j] = Number(basis_c.value(j, nodes_f[i]));
+  }
+
+  void prolongate(Vector<Number> &fine,
+                  const Vector<Number> &coarse) const override
+  {
+    const std::size_t npc_f = nf_ * nf_ * nf_, npc_c = nc_ * nc_ * nc_;
+    fine.reinit(mf_.n_dofs(space_f_, 1), true);
+    const unsigned int mx = std::max(nf_, nc_);
+    std::vector<Number> t1(mx * mx * mx), t2(mx * mx * mx);
+    for (index_t c = 0; c < mf_.n_cells(); ++c)
+    {
+      const Number *src = coarse.data() + c * npc_c;
+      Number *dst = fine.data() + c * npc_f;
+      apply_matrix_1d<false, false>(P1d_.data(), nf_, nc_, src, t1.data(), 0,
+                                    {{nc_, nc_, nc_}});
+      apply_matrix_1d<false, false>(P1d_.data(), nf_, nc_, t1.data(),
+                                    t2.data(), 1, {{nf_, nc_, nc_}});
+      apply_matrix_1d<false, false>(P1d_.data(), nf_, nc_, t2.data(), dst, 2,
+                                    {{nf_, nf_, nc_}});
+    }
+  }
+
+  void restrict_down(Vector<Number> &coarse,
+                     const Vector<Number> &fine) const override
+  {
+    const std::size_t npc_f = nf_ * nf_ * nf_, npc_c = nc_ * nc_ * nc_;
+    coarse.reinit(mf_.n_dofs(space_c_, 1), true);
+    const unsigned int mx = std::max(nf_, nc_);
+    std::vector<Number> t1(mx * mx * mx), t2(mx * mx * mx);
+    for (index_t c = 0; c < mf_.n_cells(); ++c)
+    {
+      const Number *src = fine.data() + c * npc_f;
+      Number *dst = coarse.data() + c * npc_c;
+      apply_matrix_1d<true, false>(P1d_.data(), nf_, nc_, src, t1.data(), 2,
+                                   {{nf_, nf_, nf_}});
+      apply_matrix_1d<true, false>(P1d_.data(), nf_, nc_, t1.data(), t2.data(),
+                                   1, {{nf_, nf_, nc_}});
+      apply_matrix_1d<true, false>(P1d_.data(), nf_, nc_, t2.data(), dst, 0,
+                                   {{nf_, nc_, nc_}});
+    }
+  }
+
+private:
+  const MatrixFree<Number> &mf_;
+  unsigned int nf_, nc_;
+  unsigned int space_f_, space_c_;
+  std::vector<Number> P1d_;
+};
+
+/// Sparse transfer in the level precision, built from a double CSR matrix.
+template <typename Number>
+class SparseTransfer : public TransferBase<Number>
+{
+public:
+  explicit SparseTransfer(const SparseMatrix &P)
+  {
+    const std::size_t nr = P.n_rows();
+    n_rows_ = nr;
+    n_cols_ = P.n_cols();
+    row_ptr_.assign(P.row_ptr(), P.row_ptr() + nr + 1);
+    col_idx_.assign(P.col_idx(), P.col_idx() + P.n_nonzeros());
+    values_.resize(P.n_nonzeros());
+    for (std::size_t i = 0; i < values_.size(); ++i)
+      values_[i] = Number(P.values()[i]);
+  }
+
+  void prolongate(Vector<Number> &fine,
+                  const Vector<Number> &coarse) const override
+  {
+    fine.reinit(n_rows_, true);
+    for (std::size_t r = 0; r < n_rows_; ++r)
+    {
+      Number sum = 0;
+      for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k)
+        sum += values_[k] * coarse[col_idx_[k]];
+      fine[r] = sum;
+    }
+  }
+
+  void restrict_down(Vector<Number> &coarse,
+                     const Vector<Number> &fine) const override
+  {
+    coarse.reinit(n_cols_, true);
+    coarse = Number(0);
+    for (std::size_t r = 0; r < n_rows_; ++r)
+    {
+      const Number v = fine[r];
+      if (v == Number(0))
+        continue;
+      for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k)
+        coarse[col_idx_[k]] += values_[k] * v;
+    }
+  }
+
+private:
+  std::size_t n_rows_ = 0, n_cols_ = 0;
+  std::vector<std::size_t> row_ptr_, col_idx_;
+  std::vector<Number> values_;
+};
+
+/// Builds the c-transfer: prolongation from the continuous Q1 space to the
+/// DG(1) space on the same mesh (rows = DG dofs, 8 per cell at Gauss nodes).
+inline SparseMatrix build_c_transfer(const Mesh &mesh, const CFESpace &cfe)
+{
+  DGFLOW_ASSERT(cfe.degree == 1, "c-transfer targets the Q1 space");
+  // Q1 basis {1-x, x} evaluated at the two Gauss nodes of the DG(1) space
+  const double g0 = gauss_quadrature(2).points[0];
+  const double node_x[2] = {g0, 1. - g0};
+  std::vector<SparseMatrix::Triplet> t;
+  const index_t n_cells = mesh.n_active_cells();
+  for (index_t c = 0; c < n_cells; ++c)
+    for (unsigned int node = 0; node < 8; ++node)
+    {
+      const std::size_t row = 8 * std::size_t(c) + node;
+      const double x = node_x[node & 1], y = node_x[(node >> 1) & 1],
+                   z = node_x[(node >> 2) & 1];
+      for (unsigned int corner = 0; corner < 8; ++corner)
+      {
+        const double wx = (corner & 1) ? x : 1. - x;
+        const double wy = ((corner >> 1) & 1) ? y : 1. - y;
+        const double wz = ((corner >> 2) & 1) ? z : 1. - z;
+        const double w = wx * wy * wz;
+        if (w == 0)
+          continue;
+        const std::uint32_t e =
+          cfe.cell_entries[8 * std::size_t(c) + corner];
+        if (CFESpace::is_constrained(e))
+        {
+          for (const auto &ce : cfe.constraints[e & ~CFESpace::constraint_bit])
+            if (!cfe.dirichlet[ce.dof])
+              t.push_back({row, ce.dof, w * ce.weight});
+        }
+        else if (!cfe.dirichlet[e])
+          t.push_back({row, e, w});
+      }
+    }
+  return SparseMatrix::from_triplets(8 * std::size_t(n_cells), cfe.n_dofs,
+                                     std::move(t));
+}
+
+/// Builds the h-transfer: prolongation from the Q1 space on the coarsened
+/// mesh to the Q1 space on the fine mesh (global coarsening, one level).
+inline SparseMatrix build_h_transfer(const Mesh &fine_mesh,
+                                     const CFESpace &fine,
+                                     const Mesh &coarse_mesh,
+                                     const CFESpace &coarse)
+{
+  std::vector<SparseMatrix::Triplet> t;
+  std::vector<char> row_done(fine.n_dofs, 0);
+
+  auto add_coarse_entry = [&](const std::size_t row, const std::uint32_t e,
+                              const double w) {
+    if (w == 0.)
+      return;
+    if (CFESpace::is_constrained(e))
+    {
+      for (const auto &ce : coarse.constraints[e & ~CFESpace::constraint_bit])
+        if (!coarse.dirichlet[ce.dof])
+          t.push_back({row, ce.dof, w * ce.weight});
+    }
+    else if (!coarse.dirichlet[e])
+      t.push_back({row, e, w});
+  };
+
+  for (index_t c = 0; c < fine_mesh.n_active_cells(); ++c)
+  {
+    const TreeCoord &tc = fine_mesh.cell(c);
+    // the coarse mesh contains either the same cell or the parent
+    index_t coarse_cell =
+      coarse_mesh.find_cell(tc.tree, tc.level, {{tc.x, tc.y, tc.z}});
+    bool is_parent = false;
+    if (coarse_cell == invalid_index && tc.level > 0)
+    {
+      coarse_cell = coarse_mesh.find_cell(
+        tc.tree, tc.level - 1, {{tc.x >> 1, tc.y >> 1, tc.z >> 1}});
+      is_parent = true;
+    }
+    DGFLOW_ASSERT(coarse_cell != invalid_index,
+                  "no coarse cell found for fine cell " << c);
+
+    for (unsigned int v = 0; v < 8; ++v)
+    {
+      const std::uint32_t fe = fine.cell_entries[8 * std::size_t(c) + v];
+      if (CFESpace::is_constrained(fe))
+        continue; // constrained fine vertices are interpolated on the fly
+      const std::size_t row = fe;
+      if (row_done[row] || fine.dirichlet[row])
+      {
+        row_done[row] = 1;
+        continue;
+      }
+      row_done[row] = 1;
+
+      if (!is_parent)
+      {
+        add_coarse_entry(row, coarse.cell_entries[8 * std::size_t(coarse_cell) + v],
+                         1.);
+        continue;
+      }
+      // position of the fine vertex within the parent cell, in halves
+      const unsigned int px = (tc.x & 1) + (v & 1);
+      const unsigned int py = (tc.y & 1) + ((v >> 1) & 1);
+      const unsigned int pz = (tc.z & 1) + ((v >> 2) & 1);
+      for (unsigned int corner = 0; corner < 8; ++corner)
+      {
+        const double wx = (corner & 1) ? px / 2. : 1. - px / 2.;
+        const double wy = ((corner >> 1) & 1) ? py / 2. : 1. - py / 2.;
+        const double wz = ((corner >> 2) & 1) ? pz / 2. : 1. - pz / 2.;
+        add_coarse_entry(
+          row, coarse.cell_entries[8 * std::size_t(coarse_cell) + corner],
+          wx * wy * wz);
+      }
+    }
+  }
+  return SparseMatrix::from_triplets(fine.n_dofs, coarse.n_dofs, std::move(t));
+}
+
+} // namespace dgflow

@@ -1,0 +1,49 @@
+#pragma once
+
+// Boundary-condition descriptors shared by the operators. Each boundary id
+// of the mesh is mapped to a condition type; the incompressible solver uses
+// complementary types for velocity and pressure (paper Section 2.4: velocity
+// Dirichlet walls get pressure Neumann, pressure Dirichlet in/outflows get
+// velocity Neumann).
+
+#include <map>
+
+#include "common/exceptions.h"
+
+namespace dgflow
+{
+enum class BoundaryType
+{
+  dirichlet,
+  neumann
+};
+
+class BoundaryMap
+{
+public:
+  BoundaryMap() = default;
+
+  explicit BoundaryMap(std::map<unsigned int, BoundaryType> types)
+    : types_(std::move(types))
+  {}
+
+  void set(const unsigned int id, const BoundaryType type)
+  {
+    types_[id] = type;
+  }
+
+  BoundaryType type_of(const unsigned int id) const
+  {
+    const auto it = types_.find(id);
+    DGFLOW_ASSERT(it != types_.end(),
+                  "no boundary condition registered for boundary id " << id);
+    return it->second;
+  }
+
+  bool empty() const { return types_.empty(); }
+
+private:
+  std::map<unsigned int, BoundaryType> types_;
+};
+
+} // namespace dgflow

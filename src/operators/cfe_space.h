@@ -1,0 +1,117 @@
+#pragma once
+
+// Generic description of a continuous finite element space over the active
+// mesh: per-cell dof tables (lexicographic over the (k+1)^3 Gauss-Lobatto
+// lattice), hanging-node constraints, and Dirichlet flags. Two builders:
+// from the general Q1 CFEDofHandler (any forest, hanging nodes), and from a
+// global lattice for arbitrary degree on uniformly refined boxes (used by
+// the CEED BP3 benchmark and the CFE(k) auxiliary multigrid level).
+
+#include <functional>
+#include <vector>
+
+#include "dof/dof_handler.h"
+
+namespace dgflow
+{
+struct CFESpace
+{
+  static constexpr std::uint32_t constraint_bit = 0x80000000u;
+
+  std::size_t n_dofs = 0;
+  unsigned int degree = 1;
+  /// n_cells * (degree+1)^3 entries, lexicographic within the cell
+  std::vector<std::uint32_t> cell_entries;
+  std::vector<std::vector<CFEDofHandler::ConstraintEntry>> constraints;
+  /// per-dof Dirichlet flag (those dofs are fixed to zero in level solves)
+  std::vector<char> dirichlet;
+
+  static bool is_constrained(const std::uint32_t e)
+  {
+    return (e & constraint_bit) != 0;
+  }
+};
+
+/// Builds the Q1 space from the general dof handler, marking as Dirichlet
+/// all dofs on boundaries for which @p is_dirichlet returns true.
+inline CFESpace
+make_q1_space(const CFEDofHandler &dofs,
+              const std::function<bool(unsigned int)> &is_dirichlet)
+{
+  CFESpace space;
+  space.n_dofs = dofs.n_dofs();
+  space.degree = 1;
+  const index_t n_cells = dofs.mesh().n_active_cells();
+  space.cell_entries.resize(8 * std::size_t(n_cells));
+  for (index_t c = 0; c < n_cells; ++c)
+    for (unsigned int v = 0; v < 8; ++v)
+      space.cell_entries[8 * std::size_t(c) + v] = dofs.cell_entry(c, v);
+  space.constraints.resize(dofs.n_constraints());
+  for (std::uint32_t i = 0; i < dofs.n_constraints(); ++i)
+    space.constraints[i] = dofs.constraint(i | CFEDofHandler::constraint_bit);
+  const auto flags = dofs.boundary_dof_flags(is_dirichlet);
+  space.dirichlet.assign(flags.begin(), flags.end());
+  return space;
+}
+
+/// Builds a degree-k continuous space on a uniformly refined subdivided box
+/// (no hanging nodes): dofs indexed on the global Gauss-Lobatto lattice.
+/// @p subdivisions are the coarse box subdivisions used by subdivided_box().
+inline CFESpace make_lattice_space(
+  const Mesh &mesh, const unsigned int degree,
+  const std::array<unsigned int, 3> &subdivisions,
+  const std::function<bool(unsigned int)> &is_dirichlet)
+{
+  CFESpace space;
+  space.degree = degree;
+  const unsigned int n1 = degree + 1;
+
+  // all active cells must share one level
+  const unsigned int level = mesh.cell(0).level;
+  for (index_t c = 0; c < mesh.n_active_cells(); ++c)
+    DGFLOW_ASSERT(mesh.cell(c).level == level,
+                  "lattice space requires uniform refinement");
+  const unsigned int m = 1u << level; // cells per tree per direction
+
+  // global lattice size
+  std::array<std::size_t, 3> N;
+  for (unsigned int d = 0; d < dim; ++d)
+    N[d] = std::size_t(subdivisions[d]) * m * degree + 1;
+  space.n_dofs = N[0] * N[1] * N[2];
+  space.dirichlet.assign(space.n_dofs, 0);
+
+  const index_t n_cells = mesh.n_active_cells();
+  space.cell_entries.resize(std::size_t(n_cells) * n1 * n1 * n1);
+  for (index_t c = 0; c < n_cells; ++c)
+  {
+    const TreeCoord &tc = mesh.cell(c);
+    // tree index -> box coordinates (generators order trees x-fastest)
+    const unsigned int bt = tc.tree;
+    const unsigned int bx = bt % subdivisions[0];
+    const unsigned int by = (bt / subdivisions[0]) % subdivisions[1];
+    const unsigned int bz = bt / (subdivisions[0] * subdivisions[1]);
+    const std::size_t cx = std::size_t(bx) * m + tc.x;
+    const std::size_t cy = std::size_t(by) * m + tc.y;
+    const std::size_t cz = std::size_t(bz) * m + tc.z;
+    for (unsigned int k = 0; k < n1; ++k)
+      for (unsigned int j = 0; j < n1; ++j)
+        for (unsigned int i = 0; i < n1; ++i)
+        {
+          const std::size_t gx = cx * degree + i;
+          const std::size_t gy = cy * degree + j;
+          const std::size_t gz = cz * degree + k;
+          const std::size_t dof = (gz * N[1] + gy) * N[0] + gx;
+          space.cell_entries[(std::size_t(c) * n1 * n1 + k * n1 + j) * n1 +
+                             i] = static_cast<std::uint32_t>(dof);
+          // boundary ids follow the colorized convention of subdivided_box
+          const bool on_b[6] = {gx == 0,        gx == N[0] - 1, gy == 0,
+                                gy == N[1] - 1, gz == 0,        gz == N[2] - 1};
+          for (unsigned int f = 0; f < 6; ++f)
+            if (on_b[f] && is_dirichlet(f))
+              space.dirichlet[dof] = 1;
+        }
+  }
+  return space;
+}
+
+} // namespace dgflow

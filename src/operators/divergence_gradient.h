@@ -1,0 +1,223 @@
+#pragma once
+
+// The mixed-space coupling operators of the splitting scheme: velocity
+// divergence D(U) tested with pressure functions and pressure gradient G(P)
+// tested with velocity functions, both with central fluxes (paper Section
+// 2.3). With homogeneous boundary data the two are negative adjoints of
+// each other, which the test suite verifies.
+
+#include "matrixfree/fe_evaluation.h"
+#include "matrixfree/fe_face_evaluation.h"
+#include "operators/convective_operator.h"
+
+namespace dgflow
+{
+template <typename Number>
+class DivergenceOperator
+{
+public:
+  using VA = VectorizedArray<Number>;
+  using VectorType = Vector<Number>;
+
+  void reinit(const MatrixFree<Number> &mf, const unsigned int u_space,
+              const unsigned int p_space, const unsigned int quad,
+              const FlowBoundaryMap &bc)
+  {
+    mf_ = &mf;
+    u_space_ = u_space;
+    p_space_ = p_space;
+    quad_ = quad;
+    bc_ = &bc;
+  }
+
+  /// dst (pressure space) = weak divergence of src (velocity space).
+  /// Velocity boundary data g_u is evaluated at time @p t; pass
+  /// use_boundary_values=false for the homogeneous action.
+  void apply(VectorType &dst, const VectorType &src, const double t,
+             const bool use_boundary_values = true) const
+  {
+    dst.reinit(mf_->n_dofs(p_space_, 1), true);
+    dst = Number(0);
+
+    FEEvaluation<Number, 3> u(*mf_, u_space_, quad_);
+    FEEvaluation<Number, 1> q_test(*mf_, p_space_, quad_);
+    for (unsigned int b = 0; b < mf_->n_cell_batches(); ++b)
+    {
+      u.reinit(b);
+      q_test.reinit(b);
+      u.read_dof_values(src);
+      u.evaluate(true, false);
+      for (unsigned int q = 0; q < u.n_q_points; ++q)
+        q_test.submit_gradient(-u.get_value(q), q);
+      q_test.integrate(false, true);
+      q_test.distribute_local_to_global(dst);
+    }
+
+    FEFaceEvaluation<Number, 3> u_m(*mf_, u_space_, quad_, true);
+    FEFaceEvaluation<Number, 3> u_p(*mf_, u_space_, quad_, false);
+    FEFaceEvaluation<Number, 1> q_m(*mf_, p_space_, quad_, true);
+    FEFaceEvaluation<Number, 1> q_p(*mf_, p_space_, quad_, false);
+    for (unsigned int b = 0; b < mf_->n_inner_face_batches(); ++b)
+    {
+      u_m.reinit(b);
+      u_p.reinit(b);
+      q_m.reinit(b);
+      q_p.reinit(b);
+      u_m.read_dof_values(src);
+      u_p.read_dof_values(src);
+      u_m.evaluate(true, false);
+      u_p.evaluate(true, false);
+      for (unsigned int q = 0; q < u_m.n_q_points; ++q)
+      {
+        const Tensor1<VA> n = u_m.get_normal_vector(q);
+        const VA flux =
+          Number(0.5) * dot(u_m.get_value(q) + u_p.get_value(q), n);
+        q_m.submit_value(flux, q);
+        q_p.submit_value(-flux, q);
+      }
+      q_m.integrate(true, false);
+      q_p.integrate(true, false);
+      q_m.distribute_local_to_global(dst);
+      q_p.distribute_local_to_global(dst);
+    }
+
+    for (unsigned int b = mf_->n_inner_face_batches();
+         b < mf_->n_face_batches(); ++b)
+    {
+      u_m.reinit(b);
+      q_m.reinit(b);
+      const FlowBoundary &bdata = bc_->at(u_m.boundary_id());
+      u_m.read_dof_values(src);
+      u_m.evaluate(true, false);
+      for (unsigned int q = 0; q < u_m.n_q_points; ++q)
+      {
+        const Tensor1<VA> n = u_m.get_normal_vector(q);
+        Tensor1<VA> uhat = u_m.get_value(q);
+        if (bdata.kind == FlowBoundary::Kind::velocity_dirichlet)
+        {
+          // ghost mirroring u+ = 2g - u- gives the central flux {u} = g
+          if (use_boundary_values)
+            uhat = ConvectiveOperator<Number>::evaluate_vector(bdata.velocity,
+                                                               u_m, q, t);
+          else
+            uhat = Tensor1<VA>();
+        }
+        q_m.submit_value(dot(uhat, n), q);
+      }
+      q_m.integrate(true, false);
+      q_m.distribute_local_to_global(dst);
+    }
+  }
+
+private:
+  const MatrixFree<Number> *mf_ = nullptr;
+  unsigned int u_space_ = 0, p_space_ = 0, quad_ = 0;
+  const FlowBoundaryMap *bc_ = nullptr;
+};
+
+template <typename Number>
+class GradientOperator
+{
+public:
+  using VA = VectorizedArray<Number>;
+  using VectorType = Vector<Number>;
+
+  void reinit(const MatrixFree<Number> &mf, const unsigned int u_space,
+              const unsigned int p_space, const unsigned int quad,
+              const FlowBoundaryMap &bc)
+  {
+    mf_ = &mf;
+    u_space_ = u_space;
+    p_space_ = p_space;
+    quad_ = quad;
+    bc_ = &bc;
+  }
+
+  /// dst (velocity space) = weak pressure gradient of src (pressure space).
+  void apply(VectorType &dst, const VectorType &src, const double t,
+             const bool use_boundary_values = true) const
+  {
+    dst.reinit(mf_->n_dofs(u_space_, 3), true);
+    dst = Number(0);
+
+    FEEvaluation<Number, 1> p(*mf_, p_space_, quad_);
+    FEEvaluation<Number, 3> v_test(*mf_, u_space_, quad_);
+    for (unsigned int b = 0; b < mf_->n_cell_batches(); ++b)
+    {
+      p.reinit(b);
+      v_test.reinit(b);
+      p.read_dof_values(src);
+      p.evaluate(true, false);
+      for (unsigned int q = 0; q < p.n_q_points; ++q)
+        v_test.submit_divergence(-p.get_value(q), q);
+      v_test.integrate(false, true);
+      v_test.distribute_local_to_global(dst);
+    }
+
+    FEFaceEvaluation<Number, 1> p_m(*mf_, p_space_, quad_, true);
+    FEFaceEvaluation<Number, 1> p_p(*mf_, p_space_, quad_, false);
+    FEFaceEvaluation<Number, 3> v_m(*mf_, u_space_, quad_, true);
+    FEFaceEvaluation<Number, 3> v_p(*mf_, u_space_, quad_, false);
+    for (unsigned int b = 0; b < mf_->n_inner_face_batches(); ++b)
+    {
+      p_m.reinit(b);
+      p_p.reinit(b);
+      v_m.reinit(b);
+      v_p.reinit(b);
+      p_m.read_dof_values(src);
+      p_p.read_dof_values(src);
+      p_m.evaluate(true, false);
+      p_p.evaluate(true, false);
+      for (unsigned int q = 0; q < p_m.n_q_points; ++q)
+      {
+        const VA phat = Number(0.5) * (p_m.get_value(q) + p_p.get_value(q));
+        // {p} [v].n: each side tests with its own outward normal
+        v_m.submit_value(phat * v_m.get_normal_vector(q), q);
+        v_p.submit_value(phat * v_p.get_normal_vector(q), q);
+      }
+      v_m.integrate(true, false);
+      v_p.integrate(true, false);
+      v_m.distribute_local_to_global(dst);
+      v_p.distribute_local_to_global(dst);
+    }
+
+    for (unsigned int b = mf_->n_inner_face_batches();
+         b < mf_->n_face_batches(); ++b)
+    {
+      p_m.reinit(b);
+      v_m.reinit(b);
+      const FlowBoundary &bdata = bc_->at(p_m.boundary_id());
+      p_m.read_dof_values(src);
+      p_m.evaluate(true, false);
+      for (unsigned int q = 0; q < p_m.n_q_points; ++q)
+      {
+        VA phat = p_m.get_value(q);
+        if (bdata.kind == FlowBoundary::Kind::pressure)
+        {
+          // ghost mirroring p+ = 2g - p- gives the central flux {p} = g
+          if (use_boundary_values)
+          {
+            const auto xq = p_m.quadrature_point(q);
+            VA g;
+            for (unsigned int l = 0; l < VA::width; ++l)
+              g[l] =
+                Number(bdata.pressure(Point(xq[0][l], xq[1][l], xq[2][l]), t));
+            phat = g;
+          }
+          else
+            phat = VA(Number(0));
+        }
+        v_m.submit_value(phat * v_m.get_normal_vector(q), q);
+      }
+      v_m.integrate(true, false);
+      v_m.distribute_local_to_global(dst);
+    }
+  }
+
+private:
+  const MatrixFree<Number> *mf_ = nullptr;
+  unsigned int u_space_ = 0, p_space_ = 0, quad_ = 0;
+  const FlowBoundaryMap *bc_ = nullptr;
+};
+
+} // namespace dgflow

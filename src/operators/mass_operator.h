@@ -1,0 +1,73 @@
+#pragma once
+
+// Mass operator and its exact inverse. With the nodal basis collocated at
+// the Gauss quadrature points, the DG mass matrix is diagonal with entries
+// JxW even on deformed cells - the property the dual splitting scheme
+// exploits for the cheap M^{-1} applications in Eqs. (1) and (3) and as the
+// preconditioner of the projection/penalty solves (paper Section 5.3).
+
+#include "matrixfree/fe_evaluation.h"
+
+namespace dgflow
+{
+template <typename Number, int n_components = 1>
+class MassOperator
+{
+public:
+  using VA = VectorizedArray<Number>;
+  using VectorType = Vector<Number>;
+
+  void reinit(const MatrixFree<Number> &mf, const unsigned int space,
+              const unsigned int quad)
+  {
+    mf_ = &mf;
+    space_ = space;
+    quad_ = quad;
+    DGFLOW_ASSERT(mf.shape_info(space, quad).collocation,
+                  "MassOperator requires the collocated quadrature");
+  }
+
+  std::size_t n_dofs() const { return mf_->n_dofs(space_, n_components); }
+
+  void vmult(VectorType &dst, const VectorType &src) const
+  {
+    dst.reinit(n_dofs(), true);
+    apply_scaled<false>(dst, src);
+  }
+
+  /// dst = M^{-1} src (exact, diagonal in the collocated basis).
+  void apply_inverse(VectorType &dst, const VectorType &src) const
+  {
+    dst.reinit(n_dofs(), true);
+    apply_scaled<true>(dst, src);
+  }
+
+private:
+  template <bool inverse>
+  void apply_scaled(VectorType &dst, const VectorType &src) const
+  {
+    const auto &metric = mf_->cell_metric(quad_);
+    const unsigned int nq = metric.n_q;
+    for (unsigned int b = 0; b < mf_->n_cell_batches(); ++b)
+    {
+      const auto &batch = mf_->cell_batch(b);
+      for (unsigned int l = 0; l < batch.n_filled; ++l)
+      {
+        const std::size_t base =
+          std::size_t(batch.cells[l]) * nq * n_components;
+        for (int c = 0; c < n_components; ++c)
+          for (unsigned int q = 0; q < nq; ++q)
+          {
+            const Number jxw = metric.JxW[std::size_t(b) * nq + q][l];
+            const std::size_t idx = base + c * nq + q;
+            dst[idx] = inverse ? src[idx] / jxw : src[idx] * jxw;
+          }
+      }
+    }
+  }
+
+  const MatrixFree<Number> *mf_ = nullptr;
+  unsigned int space_ = 0, quad_ = 0;
+};
+
+} // namespace dgflow

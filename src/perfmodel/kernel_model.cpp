@@ -1,0 +1,3 @@
+#include "perfmodel/kernel_model.h"
+
+// KernelModel is header-only; this translation unit anchors the library.

@@ -1,0 +1,23 @@
+#include "perfmodel/machine.h"
+
+#include <cmath>
+
+namespace dgflow
+{
+MachineModel MachineModel::local_calibrated(const double measured_bandwidth,
+                                            const double clock)
+{
+  MachineModel m;
+  m.name = "local (single core, AVX-512)";
+  m.cores_per_node = 1;
+  m.clock_hz = clock;
+  m.dp_flops_per_cycle_per_core = 32;
+  m.memory_bandwidth = measured_bandwidth;
+  m.cache_per_core = 2.375e6;
+  m.network_latency = 1.8e-6;
+  m.network_bandwidth = 1.25e10;
+  m.mpi_ranks_per_node = 1;
+  return m;
+}
+
+} // namespace dgflow

@@ -1,0 +1,3 @@
+#include "perfmodel/scaling_model.h"
+
+// ScalingModel is header-only; this translation unit anchors the library.

@@ -1,0 +1,134 @@
+#pragma once
+
+// Distributed-execution performance model for the strong/weak scaling
+// studies (paper Figs. 8-10). The model composes, per operation:
+//   - node-level time: work / min(bandwidth-limited, flop-limited) rate,
+//     with a cache-regime boost when the per-node working set fits into the
+//     aggregated L2+L3 (the "double bump" of Fig. 8);
+//   - nearest-neighbor communication: message latency (overlappable down to
+//     a floor) plus surface data volume;
+//   - multigrid "vertical" latency: per-level smoother sweeps with shrinking
+//     work, level-transfer messages, and the coarse AMG solve modeled as a
+//     fixed per-call latency on its own rank subset (the 3.5 ms per call the
+//     paper reports, scaled by machine constants).
+// The model is calibrated against node-level measurements and the published
+// SuperMUC-NG network parameters; EXPERIMENTS.md records both inputs.
+
+#include <vector>
+
+#include "perfmodel/kernel_model.h"
+#include "perfmodel/machine.h"
+
+namespace dgflow
+{
+struct ScalingModel
+{
+  MachineModel machine = MachineModel::supermuc_ng();
+  /// fraction of peak memory bandwidth the kernel reaches in the saturated
+  /// regime; the 25% measured-transfer overhead is modeled separately, so
+  /// the streaming itself runs at full bandwidth (calibrated so that the
+  /// saturated k=3 rate reproduces the paper's 1.4e9 DoF/s per node)
+  double bandwidth_efficiency = 1.0;
+  /// efficiency penalty of unstructured/adaptive meshes (partially filled
+  /// SIMD lanes, differing face orientations; Fig. 8 lung vs bifurcation)
+  double mesh_efficiency = 1.0;
+  /// messages each rank exchanges per operator evaluation
+  double neighbor_messages = 20.;
+  /// fraction of communication latency hidden behind computation
+  double overlap_fraction = 0.4;
+
+  /// Time of one matrix-free operator evaluation (mat-vec) [s].
+  double matvec_time(const double n_dofs, const unsigned int degree,
+                     const double n_nodes,
+                     const unsigned int scalar_bytes = 8) const
+  {
+    KernelModel kernel{degree, scalar_bytes};
+    const double dofs_per_node = n_dofs / n_nodes;
+
+    // node-level rate: bandwidth- or flop-limited
+    const double bytes = dofs_per_node * kernel.ideal_bytes_per_dof() * 1.25;
+    const double flops = dofs_per_node * kernel.flops_per_dof();
+
+    // cache boost: working set = vectors + metric
+    const double working_set =
+      dofs_per_node * kernel.ideal_bytes_per_dof();
+    double bw = machine.memory_bandwidth * bandwidth_efficiency;
+    if (working_set < machine.cache_bytes())
+      bw *= machine.cache_bandwidth_factor;
+    else if (working_set < 4. * machine.cache_bytes())
+      bw *= 1. + (machine.cache_bandwidth_factor - 1.) *
+                   (4. - working_set / machine.cache_bytes()) / 3.;
+
+    const double t_mem = bytes / bw;
+    const double t_flop = flops / (machine.peak_dp_flops() *
+                                   (scalar_bytes == 4 ? 2. : 1.) * 0.6);
+    const double t_compute =
+      std::max(t_mem, t_flop) / mesh_efficiency;
+
+    // surface communication: latency partially overlapped + volume
+    const double n1 = degree + 1.;
+    const double surface_dofs =
+      6. * std::pow(dofs_per_node, 2. / 3.) * std::cbrt(n1 * n1 * n1) / n1;
+    const double t_msg =
+      neighbor_messages * machine.network_latency * (1. - overlap_fraction);
+    const double t_vol = surface_dofs * scalar_bytes /
+                         machine.network_bandwidth;
+    return t_compute + t_msg + t_vol;
+  }
+
+  double matvec_throughput(const double n_dofs, const unsigned int degree,
+                           const double n_nodes) const
+  {
+    return n_dofs / matvec_time(n_dofs, degree, n_nodes);
+  }
+
+  struct MultigridConfig
+  {
+    unsigned int degree = 3;
+    unsigned int smoother_degree = 3; ///< Chebyshev mat-vecs per sweep
+    unsigned int n_h_levels = 4;
+    unsigned int cg_iterations = 9;
+    double amg_latency = 3.5e-3; ///< coarse solve per call (paper Sec. 5.2)
+    double min_dofs_per_rank = 200.;
+  };
+
+  /// Time of one multigrid-preconditioned CG solve of the pressure Poisson
+  /// problem [s].
+  double poisson_solve_time(const double n_dofs, const double n_nodes,
+                            const MultigridConfig &config) const
+  {
+    // per V-cycle: pre+post smoothing (2 * smoother_degree mat-vecs) plus
+    // one residual mat-vec per level, in single precision; level sizes
+    // shrink by ~8 per h-level after the p/c sub-hierarchy (~2.4x, ~1.7x)
+    double t_vcycle = 0;
+    double level_dofs = n_dofs;
+    const double level_factors[3] = {2.37, 1.7, 8.};
+    unsigned int level = 0;
+    for (unsigned int l = 0; l < 2 + config.n_h_levels; ++l)
+    {
+      // ranks participating shrink so that at least min_dofs_per_rank remain
+      double nodes_active = std::min(
+        n_nodes, level_dofs / (config.min_dofs_per_rank *
+                               machine.mpi_ranks_per_node));
+      nodes_active = std::max(1., nodes_active);
+      const unsigned int deg = l == 0 ? config.degree : (l == 1 ? config.degree : 1);
+      const double sweeps = 2. * config.smoother_degree + 1.;
+      t_vcycle +=
+        sweeps * matvec_time(level_dofs, deg, nodes_active, 4);
+      // transfer: one message round per level
+      t_vcycle += machine.allreduce_latency(nodes_active) +
+                  2. * machine.network_latency;
+      level_dofs /= level_factors[std::min(l, 2u)];
+      ++level;
+    }
+    t_vcycle += config.amg_latency;
+
+    // CG: V-cycle + one DP mat-vec + dot products (allreduce latency)
+    const double t_cg_overhead =
+      matvec_time(n_dofs, config.degree, n_nodes, 8) +
+      3. * machine.allreduce_latency(n_nodes);
+    return config.cg_iterations * (t_vcycle + t_cg_overhead);
+  }
+};
+
+} // namespace dgflow

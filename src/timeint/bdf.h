@@ -1,0 +1,64 @@
+#pragma once
+
+// Variable-step BDF time integration coefficients (order J <= 2) and the
+// matching explicit extrapolation coefficients used by the dual splitting
+// scheme (Eqs. 1-5): the time step adapts each step to the CFL condition
+// (Eq. 6), so the coefficients depend on the ratio of consecutive steps.
+
+#include <array>
+
+#include "common/exceptions.h"
+
+namespace dgflow
+{
+struct BDFCoefficients
+{
+  double gamma0 = 1.;
+  std::array<double, 2> alpha{{1., 0.}}; ///< weights of u^n, u^{n-1}
+  std::array<double, 2> beta{{1., 0.}};  ///< extrapolation weights
+
+  /// Order-1 (startup) coefficients.
+  static BDFCoefficients bdf1()
+  {
+    return BDFCoefficients{};
+  }
+
+  /// Order-2 coefficients for step ratio r = dt_n / dt_{n-1}.
+  static BDFCoefficients bdf2(const double r)
+  {
+    DGFLOW_ASSERT(r > 0, "invalid step ratio");
+    BDFCoefficients c;
+    c.gamma0 = (1. + 2. * r) / (1. + r);
+    c.alpha = {{1. + r, -r * r / (1. + r)}};
+    c.beta = {{1. + r, -r}};
+    return c;
+  }
+};
+
+/// Adaptive CFL-based time step controller (Eq. 6): dt = CFL/k^1.5 * min_e
+/// h_e/||u||_e, limited in growth to keep the BDF2 coefficients stable.
+class TimeStepControl
+{
+public:
+  TimeStepControl(const double cfl, const unsigned int degree,
+                  const double max_growth = 1.2)
+    : cfl_(cfl), degree_(degree), max_growth_(max_growth)
+  {}
+
+  /// Computes the next step from the global min of h/||u|| and the previous
+  /// step size (0 on the first call).
+  double next(const double min_h_over_u, const double previous) const
+  {
+    double dt = cfl_ / std::pow(double(degree_), 1.5) * min_h_over_u;
+    if (previous > 0)
+      dt = std::min(dt, max_growth_ * previous);
+    return dt;
+  }
+
+private:
+  double cfl_;
+  unsigned int degree_;
+  double max_growth_;
+};
+
+} // namespace dgflow

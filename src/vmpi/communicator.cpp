@@ -1,0 +1,127 @@
+#include "vmpi/communicator.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <thread>
+
+#include "common/exceptions.h"
+
+namespace dgflow::vmpi
+{
+void run(const int n_ranks, const std::function<void(Communicator &)> &f)
+{
+  DGFLOW_ASSERT(n_ranks >= 1, "need at least one rank");
+  internal::SharedState state(n_ranks);
+  std::vector<std::thread> threads;
+  std::vector<std::exception_ptr> errors(n_ranks);
+
+  for (int r = 0; r < n_ranks; ++r)
+    threads.emplace_back([&, r]() {
+      Communicator comm(state, r);
+      try
+      {
+        f(comm);
+      }
+      catch (...)
+      {
+        errors[r] = std::current_exception();
+      }
+    });
+  for (auto &t : threads)
+    t.join();
+  for (const auto &e : errors)
+    if (e)
+      std::rethrow_exception(e);
+}
+
+void Communicator::send(const int dest, const int tag, const void *data,
+                        const std::size_t bytes)
+{
+  DGFLOW_ASSERT(dest >= 0 && dest < size(), "invalid destination rank");
+  internal::Message msg;
+  msg.source = rank_;
+  msg.tag = tag;
+  msg.data.resize(bytes);
+  std::memcpy(msg.data.data(), data, bytes);
+  auto &box = state_.mailboxes[dest];
+  {
+    std::lock_guard<std::mutex> lock(box.mutex);
+    box.messages.push_back(std::move(msg));
+  }
+  box.cv.notify_all();
+}
+
+std::size_t Communicator::recv(const int source, const int tag, void *data,
+                               const std::size_t max_bytes)
+{
+  auto &box = state_.mailboxes[rank_];
+  std::unique_lock<std::mutex> lock(box.mutex);
+  for (;;)
+  {
+    const auto it = std::find_if(
+      box.messages.begin(), box.messages.end(),
+      [&](const internal::Message &m) {
+        return m.source == source && m.tag == tag;
+      });
+    if (it != box.messages.end())
+    {
+      DGFLOW_ASSERT(it->data.size() <= max_bytes,
+                    "receive buffer too small: " << it->data.size() << " > "
+                                                 << max_bytes);
+      std::memcpy(data, it->data.data(), it->data.size());
+      const std::size_t bytes = it->data.size();
+      box.messages.erase(it);
+      return bytes;
+    }
+    box.cv.wait(lock);
+  }
+}
+
+void Communicator::barrier()
+{
+  std::vector<double> dummy;
+  allreduce(dummy, Op::sum);
+}
+
+void Communicator::allreduce(std::vector<double> &values, const Op op)
+{
+  std::unique_lock<std::mutex> lock(state_.coll_mutex);
+  // entry gate: the previous collective must be fully drained
+  state_.coll_cv.wait(lock, [&]() { return state_.coll_exiting == 0; });
+
+  const long generation = state_.coll_generation;
+  if (state_.coll_count == 0)
+    state_.reduce_slot = values;
+  else
+    for (std::size_t i = 0; i < values.size(); ++i)
+      switch (op)
+      {
+        case Op::sum:
+          state_.reduce_slot[i] += values[i];
+          break;
+        case Op::max:
+          state_.reduce_slot[i] = std::max(state_.reduce_slot[i], values[i]);
+          break;
+        case Op::min:
+          state_.reduce_slot[i] = std::min(state_.reduce_slot[i], values[i]);
+          break;
+      }
+
+  if (++state_.coll_count == state_.n_ranks)
+  {
+    state_.coll_count = 0;
+    state_.coll_exiting = state_.n_ranks;
+    ++state_.coll_generation;
+    state_.coll_cv.notify_all();
+  }
+  else
+    state_.coll_cv.wait(lock, [&]() {
+      return state_.coll_generation != generation;
+    });
+
+  values = state_.reduce_slot;
+  if (--state_.coll_exiting == 0)
+    state_.coll_cv.notify_all();
+}
+
+} // namespace dgflow::vmpi

@@ -1,0 +1,120 @@
+#pragma once
+
+// In-process message-passing layer ("virtual MPI"): logical ranks run as
+// threads and communicate through mailboxes with MPI-like semantics
+// (buffered non-blocking sends, blocking tagged receives, barrier,
+// allreduce, broadcast). This substitutes the paper's MPI substrate on the
+// single-node reproduction environment: the distributed algorithms
+// (partitioned vectors, ghost exchange, reductions) execute the same logic
+// they would across real ranks, and the message counts feed the scaling
+// performance model. See DESIGN.md.
+
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace dgflow::vmpi
+{
+class Communicator;
+
+/// Runs @p f concurrently on @p n_ranks logical ranks and joins them.
+/// Exceptions thrown by any rank are rethrown on the caller.
+void run(const int n_ranks, const std::function<void(Communicator &)> &f);
+
+namespace internal
+{
+struct Message
+{
+  int source;
+  int tag;
+  std::vector<char> data;
+};
+
+struct Mailbox
+{
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::deque<Message> messages;
+};
+
+struct SharedState
+{
+  explicit SharedState(const int n) : mailboxes(n), n_ranks(n) {}
+  std::vector<Mailbox> mailboxes;
+  int n_ranks;
+
+  // barrier / collective state (two-phase: ranks may not enter the next
+  // collective before everyone has left the previous one)
+  std::mutex coll_mutex;
+  std::condition_variable coll_cv;
+  int coll_count = 0;
+  int coll_exiting = 0;
+  long coll_generation = 0;
+  std::vector<double> reduce_slot;
+};
+} // namespace internal
+
+class Communicator
+{
+public:
+  Communicator(internal::SharedState &state, const int rank)
+    : state_(state), rank_(rank)
+  {}
+
+  int rank() const { return rank_; }
+  int size() const { return state_.n_ranks; }
+
+  /// Buffered non-blocking send (returns immediately).
+  void send(const int dest, const int tag, const void *data,
+            const std::size_t bytes);
+
+  /// Blocking receive matching (source, tag); returns the payload size.
+  std::size_t recv(const int source, const int tag, void *data,
+                   const std::size_t max_bytes);
+
+  template <typename T>
+  void send_vector(const int dest, const int tag, const std::vector<T> &v)
+  {
+    send(dest, tag, v.data(), v.size() * sizeof(T));
+  }
+
+  template <typename T>
+  std::vector<T> recv_vector(const int source, const int tag,
+                             const std::size_t max_elements)
+  {
+    std::vector<T> v(max_elements);
+    const std::size_t bytes =
+      recv(source, tag, v.data(), max_elements * sizeof(T));
+    v.resize(bytes / sizeof(T));
+    return v;
+  }
+
+  void barrier();
+
+  enum class Op
+  {
+    sum,
+    max,
+    min
+  };
+
+  /// Allreduce of a double vector (in place).
+  void allreduce(std::vector<double> &values, const Op op);
+
+  double allreduce(const double value, const Op op)
+  {
+    std::vector<double> v{value};
+    allreduce(v, op);
+    return v[0];
+  }
+
+private:
+  internal::SharedState &state_;
+  int rank_;
+};
+
+} // namespace dgflow::vmpi

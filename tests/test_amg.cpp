@@ -1,0 +1,195 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "amg/amg.h"
+
+using namespace dgflow;
+
+namespace
+{
+/// 1D Poisson matrix of size n (Dirichlet), a simple SPD test case.
+SparseMatrix poisson_1d(const std::size_t n)
+{
+  std::vector<SparseMatrix::Triplet> t;
+  for (std::size_t i = 0; i < n; ++i)
+  {
+    t.push_back({i, i, 2.});
+    if (i > 0)
+      t.push_back({i, i - 1, -1.});
+    if (i + 1 < n)
+      t.push_back({i, i + 1, -1.});
+  }
+  return SparseMatrix::from_triplets(n, n, std::move(t));
+}
+
+/// 3D 7-point Laplacian on an m^3 grid.
+SparseMatrix poisson_3d(const std::size_t m)
+{
+  const std::size_t n = m * m * m;
+  auto idx = [m](std::size_t i, std::size_t j, std::size_t k) {
+    return (k * m + j) * m + i;
+  };
+  std::vector<SparseMatrix::Triplet> t;
+  for (std::size_t k = 0; k < m; ++k)
+    for (std::size_t j = 0; j < m; ++j)
+      for (std::size_t i = 0; i < m; ++i)
+      {
+        const std::size_t r = idx(i, j, k);
+        t.push_back({r, r, 6.});
+        if (i > 0)
+          t.push_back({r, idx(i - 1, j, k), -1.});
+        if (i + 1 < m)
+          t.push_back({r, idx(i + 1, j, k), -1.});
+        if (j > 0)
+          t.push_back({r, idx(i, j - 1, k), -1.});
+        if (j + 1 < m)
+          t.push_back({r, idx(i, j + 1, k), -1.});
+        if (k > 0)
+          t.push_back({r, idx(i, j, k - 1), -1.});
+        if (k + 1 < m)
+          t.push_back({r, idx(i, j, k + 1), -1.});
+      }
+  return SparseMatrix::from_triplets(n, n, std::move(t));
+}
+} // namespace
+
+TEST(SparseMatrixTest, TripletsWithDuplicatesAreSummed)
+{
+  std::vector<SparseMatrix::Triplet> t = {
+    {0, 0, 1.}, {0, 0, 2.}, {1, 0, 0.5}, {0, 1, -1.}};
+  const auto m = SparseMatrix::from_triplets(2, 2, t);
+  EXPECT_EQ(m.n_nonzeros(), 3u);
+  Vector<double> x(2), y;
+  x[0] = 1.;
+  x[1] = 1.;
+  m.vmult(y, x);
+  EXPECT_DOUBLE_EQ(y[0], 2.);
+  EXPECT_DOUBLE_EQ(y[1], 0.5);
+}
+
+TEST(SparseMatrixTest, TransposeRoundTrip)
+{
+  const auto A = poisson_3d(3);
+  const auto At = A.transpose();
+  // symmetric matrix: transpose equals original
+  Vector<double> x(A.n_rows()), y1, y2;
+  for (std::size_t i = 0; i < x.size(); ++i)
+    x[i] = std::sin(1. + double(i));
+  A.vmult(y1, x);
+  At.vmult(y2, x);
+  for (std::size_t i = 0; i < x.size(); ++i)
+    EXPECT_NEAR(y1[i], y2[i], 1e-14);
+}
+
+TEST(SparseMatrixTest, MultiplyMatchesDense)
+{
+  // (A*A) x == A (A x)
+  const auto A = poisson_1d(10);
+  const auto AA = SparseMatrix::multiply(A, A);
+  Vector<double> x(10), y1, y2, t;
+  for (std::size_t i = 0; i < 10; ++i)
+    x[i] = 0.3 * double(i) - 1.;
+  A.vmult(t, x);
+  A.vmult(y1, t);
+  AA.vmult(y2, x);
+  for (std::size_t i = 0; i < 10; ++i)
+    EXPECT_NEAR(y1[i], y2[i], 1e-13);
+}
+
+TEST(SparseMatrixTest, GaussSeidelReducesResidual)
+{
+  const auto A = poisson_3d(5);
+  const std::size_t n = A.n_rows();
+  Vector<double> b(n), x(n), r;
+  b = 1.;
+  for (unsigned int sweep = 0; sweep < 3; ++sweep)
+  {
+    A.vmult(r, x);
+    r.sadd(-1., 1., b);
+    const double before = double(r.l2_norm());
+    A.gauss_seidel_forward(x, b);
+    A.gauss_seidel_backward(x, b);
+    A.vmult(r, x);
+    r.sadd(-1., 1., b);
+    EXPECT_LT(double(r.l2_norm()), before);
+  }
+}
+
+TEST(AMGTest, DirectSolveOnSmallMatrix)
+{
+  // below the coarse-size threshold, AMG is a dense LU solve
+  const auto A = poisson_1d(50);
+  AMG amg;
+  amg.setup(A);
+  EXPECT_EQ(amg.n_levels(), 1u);
+  Vector<double> b(50), x(50), r;
+  for (std::size_t i = 0; i < 50; ++i)
+    b[i] = std::cos(0.2 * double(i));
+  amg.vcycle(x, b);
+  A.vmult(r, x);
+  r.sadd(-1., 1., b);
+  EXPECT_LT(double(r.l2_norm()), 1e-12 * double(b.l2_norm()));
+}
+
+TEST(AMGTest, ConvergesFastOn3DPoisson)
+{
+  const auto A = poisson_3d(12); // 1728 unknowns -> multiple levels
+  AMG amg;
+  amg.setup(A);
+  EXPECT_GE(amg.n_levels(), 2u);
+  Vector<double> b(A.n_rows()), x(A.n_rows());
+  for (std::size_t i = 0; i < b.size(); ++i)
+    b[i] = std::sin(0.37 * double(i));
+  const unsigned int cycles = amg.solve(x, b, 1e-8, 50);
+  EXPECT_LE(cycles, 25u) << "AMG cycles: " << cycles;
+  Vector<double> r;
+  A.vmult(r, x);
+  r.sadd(-1., 1., b);
+  EXPECT_LT(double(r.l2_norm()), 1e-8 * double(b.l2_norm()));
+}
+
+TEST(AMGTest, CoarseningReducesSize)
+{
+  const auto A = poisson_3d(12);
+  AMG amg;
+  amg.setup(A);
+  for (unsigned int l = 1; l < amg.n_levels(); ++l)
+    EXPECT_LT(amg.level_size(l), amg.level_size(l - 1));
+}
+
+TEST(AMGTest, ConvergesOnRandomDiagonallyDominantSPD)
+{
+  std::mt19937 rng(11);
+  std::uniform_real_distribution<double> dist(0., 1.);
+  const std::size_t n = 800;
+  std::vector<SparseMatrix::Triplet> t;
+  std::vector<double> row_sum(n, 0.);
+  for (std::size_t r = 0; r < n; ++r)
+    for (unsigned int k = 0; k < 4; ++k)
+    {
+      const std::size_t c = (r + 1 + std::size_t(dist(rng) * 20)) % n;
+      if (c == r)
+        continue;
+      const double v = -dist(rng);
+      t.push_back({r, c, v});
+      t.push_back({c, r, v}); // keep it symmetric
+      row_sum[r] += std::abs(v);
+      row_sum[c] += std::abs(v);
+    }
+  for (std::size_t r = 0; r < n; ++r)
+    t.push_back({r, r, row_sum[r] + 1.});
+  const auto A = SparseMatrix::from_triplets(n, n, std::move(t));
+
+  AMG amg;
+  amg.setup(A);
+  Vector<double> b(n), x(n), r(n);
+  for (std::size_t i = 0; i < n; ++i)
+    b[i] = std::sin(0.1 * double(i));
+  const unsigned int cycles = amg.solve(x, b, 1e-8, 60);
+  EXPECT_LE(cycles, 60u);
+  A.vmult(r, x);
+  r.sadd(-1., 1., b);
+  EXPECT_LT(double(r.l2_norm()), 1e-8 * double(b.l2_norm()) * 1.01);
+}

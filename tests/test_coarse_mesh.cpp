@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include "mesh/generators.h"
+
+using namespace dgflow;
+
+TEST(FaceVertices, MatchesLexicographicConvention)
+{
+  // face 0: x=0, tangential (y,z): vertices (0,0,0),(0,1,0),(0,0,1),(0,1,1)
+  const auto f0 = face_vertices(0);
+  EXPECT_EQ(f0[0], 0u);
+  EXPECT_EQ(f0[1], 2u);
+  EXPECT_EQ(f0[2], 4u);
+  EXPECT_EQ(f0[3], 6u);
+  // face 5: z=1, tangential (x,y): vertices 4,5,6,7
+  const auto f5 = face_vertices(5);
+  EXPECT_EQ(f5[0], 4u);
+  EXPECT_EQ(f5[1], 5u);
+  EXPECT_EQ(f5[2], 6u);
+  EXPECT_EQ(f5[3], 7u);
+}
+
+TEST(QuadOrientation, DetectsAllEightOrientations)
+{
+  const std::array<index_t, 4> va = {{10, 11, 12, 13}};
+  for (unsigned int o = 0; o < 8; ++o)
+  {
+    // construct vb such that vb[idx(o(u,v))] = va[idx(u,v)]
+    std::array<index_t, 4> vb{};
+    for (unsigned int v = 0; v < 4; ++v)
+    {
+      const auto [up, wp] = orient_face_coords(o, v & 1, v >> 1, 2);
+      vb[wp * 2 + up] = va[v];
+    }
+    EXPECT_EQ(quad_orientation(va, vb), o);
+  }
+}
+
+TEST(QuadOrientation, InverseComposesToIdentity)
+{
+  for (unsigned int o = 0; o < 8; ++o)
+  {
+    const unsigned int oi = inverse_orientation(o);
+    for (unsigned int n : {2u, 3u, 5u})
+      for (unsigned int i0 = 0; i0 < n; ++i0)
+        for (unsigned int i1 = 0; i1 < n; ++i1)
+        {
+          const auto [a, b] = orient_face_coords(o, i0, i1, n);
+          const auto [c, d] = orient_face_coords(oi, a, b, n);
+          EXPECT_EQ(c, i0);
+          EXPECT_EQ(d, i1);
+        }
+  }
+}
+
+TEST(CoarseMeshConnectivity, SubdividedBoxNeighborsAreSymmetric)
+{
+  CoarseMesh mesh = subdivided_box(Point(0, 0, 0), Point(3, 2, 1), {{3, 2, 1}});
+  mesh.compute_connectivity();
+  ASSERT_EQ(mesh.n_cells(), 6u);
+
+  unsigned int n_interior = 0, n_boundary = 0;
+  for (index_t c = 0; c < mesh.n_cells(); ++c)
+    for (unsigned int f = 0; f < 6; ++f)
+    {
+      const auto &nb = mesh.neighbors[c][f];
+      if (nb.cell == invalid_index)
+      {
+        ++n_boundary;
+        EXPECT_NE(mesh.boundary_ids[c][f], interior_face_id);
+      }
+      else
+      {
+        ++n_interior;
+        // symmetric: my neighbor's neighbor through its face is me
+        const auto &back = mesh.neighbors[nb.cell][nb.face_no];
+        EXPECT_EQ(back.cell, c);
+        EXPECT_EQ(back.face_no, f);
+        // axis-aligned boxes share orientation 0 and opposite faces
+        EXPECT_EQ(nb.orientation, 0);
+        EXPECT_EQ(nb.face_no, f % 2 == 0 ? f + 1 : f - 1);
+        EXPECT_EQ(mesh.boundary_ids[c][f], interior_face_id);
+      }
+    }
+  // 3x2x1 box: 22 boundary faces, 7 interior faces counted twice
+  EXPECT_EQ(n_boundary, 22u);
+  EXPECT_EQ(n_interior, 14u);
+}
+
+TEST(CoarseMeshConnectivity, ColorizedBoundaryIds)
+{
+  CoarseMesh mesh = subdivided_box(Point(0, 0, 0), Point(1, 1, 1), {{2, 2, 2}});
+  mesh.compute_connectivity();
+  // cell 0 is at the lower corner: faces 0,2,4 are boundaries with their ids
+  EXPECT_EQ(mesh.boundary_ids[0][0], 0u);
+  EXPECT_EQ(mesh.boundary_ids[0][2], 2u);
+  EXPECT_EQ(mesh.boundary_ids[0][4], 4u);
+  EXPECT_EQ(mesh.boundary_ids[0][1], interior_face_id);
+}
+
+TEST(CoarseMeshConnectivity, RotatedNeighborOrientation)
+{
+  // cube A: [0,1]^3 standard; cube B: [1,2]x[0,1]x[0,1] with local axes
+  // e_x = -global z, e_y = global y, e_z = global x (right-handed)
+  std::vector<Point> vertices;
+  for (unsigned int v = 0; v < 8; ++v)
+    vertices.push_back(Point(v & 1, (v >> 1) & 1, (v >> 2) & 1));
+  std::vector<index_t> bvid(8);
+  auto add_vertex = [&](const Point &p) {
+    for (index_t i = 0; i < vertices.size(); ++i)
+      if (norm(vertices[i] - p) < 1e-12)
+        return i;
+    vertices.push_back(p);
+    return index_t(vertices.size() - 1);
+  };
+  for (unsigned int v = 0; v < 8; ++v)
+  {
+    const double a = v & 1, b = (v >> 1) & 1, c = (v >> 2) & 1;
+    bvid[v] = add_vertex(Point(1 + c, b, 1 - a));
+  }
+  std::vector<std::array<index_t, 8>> cells(2);
+  for (unsigned int v = 0; v < 8; ++v)
+  {
+    cells[0][v] = v;
+    cells[1][v] = bvid[v];
+  }
+  CoarseMesh mesh = from_lists(std::move(vertices), std::move(cells));
+  mesh.compute_connectivity();
+
+  // A's +x face borders B's -z face with a non-identity orientation
+  const auto &nb = mesh.neighbors[0][1];
+  ASSERT_EQ(nb.cell, 1u);
+  EXPECT_EQ(nb.face_no, 4);
+  EXPECT_NE(nb.orientation, 0);
+  const auto &back = mesh.neighbors[1][4];
+  EXPECT_EQ(back.cell, 0u);
+  EXPECT_EQ(back.face_no, 1);
+  EXPECT_EQ(back.orientation, inverse_orientation(nb.orientation));
+}
+
+TEST(CoarseMeshConnectivity, RejectsNonManifold)
+{
+  // three cells sharing one face
+  std::vector<Point> v;
+  for (unsigned int i = 0; i < 8; ++i)
+    v.push_back(Point(i & 1, (i >> 1) & 1, (i >> 2) & 1));
+  // extra vertices for two more cells on the +x side
+  v.push_back(Point(2, 0, 0)); // 8
+  v.push_back(Point(2, 1, 0)); // 9
+  v.push_back(Point(2, 0, 1)); // 10
+  v.push_back(Point(2, 1, 1)); // 11
+  v.push_back(Point(3, 0, 0)); // 12
+  v.push_back(Point(3, 1, 0)); // 13
+  v.push_back(Point(3, 0, 1)); // 14
+  v.push_back(Point(3, 1, 1)); // 15
+  std::vector<std::array<index_t, 8>> cells;
+  cells.push_back({0, 1, 2, 3, 4, 5, 6, 7});
+  cells.push_back({1, 8, 3, 9, 5, 10, 7, 11});
+  cells.push_back({1, 12, 3, 13, 5, 14, 7, 15}); // shares face {1,3,5,7} again
+  CoarseMesh mesh = from_lists(std::move(v), std::move(cells));
+  EXPECT_THROW(mesh.compute_connectivity(), std::runtime_error);
+}
+
+TEST(CoarseMeshConnectivity, RejectsLeftHandedCell)
+{
+  std::vector<Point> v;
+  for (unsigned int i = 0; i < 8; ++i)
+    v.push_back(Point(i & 1, (i >> 1) & 1, (i >> 2) & 1));
+  // swap two vertex layers to make the cell left-handed
+  std::vector<std::array<index_t, 8>> cells;
+  cells.push_back({4, 5, 6, 7, 0, 1, 2, 3});
+  CoarseMesh mesh = from_lists(std::move(v), std::move(cells));
+  EXPECT_THROW(mesh.compute_connectivity(), std::runtime_error);
+}

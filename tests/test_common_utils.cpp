@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <thread>
+
+#include "common/table.h"
+#include "common/timer.h"
+#include "common/types.h"
+
+using namespace dgflow;
+
+TEST(PowInt, SmallExponents)
+{
+  EXPECT_EQ(pow_int(2, 0), 1u);
+  EXPECT_EQ(pow_int(2, 10), 1024u);
+  EXPECT_EQ(pow_int(5, 3), 125u);
+  EXPECT_EQ(pow_int(1, 100), 1u);
+}
+
+TEST(TableTest, FormatsRowsAndHeaders)
+{
+  Table t({"name", "value"});
+  t.add_row("alpha", 1.5);
+  t.add_row("beta", 42);
+  std::ostringstream out;
+  t.print(out);
+  const std::string s = out.str();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("1.5"), std::string::npos);
+  EXPECT_NE(s.find("42"), std::string::npos);
+}
+
+TEST(TableTest, ScientificNotationMatchesPaperStyle)
+{
+  EXPECT_EQ(Table::sci(3.5e5), "3.5e5");
+  EXPECT_EQ(Table::sci(1.8e5), "1.8e5");
+  EXPECT_EQ(Table::sci(2.0e6), "2.0e6");
+  EXPECT_EQ(Table::sci(4.4e-5), "4.4e-5");
+}
+
+TEST(TimerTest, MeasuresElapsedTime)
+{
+  Timer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const double s = t.seconds();
+  EXPECT_GE(s, 0.015);
+  EXPECT_LT(s, 5.0);
+  t.restart();
+  EXPECT_LT(t.seconds(), 0.01);
+}
+
+TEST(TimerTreeTest, AccumulatesSections)
+{
+  TimerTree tree;
+  tree.add("a", 1.0);
+  tree.add("a", 0.5);
+  tree.add("b", 2.0);
+  EXPECT_DOUBLE_EQ(tree.entries().at("a").seconds, 1.5);
+  EXPECT_EQ(tree.entries().at("a").count, 2ul);
+  EXPECT_DOUBLE_EQ(tree.total(), 3.5);
+  tree.clear();
+  EXPECT_TRUE(tree.entries().empty());
+}
+
+TEST(ScopedTimerTest, RecordsIntoTree)
+{
+  TimerTree tree;
+  {
+    ScopedTimer st(tree, "section");
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(tree.entries().at("section").count, 1ul);
+  EXPECT_GT(tree.entries().at("section").seconds, 0.003);
+}
+
+TEST(BestWallTime, TakesTheMinimum)
+{
+  int call = 0;
+  const double best = best_wall_time(
+    [&]() {
+      // first call slower than the rest
+      std::this_thread::sleep_for(
+        std::chrono::milliseconds(call++ == 0 ? 12 : 2));
+    },
+    4);
+  EXPECT_LT(best, 0.010);
+  EXPECT_GE(best, 0.001);
+}

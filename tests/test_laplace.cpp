@@ -1,0 +1,314 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "mesh/generators.h"
+#include "operators/laplace_operator.h"
+#include "operators/mass_operator.h"
+#include "solvers/cg.h"
+
+using namespace dgflow;
+
+namespace
+{
+BoundaryMap all_dirichlet()
+{
+  BoundaryMap bc;
+  for (unsigned int id = 0; id < 6; ++id)
+    bc.set(id, BoundaryType::dirichlet);
+  return bc;
+}
+
+void setup_mf(MatrixFree<double> &mf, const Mesh &mesh, const Geometry &geom,
+              const unsigned int degree)
+{
+  MatrixFree<double>::AdditionalData data;
+  data.degrees = {degree};
+  data.n_q_points_1d = {degree + 1};
+  mf.reinit(mesh, geom, data);
+}
+
+Vector<double> random_vec(const std::size_t n, const unsigned int seed = 3)
+{
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<double> dist(-1., 1.);
+  Vector<double> v(n);
+  for (std::size_t i = 0; i < n; ++i)
+    v[i] = dist(rng);
+  return v;
+}
+
+double solve_poisson_l2_error(const Mesh &mesh, const Geometry &geom,
+                              const unsigned int degree)
+{
+  MatrixFree<double> mf;
+  setup_mf(mf, mesh, geom, degree);
+  LaplaceOperator<double> laplace;
+  laplace.reinit(mf, 0, 0, all_dirichlet());
+
+  const auto exact = [](const Point &p) {
+    return std::sin(M_PI * p[0]) * std::sin(M_PI * p[1]) *
+           std::sin(M_PI * p[2]);
+  };
+  const auto f = [&](const Point &p) { return 3 * M_PI * M_PI * exact(p); };
+
+  Vector<double> rhs, x(laplace.n_dofs());
+  laplace.assemble_rhs(rhs, f, exact);
+
+  Vector<double> diag;
+  laplace.compute_diagonal(diag);
+  PreconditionJacobi<double> jacobi;
+  jacobi.reinit(diag);
+
+  SolverControl control;
+  control.max_iterations = 10000;
+  control.rel_tol = 1e-11;
+  const auto result = solve_cg(laplace, x, rhs, jacobi, control);
+  EXPECT_TRUE(result.converged);
+
+  return l2_error(mf, 0, 0, x, exact);
+}
+} // namespace
+
+class LaplaceDegree : public ::testing::TestWithParam<unsigned int>
+{};
+
+TEST_P(LaplaceDegree, OperatorIsSymmetric)
+{
+  Mesh mesh(unit_cube());
+  mesh.refine_uniform(1);
+  std::vector<bool> flags(8, false);
+  flags[2] = true;
+  mesh.refine(flags); // include hanging faces in the symmetry check
+  AnalyticGeometry geom([](index_t, const Point &p) {
+    return Point(p[0] + 0.05 * p[1] * p[2], p[1] - 0.04 * p[0],
+                 p[2] + 0.03 * p[0] * p[1]);
+  });
+  MatrixFree<double> mf;
+  setup_mf(mf, mesh, geom, GetParam());
+  LaplaceOperator<double> laplace;
+  laplace.reinit(mf, 0, 0, all_dirichlet());
+
+  const auto u = random_vec(laplace.n_dofs(), 11);
+  const auto v = random_vec(laplace.n_dofs(), 12);
+  Vector<double> Au(u.size()), Av(u.size());
+  laplace.vmult(Au, u);
+  laplace.vmult(Av, v);
+  const double a = Au.dot(v), b = Av.dot(u);
+  EXPECT_NEAR(a, b, 1e-11 * std::abs(a));
+}
+
+TEST_P(LaplaceDegree, OperatorIsPositiveDefinite)
+{
+  Mesh mesh(unit_cube());
+  mesh.refine_uniform(1);
+  TrilinearGeometry geom(mesh.coarse());
+  MatrixFree<double> mf;
+  setup_mf(mf, mesh, geom, GetParam());
+  LaplaceOperator<double> laplace;
+  laplace.reinit(mf, 0, 0, all_dirichlet());
+
+  for (unsigned int seed = 0; seed < 5; ++seed)
+  {
+    const auto u = random_vec(laplace.n_dofs(), seed);
+    Vector<double> Au(u.size());
+    laplace.vmult(Au, u);
+    EXPECT_GT(Au.dot(u), 0.);
+  }
+}
+
+TEST_P(LaplaceDegree, DiagonalMatchesUnitVectorProbing)
+{
+  Mesh mesh(unit_cube());
+  mesh.refine_uniform(1);
+  TrilinearGeometry geom(mesh.coarse());
+  MatrixFree<double> mf;
+  setup_mf(mf, mesh, geom, GetParam());
+  LaplaceOperator<double> laplace;
+  laplace.reinit(mf, 0, 0, all_dirichlet());
+
+  Vector<double> diag;
+  laplace.compute_diagonal(diag);
+
+  Vector<double> e(laplace.n_dofs()), Ae(laplace.n_dofs());
+  std::mt19937 rng(5);
+  std::uniform_int_distribution<std::size_t> pick(0, laplace.n_dofs() - 1);
+  for (unsigned int rep = 0; rep < 20; ++rep)
+  {
+    const std::size_t i = pick(rng);
+    e = 0.;
+    e[i] = 1.;
+    laplace.vmult(Ae, e);
+    ASSERT_NEAR(diag[i], Ae[i], 1e-11 * std::abs(Ae[i]))
+      << "diagonal mismatch at dof " << i;
+  }
+}
+
+TEST_P(LaplaceDegree, ConvergesAtOptimalRate)
+{
+  const unsigned int k = GetParam();
+  TrilinearGeometry *geom_ptr = nullptr;
+
+  Mesh mesh_c(unit_cube());
+  mesh_c.refine_uniform(k <= 2 ? 2 : 1);
+  TrilinearGeometry geom_c(mesh_c.coarse());
+  geom_ptr = &geom_c;
+  const double err_c = solve_poisson_l2_error(mesh_c, *geom_ptr, k);
+
+  Mesh mesh_f(unit_cube());
+  mesh_f.refine_uniform(k <= 2 ? 3 : 2);
+  TrilinearGeometry geom_f(mesh_f.coarse());
+  const double err_f = solve_poisson_l2_error(mesh_f, geom_f, k);
+
+  const double rate = std::log2(err_c / err_f);
+  EXPECT_GT(rate, k + 0.6) << "errors: " << err_c << " -> " << err_f;
+}
+
+INSTANTIATE_TEST_SUITE_P(Degrees, LaplaceDegree, ::testing::Values(1u, 2u, 3u));
+
+TEST(Laplace, ConvergesOnDeformedMesh)
+{
+  AnalyticGeometry geom([](index_t, const Point &p) {
+    return Point(p[0] + 0.06 * std::sin(M_PI * p[0]) * std::sin(M_PI * p[1]),
+                 p[1] + 0.05 * std::sin(M_PI * p[1]) * std::sin(M_PI * p[2]),
+                 p[2]);
+  });
+  Mesh mesh_c(unit_cube());
+  mesh_c.refine_uniform(2);
+  const double err_c = solve_poisson_l2_error(mesh_c, geom, 2);
+  Mesh mesh_f(unit_cube());
+  mesh_f.refine_uniform(3);
+  const double err_f = solve_poisson_l2_error(mesh_f, geom, 2);
+  const double rate = std::log2(err_c / err_f);
+  EXPECT_GT(rate, 2.6) << "errors: " << err_c << " -> " << err_f;
+}
+
+TEST(Laplace, ConvergesWithHangingNodes)
+{
+  // adaptive refinement toward the domain center
+  auto make_mesh = [](const unsigned int base) {
+    Mesh mesh(unit_cube());
+    mesh.refine_uniform(base);
+    std::vector<bool> flags(mesh.n_active_cells(), false);
+    for (index_t i = 0; i < mesh.n_active_cells(); ++i)
+    {
+      const auto lo = mesh.cell_lower_corner(i);
+      const double h = mesh.cell_reference_size(i);
+      const Point c(lo[0] + h / 2, lo[1] + h / 2, lo[2] + h / 2);
+      if (norm(c - Point(0.5, 0.5, 0.5)) < 0.3)
+        flags[i] = true;
+    }
+    mesh.refine(flags);
+    return mesh;
+  };
+  Mesh mesh_c = make_mesh(1);
+  TrilinearGeometry geom_c(mesh_c.coarse());
+  const double err_c = solve_poisson_l2_error(mesh_c, geom_c, 2);
+  Mesh mesh_f = make_mesh(2);
+  TrilinearGeometry geom_f(mesh_f.coarse());
+  const double err_f = solve_poisson_l2_error(mesh_f, geom_f, 2);
+  EXPECT_GT(std::log2(err_c / err_f), 2.5)
+    << "errors: " << err_c << " -> " << err_f;
+}
+
+TEST(Laplace, MixedDirichletNeumannBoundary)
+{
+  // u = x^2 + 2y - z with Neumann on x-faces, Dirichlet elsewhere:
+  // -laplace u = -2
+  Mesh mesh(unit_cube());
+  mesh.refine_uniform(2);
+  TrilinearGeometry geom(mesh.coarse());
+  MatrixFree<double> mf;
+  setup_mf(mf, mesh, geom, 2);
+
+  BoundaryMap bc;
+  bc.set(0, BoundaryType::neumann);
+  bc.set(1, BoundaryType::neumann);
+  for (unsigned int id = 2; id < 6; ++id)
+    bc.set(id, BoundaryType::dirichlet);
+  LaplaceOperator<double> laplace;
+  laplace.reinit(mf, 0, 0, bc);
+
+  const auto exact = [](const Point &p) {
+    return p[0] * p[0] + 2 * p[1] - p[2];
+  };
+  // du/dn on x=0: -du/dx = 0; on x=1: du/dx = 2
+  const auto g_n = [](const Point &p) { return p[0] < 0.5 ? -0. : 2.; };
+  const auto f = [](const Point &) { return -2.; };
+
+  Vector<double> rhs, x(laplace.n_dofs());
+  laplace.assemble_rhs(rhs, f, exact, g_n);
+  Vector<double> diag;
+  laplace.compute_diagonal(diag);
+  PreconditionJacobi<double> jacobi;
+  jacobi.reinit(diag);
+  SolverControl control;
+  control.max_iterations = 10000;
+  control.rel_tol = 1e-12;
+  const auto result = solve_cg(laplace, x, rhs, jacobi, control);
+  EXPECT_TRUE(result.converged);
+  EXPECT_NEAR(l2_error(mf, 0, 0, x, exact), 0., 1e-9);
+}
+
+TEST(MassOperatorTest, InverseRoundtrip)
+{
+  Mesh mesh(unit_cube());
+  mesh.refine_uniform(1);
+  AnalyticGeometry geom([](index_t, const Point &p) {
+    return Point(p[0] + 0.1 * p[1], p[1], p[2] - 0.05 * p[0] * p[1]);
+  });
+  MatrixFree<double> mf;
+  setup_mf(mf, mesh, geom, 3);
+  MassOperator<double, 1> mass;
+  mass.reinit(mf, 0, 0);
+
+  const auto u = random_vec(mass.n_dofs());
+  Vector<double> Mu(u.size()), back(u.size());
+  mass.vmult(Mu, u);
+  mass.apply_inverse(back, Mu);
+  for (std::size_t i = 0; i < u.size(); ++i)
+    ASSERT_NEAR(back[i], u[i], 1e-12);
+}
+
+TEST(MassOperatorTest, IntegratesConstantToVolume)
+{
+  Mesh mesh(unit_cube());
+  mesh.refine_uniform(2);
+  TrilinearGeometry geom(mesh.coarse());
+  MatrixFree<double> mf;
+  setup_mf(mf, mesh, geom, 2);
+  MassOperator<double, 1> mass;
+  mass.reinit(mf, 0, 0);
+
+  Vector<double> ones(mass.n_dofs()), Mones(mass.n_dofs());
+  ones = 1.;
+  mass.vmult(Mones, ones);
+  EXPECT_NEAR(Mones.dot(ones), 1.0, 1e-12); // unit cube volume
+}
+
+TEST(CGSolver, SolvesDiagonalSystemExactly)
+{
+  struct DiagOp
+  {
+    Vector<double> d;
+    void vmult(Vector<double> &dst, const Vector<double> &src) const
+    {
+      dst = src;
+      dst.scale_pointwise(d);
+    }
+  } A;
+  A.d.reinit(50);
+  for (std::size_t i = 0; i < 50; ++i)
+    A.d[i] = 1. + double(i);
+  const auto b = random_vec(50);
+  Vector<double> x(50);
+  PreconditionIdentity id;
+  SolverControl ctrl;
+  ctrl.rel_tol = 1e-14;
+  ctrl.max_iterations = 200;
+  const auto res = solve_cg(A, x, b, id, ctrl);
+  EXPECT_TRUE(res.converged);
+  for (std::size_t i = 0; i < 50; ++i)
+    EXPECT_NEAR(x[i], b[i] / A.d[i], 1e-10);
+}

@@ -1,0 +1,375 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "matrixfree/fe_evaluation.h"
+#include "matrixfree/fe_face_evaluation.h"
+#include "matrixfree/field_tools.h"
+#include "mesh/generators.h"
+
+using namespace dgflow;
+
+namespace
+{
+/// Two unit cubes where the second tree's axes are rotated (non-identity
+/// face orientation between trees).
+CoarseMesh rotated_two_cubes()
+{
+  std::vector<Point> vertices;
+  for (unsigned int v = 0; v < 8; ++v)
+    vertices.push_back(Point(v & 1, (v >> 1) & 1, (v >> 2) & 1));
+  auto add_vertex = [&](const Point &p) {
+    for (index_t i = 0; i < vertices.size(); ++i)
+      if (norm(vertices[i] - p) < 1e-12)
+        return i;
+    vertices.push_back(p);
+    return index_t(vertices.size() - 1);
+  };
+  std::vector<std::array<index_t, 8>> cells(2);
+  for (unsigned int v = 0; v < 8; ++v)
+  {
+    const double a = v & 1, b = (v >> 1) & 1, c = (v >> 2) & 1;
+    cells[0][v] = v;
+    cells[1][v] = add_vertex(Point(1 + c, b, 1 - a));
+  }
+  return from_lists(std::move(vertices), std::move(cells));
+}
+
+template <typename Number>
+void setup(MatrixFree<Number> &mf, const Mesh &mesh, const Geometry &geom,
+           const unsigned int degree)
+{
+  typename MatrixFree<Number>::AdditionalData data;
+  data.degrees = {degree};
+  data.n_q_points_1d = {degree + 1};
+  mf.reinit(mesh, geom, data);
+}
+
+/// Checks that the two sides of every interior face observe identical values
+/// and gradients when the global field is linear (exact in any space).
+template <typename Number>
+void check_face_consistency(const MatrixFree<Number> &mf,
+                            const Vector<Number> &vec, const double tol)
+{
+  FEFaceEvaluation<Number, 1> phi_m(mf, 0, 0, true);
+  FEFaceEvaluation<Number, 1> phi_p(mf, 0, 0, false);
+  for (unsigned int b = 0; b < mf.n_inner_face_batches(); ++b)
+  {
+    phi_m.reinit(b);
+    phi_p.reinit(b);
+    phi_m.read_dof_values(vec);
+    phi_p.read_dof_values(vec);
+    phi_m.evaluate(true, true);
+    phi_p.evaluate(true, true);
+    for (unsigned int q = 0; q < phi_m.n_q_points; ++q)
+    {
+      const auto vm = phi_m.get_value(q), vp = phi_p.get_value(q);
+      const auto gm = phi_m.get_gradient(q), gp = phi_p.get_gradient(q);
+      const auto nm = phi_m.get_normal_vector(q),
+                 np = phi_p.get_normal_vector(q);
+      for (unsigned int l = 0; l < phi_m.n_filled_lanes(); ++l)
+      {
+        ASSERT_NEAR(vm[l], vp[l], tol)
+          << "value jump at face batch " << b << " q " << q << " lane " << l;
+        for (unsigned int d = 0; d < dim; ++d)
+        {
+          ASSERT_NEAR(gm[d][l], gp[d][l], 20 * tol)
+            << "gradient jump at face batch " << b;
+          ASSERT_NEAR(nm[d][l], -np[d][l], 1e-12);
+        }
+      }
+    }
+  }
+}
+} // namespace
+
+class MatrixFreeDegree : public ::testing::TestWithParam<unsigned int>
+{};
+
+TEST_P(MatrixFreeDegree, InterpolationIsExactForLinears)
+{
+  const unsigned int k = GetParam();
+  Mesh mesh(subdivided_box(Point(0, 0, 0), Point(1, 1, 1), {{2, 2, 2}}));
+  mesh.refine_uniform(1);
+  TrilinearGeometry geom(mesh.coarse());
+  MatrixFree<double> mf;
+  setup(mf, mesh, geom, k);
+
+  const auto f = [](const Point &p) {
+    return 2.0 * p[0] - 0.5 * p[1] + 0.25 * p[2] + 1.0;
+  };
+  Vector<double> vec;
+  interpolate(mf, 0, 0, f, vec);
+  EXPECT_NEAR(l2_error(mf, 0, 0, vec, f), 0., 1e-12);
+}
+
+TEST_P(MatrixFreeDegree, CellGradientsOfLinearFieldAreExact)
+{
+  const unsigned int k = GetParam();
+  Mesh mesh(subdivided_box(Point(0, 0, 0), Point(1, 1, 1), {{2, 2, 2}}));
+  TrilinearGeometry geom(mesh.coarse());
+  MatrixFree<double> mf;
+  setup(mf, mesh, geom, k);
+
+  Vector<double> vec;
+  interpolate(
+    mf, 0, 0,
+    [](const Point &p) { return 3.0 * p[0] - 2.0 * p[1] + 0.5 * p[2]; }, vec);
+
+  FEEvaluation<double, 1> phi(mf, 0, 0);
+  for (unsigned int b = 0; b < mf.n_cell_batches(); ++b)
+  {
+    phi.reinit(b);
+    phi.read_dof_values(vec);
+    phi.evaluate(true, true);
+    for (unsigned int q = 0; q < phi.n_q_points; ++q)
+    {
+      const auto g = phi.get_gradient(q);
+      for (unsigned int l = 0; l < phi.n_filled_lanes(); ++l)
+      {
+        EXPECT_NEAR(g[0][l], 3.0, 1e-11);
+        EXPECT_NEAR(g[1][l], -2.0, 1e-11);
+        EXPECT_NEAR(g[2][l], 0.5, 1e-11);
+      }
+    }
+  }
+}
+
+TEST_P(MatrixFreeDegree, FaceTracesMatchAcrossUniformMesh)
+{
+  const unsigned int k = GetParam();
+  Mesh mesh(subdivided_box(Point(0, 0, 0), Point(1, 1, 1), {{2, 2, 2}}));
+  mesh.refine_uniform(1);
+  TrilinearGeometry geom(mesh.coarse());
+  MatrixFree<double> mf;
+  setup(mf, mesh, geom, k);
+
+  Vector<double> vec;
+  interpolate(
+    mf, 0, 0,
+    [](const Point &p) { return 1.0 + p[0] - 2.0 * p[1] + 0.3 * p[2]; }, vec);
+  check_face_consistency(mf, vec, 1e-11);
+}
+
+TEST_P(MatrixFreeDegree, FaceTracesMatchAcrossRotatedTrees)
+{
+  const unsigned int k = GetParam();
+  Mesh mesh(rotated_two_cubes());
+  mesh.refine_uniform(2);
+  TrilinearGeometry geom(mesh.coarse());
+  MatrixFree<double> mf;
+  setup(mf, mesh, geom, k);
+
+  Vector<double> vec;
+  interpolate(
+    mf, 0, 0,
+    [](const Point &p) { return 0.7 * p[0] + 1.3 * p[1] - 0.9 * p[2]; }, vec);
+  check_face_consistency(mf, vec, 1e-11);
+}
+
+TEST_P(MatrixFreeDegree, FaceTracesMatchAcrossHangingFaces)
+{
+  const unsigned int k = GetParam();
+  Mesh mesh(unit_cube());
+  mesh.refine_uniform(1);
+  std::vector<bool> flags(8, false);
+  flags[0] = true;
+  flags[7] = true;
+  mesh.refine(flags);
+  TrilinearGeometry geom(mesh.coarse());
+  MatrixFree<double> mf;
+  setup(mf, mesh, geom, k);
+
+  Vector<double> vec;
+  interpolate(
+    mf, 0, 0,
+    [](const Point &p) { return -1.0 + 2.0 * p[0] + p[1] + 0.5 * p[2]; },
+    vec);
+  check_face_consistency(mf, vec, 1e-11);
+}
+
+TEST_P(MatrixFreeDegree, FaceTracesMatchOnHangingRotatedTrees)
+{
+  const unsigned int k = GetParam();
+  Mesh mesh(rotated_two_cubes());
+  std::vector<bool> flags = {true, false};
+  mesh.refine(flags);
+  TrilinearGeometry geom(mesh.coarse());
+  MatrixFree<double> mf;
+  setup(mf, mesh, geom, k);
+
+  Vector<double> vec;
+  interpolate(
+    mf, 0, 0,
+    [](const Point &p) { return 0.4 * p[0] - 0.8 * p[1] + 1.1 * p[2]; }, vec);
+  check_face_consistency(mf, vec, 1e-11);
+}
+
+INSTANTIATE_TEST_SUITE_P(Degrees, MatrixFreeDegree,
+                         ::testing::Values(1u, 2u, 3u, 4u));
+
+TEST(MatrixFreeGeometry, VolumesOfAffineMeshes)
+{
+  Mesh mesh(subdivided_box(Point(0, 0, 0), Point(2, 1, 0.5), {{2, 3, 1}}));
+  mesh.refine_uniform(1);
+  TrilinearGeometry geom(mesh.coarse());
+  MatrixFree<double> mf;
+  setup(mf, mesh, geom, 2);
+  EXPECT_NEAR(domain_volume(mf), 1.0, 1e-12);
+}
+
+TEST(MatrixFreeGeometry, DivergenceTheoremOnDeformedMesh)
+{
+  // smoothly deformed cube: sum over boundary faces of x.n dS == 3 * volume
+  Mesh mesh(unit_cube());
+  mesh.refine_uniform(2);
+  AnalyticGeometry geom([](index_t, const Point &p) {
+    return Point(p[0] + 0.08 * std::sin(2 * M_PI * p[1]) * p[0] * (1 - p[0]),
+                 p[1] - 0.06 * std::sin(2 * M_PI * p[2]),
+                 p[2] + 0.05 * std::cos(2 * M_PI * p[0]) * p[2] * (1 - p[2]));
+  });
+  MatrixFree<double> mf;
+  typename MatrixFree<double>::AdditionalData data;
+  data.degrees = {3};
+  data.n_q_points_1d = {4};
+  data.geometry_degree = 4;
+  mf.reinit(mesh, geom, data);
+
+  const double volume = domain_volume(mf);
+  double surface_integral = 0;
+  const auto &metric = mf.face_metric(0);
+  for (unsigned int b = mf.n_inner_face_batches(); b < mf.n_face_batches();
+       ++b)
+  {
+    const auto &batch = mf.face_batch(b);
+    for (unsigned int q = 0; q < metric.n_q; ++q)
+    {
+      const std::size_t idx = std::size_t(b) * metric.n_q + q;
+      for (unsigned int l = 0; l < batch.n_filled; ++l)
+      {
+        double xn = 0;
+        for (unsigned int d = 0; d < dim; ++d)
+          xn += metric.q_points[idx][d][l] * metric.normal[idx][d][l];
+        surface_integral += xn * metric.JxW[idx][l];
+      }
+    }
+  }
+  EXPECT_NEAR(surface_integral, 3 * volume, 1e-6);
+}
+
+TEST(MatrixFreeGeometry, HangingFaceAreasAreConsistent)
+{
+  // areas of the four subfaces must sum to the coarse face area
+  Mesh mesh(unit_cube());
+  mesh.refine_uniform(1);
+  std::vector<bool> flags(8, false);
+  flags[0] = true;
+  mesh.refine(flags);
+  TrilinearGeometry geom(mesh.coarse());
+  MatrixFree<double> mf;
+  setup(mf, mesh, geom, 2);
+
+  const auto &metric = mf.face_metric(0);
+  double hanging_area = 0;
+  for (unsigned int b = 0; b < mf.n_inner_face_batches(); ++b)
+  {
+    const auto &batch = mf.face_batch(b);
+    if (!batch.is_hanging())
+      continue;
+    for (unsigned int q = 0; q < metric.n_q; ++q)
+      for (unsigned int l = 0; l < batch.n_filled; ++l)
+        hanging_area += metric.JxW[std::size_t(b) * metric.n_q + q][l];
+  }
+  // 12 hanging subfaces of area (1/4)^2 each
+  EXPECT_NEAR(hanging_area, 12. / 16., 1e-12);
+}
+
+TEST(MatrixFreeOperations, MassWithCollocationIsDiagonal)
+{
+  // integrating u against test functions on the collocated Gauss lattice
+  // equals pointwise JxW scaling
+  Mesh mesh(subdivided_box(Point(0, 0, 0), Point(1, 1, 1), {{2, 2, 2}}));
+  TrilinearGeometry geom(mesh.coarse());
+  MatrixFree<double> mf;
+  setup(mf, mesh, geom, 3);
+
+  Vector<double> u, mass_u;
+  interpolate(
+    mf, 0, 0, [](const Point &p) { return std::sin(p[0]) + p[1] * p[2]; }, u);
+  mass_u.reinit(u.size());
+
+  FEEvaluation<double, 1> phi(mf, 0, 0);
+  for (unsigned int b = 0; b < mf.n_cell_batches(); ++b)
+  {
+    phi.reinit(b);
+    phi.read_dof_values(u);
+    phi.evaluate(true, false);
+    for (unsigned int q = 0; q < phi.n_q_points; ++q)
+      phi.submit_value(phi.get_value(q), q);
+    phi.integrate(true, false);
+    phi.distribute_local_to_global(mass_u);
+  }
+  // check against diagonal application
+  const auto &metric = mf.cell_metric(0);
+  for (unsigned int b = 0; b < mf.n_cell_batches(); ++b)
+  {
+    const auto &batch = mf.cell_batch(b);
+    for (unsigned int q = 0; q < metric.n_q; ++q)
+      for (unsigned int l = 0; l < batch.n_filled; ++l)
+      {
+        const std::size_t dof =
+          std::size_t(batch.cells[l]) * metric.n_q + q;
+        const double expected =
+          u[dof] * metric.JxW[std::size_t(b) * metric.n_q + q][l];
+        EXPECT_NEAR(mass_u[dof], expected, 1e-13);
+      }
+  }
+}
+
+TEST(MatrixFreeOperations, CellIntegrationAdjointness)
+{
+  // <A u, v> with A = "mass" must be symmetric: evaluate/integrate are
+  // adjoint
+  Mesh mesh(unit_cube());
+  mesh.refine_uniform(1);
+  AnalyticGeometry geom([](index_t, const Point &p) {
+    return Point(p[0] + 0.1 * p[1] * p[2], p[1], p[2] + 0.05 * p[0]);
+  });
+  MatrixFree<double> mf;
+  setup(mf, mesh, geom, 2);
+
+  Vector<double> u, v, Au, Av;
+  interpolate(mf, 0, 0, [](const Point &p) { return p[0] * p[0] + p[1]; }, u);
+  interpolate(mf, 0, 0, [](const Point &p) { return p[2] - 0.5 * p[0]; }, v);
+  Au.reinit(u.size());
+  Av.reinit(u.size());
+
+  auto apply_mass = [&](const Vector<double> &src, Vector<double> &dst) {
+    FEEvaluation<double, 1> phi(mf, 0, 0);
+    for (unsigned int b = 0; b < mf.n_cell_batches(); ++b)
+    {
+      phi.reinit(b);
+      phi.read_dof_values(src);
+      phi.evaluate(true, false);
+      for (unsigned int q = 0; q < phi.n_q_points; ++q)
+        phi.submit_value(phi.get_value(q), q);
+      phi.integrate(true, false);
+      phi.distribute_local_to_global(dst);
+    }
+  };
+  apply_mass(u, Au);
+  apply_mass(v, Av);
+  EXPECT_NEAR(Au.dot(v), Av.dot(u), 1e-12 * std::abs(Au.dot(v)));
+}
+
+TEST(MatrixFreeDiagnostics, FaceLaneFillFraction)
+{
+  Mesh mesh(unit_cube());
+  mesh.refine_uniform(2);
+  TrilinearGeometry geom(mesh.coarse());
+  MatrixFree<double> mf;
+  setup(mf, mesh, geom, 2);
+  const double fill = mf.face_lane_fill_fraction();
+  EXPECT_GT(fill, 0.5);
+  EXPECT_LE(fill, 1.0);
+}

@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mesh/generators.h"
+#include "multigrid/hybrid_multigrid.h"
+#include "solvers/cg.h"
+
+using namespace dgflow;
+
+namespace
+{
+BoundaryMap all_dirichlet()
+{
+  BoundaryMap bc;
+  for (unsigned int id = 0; id < 6; ++id)
+    bc.set(id, BoundaryType::dirichlet);
+  return bc;
+}
+
+struct PoissonSetup
+{
+  MatrixFree<double> mf;
+  LaplaceOperator<double> laplace;
+  HybridMultigrid<float> mg;
+
+  void init(const Mesh &mesh, const Geometry &geom, const unsigned int degree,
+            const HybridMultigrid<float>::Options &opts = {})
+  {
+    MatrixFree<double>::AdditionalData data;
+    data.degrees = {degree};
+    data.n_q_points_1d = {degree + 1};
+    mf.reinit(mesh, geom, data);
+    laplace.reinit(mf, 0, 0, all_dirichlet());
+    mg.setup(mesh, geom, degree, all_dirichlet(), opts);
+  }
+
+  SolverResult solve(Vector<double> &x, const double tol = 1e-10)
+  {
+    const auto exact = [](const Point &p) {
+      return std::sin(M_PI * p[0]) * std::sin(M_PI * p[1]) *
+             std::sin(M_PI * p[2]);
+    };
+    const auto f = [&](const Point &p) { return 3 * M_PI * M_PI * exact(p); };
+    Vector<double> rhs;
+    laplace.assemble_rhs(rhs, f, exact);
+    x.reinit(laplace.n_dofs());
+    SolverControl control;
+    control.max_iterations = 100;
+    control.rel_tol = tol;
+    return solve_cg(laplace, x, rhs, mg, control);
+  }
+};
+} // namespace
+
+TEST(HybridMultigridTest, FewIterationsOnCube)
+{
+  Mesh mesh(unit_cube());
+  mesh.refine_uniform(3);
+  TrilinearGeometry geom(mesh.coarse());
+  PoissonSetup s;
+  s.init(mesh, geom, 3);
+  Vector<double> x;
+  const auto result = s.solve(x);
+  EXPECT_TRUE(result.converged);
+  EXPECT_LE(result.iterations, 30u) << "iterations: " << result.iterations;
+}
+
+TEST(HybridMultigridTest, IterationCountIsMeshIndependent)
+{
+  unsigned int iters[2];
+  for (unsigned int i = 0; i < 2; ++i)
+  {
+    Mesh mesh(unit_cube());
+    mesh.refine_uniform(2 + i);
+    TrilinearGeometry geom(mesh.coarse());
+    PoissonSetup s;
+    s.init(mesh, geom, 2);
+    Vector<double> x;
+    const auto result = s.solve(x);
+    EXPECT_TRUE(result.converged);
+    iters[i] = result.iterations;
+  }
+  EXPECT_LE(iters[1], iters[0] + 3)
+    << "iterations grew: " << iters[0] << " -> " << iters[1];
+}
+
+TEST(HybridMultigridTest, SolvesAccurately)
+{
+  Mesh mesh(unit_cube());
+  mesh.refine_uniform(3);
+  TrilinearGeometry geom(mesh.coarse());
+  PoissonSetup s;
+  s.init(mesh, geom, 2);
+  Vector<double> x;
+  s.solve(x, 1e-11);
+  const auto exact = [](const Point &p) {
+    return std::sin(M_PI * p[0]) * std::sin(M_PI * p[1]) *
+           std::sin(M_PI * p[2]);
+  };
+  // discretization error at k=2, 8^3 cells is ~7e-5; the solver must not
+  // add to it
+  EXPECT_LT(l2_error(s.mf, 0, 0, x, exact), 2e-4);
+}
+
+TEST(HybridMultigridTest, WorksWithHangingNodes)
+{
+  Mesh mesh(unit_cube());
+  mesh.refine_uniform(2);
+  std::vector<bool> flags(mesh.n_active_cells(), false);
+  for (index_t i = 0; i < mesh.n_active_cells(); ++i)
+  {
+    const auto lo = mesh.cell_lower_corner(i);
+    if (lo[0] < 0.5 && lo[1] < 0.5 && lo[2] < 0.5)
+      flags[i] = true;
+  }
+  mesh.refine(flags);
+  TrilinearGeometry geom(mesh.coarse());
+  PoissonSetup s;
+  s.init(mesh, geom, 3);
+  Vector<double> x;
+  const auto result = s.solve(x);
+  EXPECT_TRUE(result.converged);
+  EXPECT_LE(result.iterations, 40u) << "iterations: " << result.iterations;
+}
+
+TEST(HybridMultigridTest, WorksOnDeformedGeometry)
+{
+  Mesh mesh(unit_cube());
+  mesh.refine_uniform(3);
+  AnalyticGeometry geom([](index_t, const Point &p) {
+    return Point(p[0] + 0.08 * std::sin(M_PI * p[0]) * p[1],
+                 p[1] - 0.06 * p[0] * p[2], p[2] + 0.05 * p[1]);
+  });
+  PoissonSetup s;
+  s.init(mesh, geom, 3);
+  Vector<double> x;
+  const auto result = s.solve(x);
+  EXPECT_TRUE(result.converged);
+  EXPECT_LE(result.iterations, 32u) << "iterations: " << result.iterations;
+}
+
+TEST(HybridMultigridTest, AblationWithoutHCoarsening)
+{
+  Mesh mesh(unit_cube());
+  mesh.refine_uniform(3);
+  TrilinearGeometry geom(mesh.coarse());
+  HybridMultigrid<float>::Options opts;
+  opts.h_coarsening = false; // AMG directly below the fine-mesh Q1 space
+  PoissonSetup s;
+  s.init(mesh, geom, 2, opts);
+  Vector<double> x;
+  const auto result = s.solve(x);
+  EXPECT_TRUE(result.converged);
+  EXPECT_LE(result.iterations, 25u);
+}
+
+TEST(HybridMultigridTest, DegreeOneHasNoPTransfer)
+{
+  Mesh mesh(unit_cube());
+  mesh.refine_uniform(2);
+  TrilinearGeometry geom(mesh.coarse());
+  PoissonSetup s;
+  s.init(mesh, geom, 1);
+  Vector<double> x;
+  const auto result = s.solve(x);
+  EXPECT_TRUE(result.converged);
+  EXPECT_LE(result.iterations, 20u);
+}

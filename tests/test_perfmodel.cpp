@@ -1,0 +1,78 @@
+#include <gtest/gtest.h>
+
+#include "perfmodel/scaling_model.h"
+
+using namespace dgflow;
+
+TEST(KernelModelTest, IntensityGrowsWithDegree)
+{
+  double prev = 0;
+  for (unsigned int k = 1; k <= 6; ++k)
+  {
+    KernelModel m{k, 8};
+    const double ai = m.arithmetic_intensity_ideal();
+    EXPECT_GT(ai, prev);
+    prev = ai;
+    // CFD-typical range: O(0.1..10) flop/byte
+    EXPECT_GT(ai, 0.2);
+    EXPECT_LT(ai, 20.);
+    EXPECT_LT(m.arithmetic_intensity_measured(),
+              m.arithmetic_intensity_ideal());
+  }
+}
+
+TEST(KernelModelTest, SinglePrecisionHalvesBytes)
+{
+  KernelModel dp{3, 8}, sp{3, 4};
+  EXPECT_NEAR(sp.ideal_bytes_per_dof() / dp.ideal_bytes_per_dof(), 0.5, 0.05);
+  EXPECT_DOUBLE_EQ(sp.flops_per_dof(), dp.flops_per_dof());
+}
+
+TEST(ScalingModelTest, SaturatedThroughputMatchesBandwidthLimit)
+{
+  ScalingModel model;
+  const double t = model.matvec_throughput(1e8, 3, 1.);
+  // paper Fig. 6: ~1.4e9 DoF/s per Skylake node at k=3
+  EXPECT_GT(t, 5e8);
+  EXPECT_LT(t, 5e9);
+}
+
+TEST(ScalingModelTest, StrongScalingHasLatencyFloor)
+{
+  ScalingModel model;
+  // runtime decreases with nodes, then floors near 1e-4 s (paper Fig. 8)
+  double prev_time = 1e30;
+  double floor_time = 0;
+  for (double nodes = 1; nodes <= 4096; nodes *= 2)
+  {
+    const double t = model.matvec_time(2.2e7, 3, nodes);
+    EXPECT_LT(t, prev_time * 1.05);
+    prev_time = t;
+    floor_time = t;
+  }
+  EXPECT_GT(floor_time, 5e-6);
+  EXPECT_LT(floor_time, 5e-4);
+}
+
+TEST(ScalingModelTest, CacheRegimeBoostsThroughput)
+{
+  ScalingModel model;
+  // mid-size problems that fit the aggregate cache run faster than the
+  // saturated bandwidth limit (the double bump of Fig. 8)
+  const double t_big = model.matvec_throughput(8e9, 3, 64.);
+  const double t_cache = model.matvec_throughput(64. * 8e5, 3, 64.);
+  EXPECT_GT(t_cache, 1.5 * t_big);
+}
+
+TEST(ScalingModelTest, PoissonSolveFloorsAroundPaperValues)
+{
+  ScalingModel model;
+  ScalingModel::MultigridConfig config;
+  config.cg_iterations = 9;
+  // strong scaling of the 1e9-DoF bifurcation case: minimal time O(0.1 s)
+  double best = 1e30;
+  for (double nodes = 64; nodes <= 6400; nodes *= 2)
+    best = std::min(best, model.poisson_solve_time(1e9, nodes, config));
+  EXPECT_GT(best, 0.01);
+  EXPECT_LT(best, 1.0);
+}

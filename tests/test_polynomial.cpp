@@ -1,0 +1,63 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "fem/polynomial.h"
+#include "fem/quadrature.h"
+
+using namespace dgflow;
+
+class LagrangeBasisTest : public ::testing::TestWithParam<unsigned int>
+{
+protected:
+  LagrangeBasis make_basis() const
+  {
+    return LagrangeBasis(gauss_quadrature(GetParam() + 1).points);
+  }
+};
+
+TEST_P(LagrangeBasisTest, NodalProperty)
+{
+  const LagrangeBasis b = make_basis();
+  for (unsigned int i = 0; i < b.size(); ++i)
+    for (unsigned int j = 0; j < b.size(); ++j)
+      EXPECT_NEAR(b.value(i, b.nodes()[j]), i == j ? 1. : 0., 1e-12);
+}
+
+TEST_P(LagrangeBasisTest, PartitionOfUnity)
+{
+  const LagrangeBasis b = make_basis();
+  for (const double x : {0., 0.17, 0.5, 0.83, 1.})
+  {
+    double sum_v = 0, sum_d = 0;
+    for (unsigned int i = 0; i < b.size(); ++i)
+    {
+      sum_v += b.value(i, x);
+      sum_d += b.derivative(i, x);
+    }
+    EXPECT_NEAR(sum_v, 1., 1e-11);
+    EXPECT_NEAR(sum_d, 0., 1e-10);
+  }
+}
+
+TEST_P(LagrangeBasisTest, ReproducesPolynomialsUpToDegree)
+{
+  const unsigned int k = GetParam();
+  const LagrangeBasis b = make_basis();
+  // interpolate f(x) = x^k and check at off-node points
+  for (const double x : {0.08, 0.33, 0.77})
+  {
+    double interp = 0, dinterp = 0;
+    for (unsigned int i = 0; i < b.size(); ++i)
+    {
+      const double fi = std::pow(b.nodes()[i], double(k));
+      interp += fi * b.value(i, x);
+      dinterp += fi * b.derivative(i, x);
+    }
+    EXPECT_NEAR(interp, std::pow(x, double(k)), 1e-11);
+    const double dexact = k == 0 ? 0. : k * std::pow(x, double(k - 1));
+    EXPECT_NEAR(dinterp, dexact, 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Degrees, LagrangeBasisTest, ::testing::Range(0u, 9u));

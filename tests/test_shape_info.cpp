@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "fem/shape_info.h"
+
+using namespace dgflow;
+
+class ShapeInfoTest
+  : public ::testing::TestWithParam<std::tuple<unsigned int, unsigned int>>
+{};
+
+TEST_P(ShapeInfoTest, ValuesArePartitionOfUnity)
+{
+  const auto [k, nq] = GetParam();
+  const ShapeInfo<double> si(k, nq);
+  for (unsigned int q = 0; q < si.n_q_1d; ++q)
+  {
+    double sum = 0;
+    for (unsigned int i = 0; i < si.n_dofs_1d; ++i)
+      sum += si.values[q * si.n_dofs_1d + i];
+    EXPECT_NEAR(sum, 1., 1e-12);
+  }
+}
+
+TEST_P(ShapeInfoTest, GradientRowsSumToZero)
+{
+  const auto [k, nq] = GetParam();
+  const ShapeInfo<double> si(k, nq);
+  for (unsigned int q = 0; q < si.n_q_1d; ++q)
+  {
+    double sum = 0;
+    for (unsigned int i = 0; i < si.n_dofs_1d; ++i)
+      sum += si.gradients[q * si.n_dofs_1d + i];
+    EXPECT_NEAR(sum, 0., 1e-10);
+  }
+}
+
+TEST_P(ShapeInfoTest, MassMatrixDiagonalInCollocation)
+{
+  const auto [k, nq] = GetParam();
+  if (nq != k + 1)
+    GTEST_SKIP() << "collocation requires nq == k+1";
+  const ShapeInfo<double> si(k, nq);
+  EXPECT_TRUE(si.collocation);
+  for (unsigned int q = 0; q < si.n_q_1d; ++q)
+    for (unsigned int i = 0; i < si.n_dofs_1d; ++i)
+      EXPECT_DOUBLE_EQ(si.values[q * si.n_dofs_1d + i], q == i ? 1. : 0.);
+}
+
+TEST_P(ShapeInfoTest, FaceValuesMatchBasisAtEndpoints)
+{
+  const auto [k, nq] = GetParam();
+  const ShapeInfo<double> si(k, nq);
+  const LagrangeBasis basis(si.nodes);
+  for (unsigned int s = 0; s < 2; ++s)
+    for (unsigned int i = 0; i < si.n_dofs_1d; ++i)
+    {
+      EXPECT_NEAR(si.face_value[s][i], basis.value(i, double(s)), 1e-12);
+      EXPECT_NEAR(si.face_grad[s][i], basis.derivative(i, double(s)), 1e-10);
+    }
+}
+
+TEST_P(ShapeInfoTest, SubfaceValuesInterpolateLinearExactly)
+{
+  // interpolating f(x) = x on a subface must give the subface coordinates
+  const auto [k, nq] = GetParam();
+  const ShapeInfo<double> si(k, nq);
+  const unsigned int n = si.n_dofs_1d;
+  for (unsigned int s = 0; s < 2; ++s)
+    for (unsigned int q = 0; q < si.n_q_1d; ++q)
+    {
+      double interp = 0, dinterp = 0;
+      for (unsigned int i = 0; i < n; ++i)
+      {
+        interp += si.nodes[i] * si.subface_values[s][q * n + i];
+        dinterp += si.nodes[i] * si.subface_gradients[s][q * n + i];
+      }
+      EXPECT_NEAR(interp, 0.5 * (si.q_points[q] + s), 1e-12);
+      EXPECT_NEAR(dinterp, 1., 1e-10);
+    }
+}
+
+TEST_P(ShapeInfoTest, CollocationDerivativeDifferentiatesQuadInterpolant)
+{
+  const auto [k, nq] = GetParam();
+  const ShapeInfo<double> si(k, nq);
+  // grad_colloc applied to samples of x^2 at quad points gives 2x (nq >= 3)
+  if (nq < 3)
+    GTEST_SKIP();
+  for (unsigned int q2 = 0; q2 < nq; ++q2)
+  {
+    double d = 0;
+    for (unsigned int q1 = 0; q1 < nq; ++q1)
+      d += si.grad_colloc[q2 * nq + q1] * si.q_points[q1] * si.q_points[q1];
+    EXPECT_NEAR(d, 2. * si.q_points[q2], 1e-10);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+  DegreesAndQuadratures, ShapeInfoTest,
+  ::testing::Combine(::testing::Values(1u, 2u, 3u, 4u, 5u, 6u),
+                     ::testing::Values(2u, 3u, 4u, 5u, 6u, 7u, 8u)));
+
+TEST(ShapeInfoLobatto, NodesIncludeEndpoints)
+{
+  const ShapeInfo<double> si(3, 4, BasisType::lagrange_gauss_lobatto);
+  EXPECT_DOUBLE_EQ(si.nodes.front(), 0.);
+  EXPECT_DOUBLE_EQ(si.nodes.back(), 1.);
+  EXPECT_FALSE(si.collocation);
+}

@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "simd/vectorized_array.h"
+
+using namespace dgflow;
+
+template <typename VA>
+class VectorizedArrayTest : public ::testing::Test
+{};
+
+using TestedTypes =
+  ::testing::Types<VectorizedArray<double, 1>, VectorizedArray<float, 1>,
+                   VectorizedArray<double, 2>, VectorizedArray<double, 4>,
+                   VectorizedArray<float, 4>, VectorizedArray<float, 8>,
+                   VectorizedArray<double>, VectorizedArray<float>>;
+TYPED_TEST_SUITE(VectorizedArrayTest, TestedTypes);
+
+TYPED_TEST(VectorizedArrayTest, BroadcastAndLanes)
+{
+  using VA = TypeParam;
+  VA a(3.5);
+  for (unsigned int l = 0; l < VA::width; ++l)
+    EXPECT_EQ(a[l], typename VA::value_type(3.5));
+}
+
+TYPED_TEST(VectorizedArrayTest, ArithmeticMatchesScalar)
+{
+  using VA = TypeParam;
+  using N = typename VA::value_type;
+  VA a, b;
+  for (unsigned int l = 0; l < VA::width; ++l)
+  {
+    a[l] = N(1.5) + N(l);
+    b[l] = N(0.25) * (N(l) + N(1));
+  }
+  const VA sum = a + b, diff = a - b, prod = a * b, quot = a / b;
+  const VA fused = a * b + N(2.) * a - b / N(4.);
+  for (unsigned int l = 0; l < VA::width; ++l)
+  {
+    const N x = a[l], y = b[l];
+    EXPECT_FLOAT_EQ(sum[l], x + y);
+    EXPECT_FLOAT_EQ(diff[l], x - y);
+    EXPECT_FLOAT_EQ(prod[l], x * y);
+    EXPECT_FLOAT_EQ(quot[l], x / y);
+    EXPECT_FLOAT_EQ(fused[l], x * y + N(2.) * x - y / N(4.));
+  }
+}
+
+TYPED_TEST(VectorizedArrayTest, LoadStoreRoundtrip)
+{
+  using VA = TypeParam;
+  using N = typename VA::value_type;
+  std::vector<N> in(VA::width), out(VA::width);
+  std::iota(in.begin(), in.end(), N(7));
+  VA a;
+  a.load(in.data());
+  a.store(out.data());
+  EXPECT_EQ(in, out);
+}
+
+TYPED_TEST(VectorizedArrayTest, GatherScatter)
+{
+  using VA = TypeParam;
+  using N = typename VA::value_type;
+  const unsigned int n = 4 * VA::width;
+  std::vector<N> base(n);
+  std::iota(base.begin(), base.end(), N(0));
+  std::vector<unsigned int> idx(VA::width);
+  for (unsigned int l = 0; l < VA::width; ++l)
+    idx[l] = (3 * l + 1) % n;
+  VA a;
+  a.gather(base.data(), idx.data());
+  for (unsigned int l = 0; l < VA::width; ++l)
+    EXPECT_EQ(a[l], base[idx[l]]);
+  std::vector<N> dst(n, N(-1));
+  a.scatter(dst.data(), idx.data());
+  for (unsigned int l = 0; l < VA::width; ++l)
+    EXPECT_EQ(dst[idx[l]], base[idx[l]]);
+}
+
+TYPED_TEST(VectorizedArrayTest, MathFunctions)
+{
+  using VA = TypeParam;
+  using N = typename VA::value_type;
+  VA a;
+  for (unsigned int l = 0; l < VA::width; ++l)
+    a[l] = N(l) + N(0.25);
+  const VA r = sqrt(a);
+  for (unsigned int l = 0; l < VA::width; ++l)
+    EXPECT_FLOAT_EQ(r[l], std::sqrt(a[l]));
+
+  VA b = N(2.) - a;
+  const VA mx = max(a, b), mn = min(a, b), ab = abs(b);
+  for (unsigned int l = 0; l < VA::width; ++l)
+  {
+    EXPECT_EQ(mx[l], std::max(a[l], b[l]));
+    EXPECT_EQ(mn[l], std::min(a[l], b[l]));
+    EXPECT_EQ(ab[l], std::abs(b[l]));
+  }
+  EXPECT_EQ(max_over_lanes(a), a[VA::width - 1]);
+}
+
+TYPED_TEST(VectorizedArrayTest, HorizontalSum)
+{
+  using VA = TypeParam;
+  using N = typename VA::value_type;
+  VA a;
+  N expected = 0;
+  for (unsigned int l = 0; l < VA::width; ++l)
+  {
+    a[l] = N(l + 1);
+    expected += N(l + 1);
+  }
+  EXPECT_FLOAT_EQ(a.sum(), expected);
+}
+
+TEST(VectorizedArrayWidth, MatchesTargetISA)
+{
+#if defined(__AVX512F__)
+  EXPECT_EQ((VectorizedArray<double>::width), 8u);
+  EXPECT_EQ((VectorizedArray<float>::width), 16u);
+#elif defined(__AVX__)
+  EXPECT_EQ((VectorizedArray<double>::width), 4u);
+#endif
+}
+
+TEST(TransposeUtilities, LoadTransposeStoreRoundtrip)
+{
+  using VA = VectorizedArray<double>;
+  constexpr unsigned int W = VA::width;
+  const unsigned int n_entries = 27;
+  std::vector<double> storage(W * n_entries);
+  std::iota(storage.begin(), storage.end(), 0.);
+  std::vector<unsigned int> offsets(W);
+  for (unsigned int l = 0; l < W; ++l)
+    offsets[l] = l * n_entries;
+
+  std::vector<VA> soa(n_entries);
+  vectorized_load_and_transpose(n_entries, storage.data(), offsets.data(),
+                                soa.data());
+  for (unsigned int i = 0; i < n_entries; ++i)
+    for (unsigned int l = 0; l < W; ++l)
+      EXPECT_EQ(soa[i][l], storage[offsets[l] + i]);
+
+  std::vector<double> back(W * n_entries, -1.);
+  vectorized_transpose_and_store(false, n_entries, soa.data(), back.data(),
+                                 offsets.data());
+  EXPECT_EQ(back, storage);
+
+  // additive store doubles the values
+  vectorized_transpose_and_store(true, n_entries, soa.data(), back.data(),
+                                 offsets.data());
+  for (unsigned int i = 0; i < storage.size(); ++i)
+    EXPECT_EQ(back[i], 2. * storage[i]);
+}

@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include "common/tensor.h"
+#include "simd/vectorized_array.h"
+
+using namespace dgflow;
+
+TEST(Tensor1, BasicAlgebra)
+{
+  const Tensor1<double> a(1, 2, 3), b(-1, 0.5, 2);
+  const auto s = a + b;
+  EXPECT_EQ(s[0], 0.);
+  EXPECT_EQ(s[1], 2.5);
+  EXPECT_EQ(s[2], 5.);
+  const auto d = a - b;
+  EXPECT_EQ(d[0], 2.);
+  const auto m = 2. * a;
+  EXPECT_EQ(m[2], 6.);
+  EXPECT_EQ(dot(a, b), -1. + 1. + 6.);
+}
+
+TEST(Tensor1, CrossProduct)
+{
+  const Tensor1<double> ex(1, 0, 0), ey(0, 1, 0);
+  const auto ez = cross(ex, ey);
+  EXPECT_EQ(ez[0], 0.);
+  EXPECT_EQ(ez[1], 0.);
+  EXPECT_EQ(ez[2], 1.);
+  // anti-symmetry
+  const Tensor1<double> a(1, 2, 3), b(4, -1, 0.5);
+  const auto c1 = cross(a, b), c2 = cross(b, a);
+  for (unsigned int i = 0; i < 3; ++i)
+    EXPECT_DOUBLE_EQ(c1[i], -c2[i]);
+  // orthogonality
+  EXPECT_NEAR(dot(c1, a), 0., 1e-14);
+  EXPECT_NEAR(dot(c1, b), 0., 1e-14);
+}
+
+TEST(Tensor2, InvertTimesOriginalIsIdentity)
+{
+  Tensor2<double> A;
+  A[0][0] = 2;
+  A[0][1] = 0.5;
+  A[0][2] = -1;
+  A[1][0] = 0;
+  A[1][1] = 3;
+  A[1][2] = 0.25;
+  A[2][0] = 1;
+  A[2][1] = -0.5;
+  A[2][2] = 1.5;
+  const Tensor2<double> B = invert(A);
+  for (unsigned int i = 0; i < 3; ++i)
+  {
+    Tensor1<double> e;
+    e[i] = 1.;
+    const auto x = apply(B, apply(A, e));
+    for (unsigned int j = 0; j < 3; ++j)
+      EXPECT_NEAR(x[j], e[j], 1e-13);
+  }
+  EXPECT_NEAR(determinant(A) * determinant(B), 1., 1e-13);
+}
+
+TEST(Tensor2, TransposeAndApplyTranspose)
+{
+  Tensor2<double> A;
+  for (unsigned int i = 0; i < 3; ++i)
+    for (unsigned int j = 0; j < 3; ++j)
+      A[i][j] = i * 3. + j + 1.;
+  const Tensor1<double> x(1, -2, 0.5);
+  const auto y1 = apply_transpose(A, x);
+  const auto y2 = apply(transpose(A), x);
+  for (unsigned int i = 0; i < 3; ++i)
+    EXPECT_DOUBLE_EQ(y1[i], y2[i]);
+}
+
+TEST(Tensor2, WorksWithVectorizedArray)
+{
+  using VA = VectorizedArray<double>;
+  Tensor2<VA> A;
+  Tensor1<VA> x;
+  for (unsigned int i = 0; i < 3; ++i)
+  {
+    x[i] = VA(double(i + 1));
+    for (unsigned int j = 0; j < 3; ++j)
+      A[i][j] = VA(i == j ? 2. : 0.5);
+  }
+  const auto y = apply(A, x);
+  // row 0: 2*1 + 0.5*2 + 0.5*3 = 4.5
+  for (unsigned int l = 0; l < VA::width; ++l)
+    EXPECT_DOUBLE_EQ(y[0][l], 4.5);
+  const VA det = determinant(A);
+  const Tensor2<VA> Ainv = invert(A);
+  const auto id = apply(Ainv, y);
+  for (unsigned int l = 0; l < VA::width; ++l)
+  {
+    EXPECT_NEAR(id[0][l], 1., 1e-13);
+    EXPECT_NEAR(id[1][l], 2., 1e-13);
+    EXPECT_NEAR(id[2][l], 3., 1e-13);
+    EXPECT_GT(det[l], 0.);
+  }
+}
+
+TEST(PointUtilities, NormAndNormalize)
+{
+  const Point p(3, 4, 0);
+  EXPECT_DOUBLE_EQ(norm(p), 5.);
+  const Point u = normalize(p);
+  EXPECT_DOUBLE_EQ(norm(u), 1.);
+  EXPECT_DOUBLE_EQ(u[0], 0.6);
+}

@@ -1,0 +1,324 @@
+#include <gtest/gtest.h>
+
+#include <random>
+#include <vector>
+
+#include "fem/tensor_kernels.h"
+#include "matrixfree/fe_evaluation.h"
+#include "mesh/generators.h"
+#include "simd/vectorized_array.h"
+
+using namespace dgflow;
+
+namespace
+{
+std::mt19937 rng(42);
+
+std::vector<double> random_vector(const std::size_t n)
+{
+  std::uniform_real_distribution<double> dist(-1., 1.);
+  std::vector<double> v(n);
+  for (auto &x : v)
+    x = dist(rng);
+  return v;
+}
+
+/// Reference implementation: dense application of M along one direction.
+std::vector<double> reference_apply(const std::vector<double> &M,
+                                    const unsigned int m, const unsigned int n,
+                                    const std::vector<double> &in,
+                                    const unsigned int dir,
+                                    std::array<unsigned int, 3> e,
+                                    const bool transpose)
+{
+  const unsigned int n_in = transpose ? m : n;
+  const unsigned int n_out = transpose ? n : m;
+  EXPECT_EQ(e[dir], n_in);
+  std::array<unsigned int, 3> eo = e;
+  eo[dir] = n_out;
+  std::vector<double> out(eo[0] * eo[1] * eo[2], 0.);
+  for (unsigned int i2 = 0; i2 < eo[2]; ++i2)
+    for (unsigned int i1 = 0; i1 < eo[1]; ++i1)
+      for (unsigned int i0 = 0; i0 < eo[0]; ++i0)
+      {
+        std::array<unsigned int, 3> oi{{i0, i1, i2}};
+        double sum = 0;
+        for (unsigned int c = 0; c < n_in; ++c)
+        {
+          std::array<unsigned int, 3> ii = oi;
+          ii[dir] = c;
+          const double mv =
+            transpose ? M[c * n + oi[dir]] : M[oi[dir] * n + c];
+          sum += mv * in[(ii[2] * e[1] + ii[1]) * e[0] + ii[0]];
+        }
+        out[(i2 * eo[1] + i1) * eo[0] + i0] = sum;
+      }
+  return out;
+}
+} // namespace
+
+struct KernelCase
+{
+  unsigned int m, n, dir;
+};
+
+class ApplyMatrix1D : public ::testing::TestWithParam<KernelCase>
+{};
+
+TEST_P(ApplyMatrix1D, MatchesDenseReference)
+{
+  const auto [m, n, dir] = GetParam();
+  std::array<unsigned int, 3> e{{4, 3, 5}};
+  e[dir] = n;
+  const auto M = random_vector(m * n);
+  const auto in = random_vector(e[0] * e[1] * e[2]);
+  const auto ref = reference_apply(M, m, n, in, dir, e, false);
+
+  std::array<unsigned int, 3> eo = e;
+  eo[dir] = m;
+  std::vector<double> out(eo[0] * eo[1] * eo[2], 0.);
+  apply_matrix_1d<false, false>(M.data(), m, n, in.data(), out.data(), dir, e);
+  for (std::size_t i = 0; i < out.size(); ++i)
+    EXPECT_NEAR(out[i], ref[i], 1e-13);
+
+  // additive application accumulates
+  apply_matrix_1d<false, true>(M.data(), m, n, in.data(), out.data(), dir, e);
+  for (std::size_t i = 0; i < out.size(); ++i)
+    EXPECT_NEAR(out[i], 2. * ref[i], 1e-13);
+}
+
+TEST_P(ApplyMatrix1D, TransposeMatchesDenseReference)
+{
+  const auto [m, n, dir] = GetParam();
+  std::array<unsigned int, 3> e{{4, 3, 5}};
+  e[dir] = m; // transpose contracts over rows
+  const auto M = random_vector(m * n);
+  const auto in = random_vector(e[0] * e[1] * e[2]);
+  const auto ref = reference_apply(M, m, n, in, dir, e, true);
+
+  std::array<unsigned int, 3> eo = e;
+  eo[dir] = n;
+  std::vector<double> out(eo[0] * eo[1] * eo[2], 0.);
+  apply_matrix_1d<true, false>(M.data(), m, n, in.data(), out.data(), dir, e);
+  for (std::size_t i = 0; i < out.size(); ++i)
+    EXPECT_NEAR(out[i], ref[i], 1e-13);
+}
+
+TEST_P(ApplyMatrix1D, AdjointIdentity)
+{
+  // <M x, y> == <x, M^T y> for the same direction
+  const auto [m, n, dir] = GetParam();
+  std::array<unsigned int, 3> ex{{4, 3, 5}}, ey{{4, 3, 5}};
+  ex[dir] = n;
+  ey[dir] = m;
+  const auto M = random_vector(m * n);
+  const auto x = random_vector(ex[0] * ex[1] * ex[2]);
+  const auto y = random_vector(ey[0] * ey[1] * ey[2]);
+
+  std::vector<double> Mx(y.size());
+  apply_matrix_1d<false, false>(M.data(), m, n, x.data(), Mx.data(), dir, ex);
+  std::vector<double> Mty(x.size());
+  apply_matrix_1d<true, false>(M.data(), m, n, y.data(), Mty.data(), dir, ey);
+
+  double a = 0, b = 0;
+  for (std::size_t i = 0; i < y.size(); ++i)
+    a += Mx[i] * y[i];
+  for (std::size_t i = 0; i < x.size(); ++i)
+    b += x[i] * Mty[i];
+  EXPECT_NEAR(a, b, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+  Shapes, ApplyMatrix1D,
+  ::testing::Values(KernelCase{4, 4, 0}, KernelCase{4, 4, 1},
+                    KernelCase{4, 4, 2}, KernelCase{6, 4, 0},
+                    KernelCase{6, 4, 1}, KernelCase{6, 4, 2},
+                    KernelCase{2, 5, 0}, KernelCase{2, 5, 2},
+                    KernelCase{1, 3, 1}, KernelCase{8, 8, 1}));
+
+TEST(FaceContraction, InterpolatesConstantExactly)
+{
+  // contract with a vector summing to 1 (partition of unity at a face point)
+  const unsigned int n = 4;
+  std::array<unsigned int, 3> e{{n, n, n}};
+  std::vector<double> v{0.1, 0.4, 0.3, 0.2};
+  std::vector<double> in(n * n * n, 2.5);
+  std::vector<double> out(n * n);
+  for (unsigned int dir = 0; dir < 3; ++dir)
+  {
+    contract_to_face<false>(v.data(), n, in.data(), out.data(), dir, e);
+    for (const double x : out)
+      EXPECT_NEAR(x, 2.5, 1e-14);
+  }
+}
+
+TEST(FaceContraction, ExpandIsAdjointOfContract)
+{
+  const unsigned int n = 5;
+  std::array<unsigned int, 3> e{{n, n, n}};
+  const auto v = random_vector(n);
+  const auto x = random_vector(n * n * n);
+  const auto y = random_vector(n * n);
+  for (unsigned int dir = 0; dir < 3; ++dir)
+  {
+    std::vector<double> face(n * n);
+    contract_to_face<false>(v.data(), n, x.data(), face.data(), dir, e);
+    std::vector<double> cell(n * n * n, 0.);
+    expand_from_face<false>(v.data(), n, y.data(), cell.data(), dir, e);
+    double a = 0, b = 0;
+    for (unsigned int i = 0; i < face.size(); ++i)
+      a += face[i] * y[i];
+    for (unsigned int i = 0; i < cell.size(); ++i)
+      b += cell[i] * x[i];
+    EXPECT_NEAR(a, b, 1e-12);
+  }
+}
+
+TEST(FaceContraction, WorksWithVectorizedArray)
+{
+  using VA = VectorizedArray<double>;
+  const unsigned int n = 3;
+  std::array<unsigned int, 3> e{{n, n, n}};
+  const auto v = random_vector(n);
+  std::vector<VA> in(n * n * n);
+  for (unsigned int i = 0; i < in.size(); ++i)
+    for (unsigned int l = 0; l < VA::width; ++l)
+      in[i][l] = double(i) + 0.01 * l;
+  std::vector<VA> out(n * n);
+  contract_to_face<false>(v.data(), n, in.data(), out.data(), 1, e);
+
+  // compare against per-lane scalar computation
+  for (unsigned int l = 0; l < VA::width; ++l)
+  {
+    std::vector<double> in_l(in.size()), out_l(out.size());
+    for (unsigned int i = 0; i < in.size(); ++i)
+      in_l[i] = in[i][l];
+    contract_to_face<false>(v.data(), n, in_l.data(), out_l.data(), 1, e);
+    for (unsigned int i = 0; i < out.size(); ++i)
+      EXPECT_NEAR(out[i][l], out_l[i], 1e-14);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// even-odd decomposition
+// ---------------------------------------------------------------------------
+
+namespace
+{
+/// builds a random matrix with the (anti)symmetry of symmetric point sets
+std::vector<double> random_symmetric_matrix(const unsigned int m,
+                                            const unsigned int n,
+                                            const int sign)
+{
+  std::vector<double> M(m * n);
+  std::uniform_real_distribution<double> dist(-1., 1.);
+  for (unsigned int r = 0; r < (m + 1) / 2; ++r)
+    for (unsigned int c = 0; c < n; ++c)
+    {
+      const double v = dist(rng);
+      M[r * n + c] = v;
+      M[(m - 1 - r) * n + (n - 1 - c)] = sign * v;
+    }
+  // the center entry of an odd anti-symmetric matrix must vanish
+  if (sign < 0 && m % 2 == 1 && n % 2 == 1)
+    M[(m / 2) * n + n / 2] = 0.;
+  return M;
+}
+} // namespace
+
+struct EoCase
+{
+  unsigned int m, n, dir;
+  int sign;
+};
+
+class EvenOddKernel : public ::testing::TestWithParam<EoCase>
+{};
+
+TEST_P(EvenOddKernel, MatchesGenericKernel)
+{
+  const auto [m, n, dir, sign] = GetParam();
+  const auto M = random_symmetric_matrix(m, n, sign);
+  const unsigned int mh = (m + 1) / 2, nh = (n + 1) / 2;
+  std::vector<double> Me(mh * nh), Mo(mh * nh);
+  build_even_odd_matrices(M.data(), m, n, Me.data(), Mo.data());
+
+  std::array<unsigned int, 3> e{{3, 4, 5}};
+  e[dir] = n;
+  const auto in = random_vector(e[0] * e[1] * e[2]);
+  std::array<unsigned int, 3> eo_ext = e;
+  eo_ext[dir] = m;
+  std::vector<double> ref(eo_ext[0] * eo_ext[1] * eo_ext[2]);
+  apply_matrix_1d<false, false>(M.data(), m, n, in.data(), ref.data(), dir, e);
+  std::vector<double> out(ref.size(), -7.);
+  apply_matrix_1d_evenodd<false, false>(Me.data(), Mo.data(), m, n, sign,
+                                        in.data(), out.data(), dir, e);
+  for (std::size_t i = 0; i < ref.size(); ++i)
+    ASSERT_NEAR(out[i], ref[i], 1e-13) << "fwd entry " << i;
+
+  // additive variant
+  apply_matrix_1d_evenodd<false, true>(Me.data(), Mo.data(), m, n, sign,
+                                       in.data(), out.data(), dir, e);
+  for (std::size_t i = 0; i < ref.size(); ++i)
+    ASSERT_NEAR(out[i], 2. * ref[i], 1e-13);
+
+  // transpose
+  const auto in_t = random_vector(eo_ext[0] * eo_ext[1] * eo_ext[2]);
+  std::vector<double> ref_t(e[0] * e[1] * e[2]);
+  apply_matrix_1d<true, false>(M.data(), m, n, in_t.data(), ref_t.data(), dir,
+                               eo_ext);
+  std::vector<double> out_t(ref_t.size(), -3.);
+  apply_matrix_1d_evenodd<true, false>(Me.data(), Mo.data(), m, n, sign,
+                                       in_t.data(), out_t.data(), dir,
+                                       eo_ext);
+  for (std::size_t i = 0; i < ref_t.size(); ++i)
+    ASSERT_NEAR(out_t[i], ref_t[i], 1e-13) << "transpose entry " << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+  Shapes, EvenOddKernel,
+  ::testing::Values(EoCase{4, 4, 0, 1}, EoCase{4, 4, 1, -1},
+                    EoCase{5, 5, 2, 1}, EoCase{5, 5, 0, -1},
+                    EoCase{6, 4, 1, 1}, EoCase{6, 4, 2, -1},
+                    EoCase{5, 4, 0, 1}, EoCase{5, 4, 1, -1},
+                    EoCase{3, 3, 2, -1}, EoCase{8, 8, 0, 1}));
+
+TEST(EvenOddFEEvaluation, MatchesGenericPath)
+{
+  // full operator-level check: evaluate+integrate with and without even-odd
+  Mesh mesh(unit_cube());
+  mesh.refine_uniform(1);
+  AnalyticGeometry geom([](index_t, const Point &p) {
+    return Point(p[0] + 0.05 * p[1], p[1] - 0.04 * p[2], p[2]);
+  });
+  MatrixFree<double> mf;
+  MatrixFree<double>::AdditionalData data;
+  data.degrees = {3};
+  data.n_q_points_1d = {5}; // non-collocated: exercises interpolation too
+  mf.reinit(mesh, geom, data);
+
+  Vector<double> src(mf.n_dofs(0, 1)), dst_eo(src.size()), dst_gen(src.size());
+  for (std::size_t i = 0; i < src.size(); ++i)
+    src[i] = std::sin(0.01 * double(i));
+
+  for (const bool eo : {true, false})
+  {
+    FEEvaluation<double, 1> phi(mf, 0, 0, eo);
+    Vector<double> &dst = eo ? dst_eo : dst_gen;
+    for (unsigned int b = 0; b < mf.n_cell_batches(); ++b)
+    {
+      phi.reinit(b);
+      phi.read_dof_values(src);
+      phi.evaluate(true, true);
+      for (unsigned int q = 0; q < phi.n_q_points; ++q)
+      {
+        phi.submit_value(phi.get_value(q), q);
+        phi.submit_gradient(phi.get_gradient(q), q);
+      }
+      phi.integrate(true, true);
+      phi.distribute_local_to_global(dst);
+    }
+  }
+  for (std::size_t i = 0; i < src.size(); ++i)
+    ASSERT_NEAR(dst_eo[i], dst_gen[i], 1e-12 * (1. + std::abs(dst_gen[i])));
+}

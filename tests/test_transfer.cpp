@@ -1,0 +1,193 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "dof/dof_handler.h"
+#include "mesh/generators.h"
+#include "matrixfree/fe_evaluation.h"
+#include "multigrid/transfer.h"
+
+using namespace dgflow;
+
+namespace
+{
+Vector<float> random_vec(const std::size_t n, const unsigned int seed)
+{
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<float> dist(-1.f, 1.f);
+  Vector<float> v(n);
+  for (std::size_t i = 0; i < n; ++i)
+    v[i] = dist(rng);
+  return v;
+}
+
+MatrixFree<float> make_mf(const Mesh &mesh, const Geometry &geom,
+                          const std::vector<unsigned int> &degrees,
+                          const std::vector<BasisType> &bases,
+                          const std::vector<unsigned int> &quads)
+{
+  MatrixFree<float> mf;
+  MatrixFree<float>::AdditionalData data;
+  data.degrees = degrees;
+  data.basis_types = bases;
+  data.n_q_points_1d = quads;
+  mf.reinit(mesh, geom, data);
+  return mf;
+}
+} // namespace
+
+TEST(DGPTransferTest, ProlongationPreservesCoarsePolynomials)
+{
+  Mesh mesh(unit_cube());
+  mesh.refine_uniform(1);
+  TrilinearGeometry geom(mesh.coarse());
+  const auto mf = make_mf(mesh, geom, {3, 1},
+                          {BasisType::lagrange_gauss, BasisType::lagrange_gauss},
+                          {4, 2});
+  DGPTransfer<float> transfer(mf, 0, 1);
+
+  // interpolate a tri-linear function on the coarse (k=1) space; its
+  // prolongation to k=3 must represent the same function exactly
+  Vector<float> coarse(mf.n_dofs(1, 1)), fine;
+  const auto f = [](const Point &p) {
+    return 1.0 + 2 * p[0] - p[1] + 0.5 * p[2];
+  };
+  {
+    // nodal interpolation on the collocated coarse lattice
+    FEEvaluation<float, 1> phi(mf, 1, 1);
+    for (unsigned int b = 0; b < mf.n_cell_batches(); ++b)
+    {
+      phi.reinit(b);
+      for (unsigned int q = 0; q < phi.n_q_points; ++q)
+      {
+        const auto xq = phi.quadrature_point(q);
+        for (unsigned int l = 0; l < MatrixFree<float>::n_lanes; ++l)
+          phi.begin_dof_values()[q][l] =
+            float(f(Point(xq[0][l], xq[1][l], xq[2][l])));
+      }
+      phi.set_dof_values(coarse);
+    }
+  }
+  transfer.prolongate(fine, coarse);
+  // evaluate the fine field at its collocation points and compare
+  FEEvaluation<float, 1> phi(mf, 0, 0);
+  for (unsigned int b = 0; b < mf.n_cell_batches(); ++b)
+  {
+    phi.reinit(b);
+    phi.read_dof_values(fine);
+    for (unsigned int q = 0; q < phi.n_q_points; ++q)
+    {
+      const auto xq = phi.quadrature_point(q);
+      for (unsigned int l = 0; l < phi.n_filled_lanes(); ++l)
+        ASSERT_NEAR(phi.begin_dof_values()[q][l],
+                    f(Point(xq[0][l], xq[1][l], xq[2][l])), 1e-5);
+    }
+  }
+}
+
+TEST(DGPTransferTest, RestrictionIsTransposeOfProlongation)
+{
+  Mesh mesh(unit_cube());
+  mesh.refine_uniform(1);
+  TrilinearGeometry geom(mesh.coarse());
+  const auto mf = make_mf(mesh, geom, {4, 2},
+                          {BasisType::lagrange_gauss, BasisType::lagrange_gauss},
+                          {5, 3});
+  DGPTransfer<float> transfer(mf, 0, 1);
+
+  const auto xc = random_vec(mf.n_dofs(1, 1), 1);
+  const auto yf = random_vec(mf.n_dofs(0, 1), 2);
+  Vector<float> Pxc, Rtyf;
+  transfer.prolongate(Pxc, xc);
+  transfer.restrict_down(Rtyf, yf);
+  const double a = Pxc.dot(yf), b = Rtyf.dot(xc);
+  EXPECT_NEAR(a, b, 1e-4 * std::abs(a));
+}
+
+TEST(CTransferTest, ProlongationOfConstantIsConstant)
+{
+  Mesh mesh(unit_cube());
+  mesh.refine_uniform(1);
+  std::vector<bool> flags(8, false);
+  flags[0] = true;
+  mesh.refine(flags); // include hanging constraints
+  CFEDofHandler dofs;
+  dofs.reinit(mesh);
+  // no Dirichlet so the constant is representable
+  const CFESpace cfe = make_q1_space(dofs, [](unsigned int) { return false; });
+  const SparseMatrix P = build_c_transfer(mesh, cfe);
+  SparseTransfer<float> transfer(P);
+
+  Vector<float> ones(cfe.n_dofs), dg;
+  ones = 1.f;
+  transfer.prolongate(dg, ones);
+  ASSERT_EQ(dg.size(), 8u * mesh.n_active_cells());
+  for (std::size_t i = 0; i < dg.size(); ++i)
+    ASSERT_NEAR(dg[i], 1.f, 1e-6) << "dof " << i;
+}
+
+TEST(HTransferTest, ProlongationOfLinearFieldIsExact)
+{
+  Mesh fine(unit_cube());
+  fine.refine_uniform(2);
+  const Mesh coarse = fine.coarsened();
+  ASSERT_EQ(coarse.n_active_cells(), 8u);
+
+  CFEDofHandler fine_dofs, coarse_dofs;
+  fine_dofs.reinit(fine);
+  coarse_dofs.reinit(coarse);
+  const auto no_dirichlet = [](unsigned int) { return false; };
+  const CFESpace fine_space = make_q1_space(fine_dofs, no_dirichlet);
+  const CFESpace coarse_space = make_q1_space(coarse_dofs, no_dirichlet);
+
+  const SparseMatrix P =
+    build_h_transfer(fine, fine_space, coarse, coarse_space);
+  EXPECT_EQ(P.n_rows(), fine_space.n_dofs);
+  EXPECT_EQ(P.n_cols(), coarse_space.n_dofs);
+
+  // a constant is reproduced exactly (row sums 1)
+  Vector<double> ones(coarse_space.n_dofs), fine_vals;
+  ones = 1.;
+  P.vmult(fine_vals, ones);
+  for (std::size_t i = 0; i < fine_vals.size(); ++i)
+    ASSERT_NEAR(fine_vals[i], 1., 1e-12);
+}
+
+TEST(HTransferTest, WorksOnAdaptiveMeshes)
+{
+  Mesh fine(unit_cube());
+  fine.refine_uniform(1);
+  std::vector<bool> flags(8, false);
+  flags[0] = true;
+  fine.refine(flags);
+  const Mesh coarse = fine.coarsened();
+  EXPECT_LT(coarse.n_active_cells(), fine.n_active_cells());
+
+  CFEDofHandler fine_dofs, coarse_dofs;
+  fine_dofs.reinit(fine);
+  coarse_dofs.reinit(coarse);
+  const auto no_dirichlet = [](unsigned int) { return false; };
+  const CFESpace fine_space = make_q1_space(fine_dofs, no_dirichlet);
+  const CFESpace coarse_space = make_q1_space(coarse_dofs, no_dirichlet);
+  const SparseMatrix P =
+    build_h_transfer(fine, fine_space, coarse, coarse_space);
+
+  Vector<double> ones(coarse_space.n_dofs), fine_vals;
+  ones = 1.;
+  P.vmult(fine_vals, ones);
+  for (std::size_t i = 0; i < fine_vals.size(); ++i)
+    ASSERT_NEAR(fine_vals[i], 1., 1e-12);
+}
+
+TEST(MeshCoarsening, GlobalCoarseningHalvesEachDirection)
+{
+  Mesh mesh(subdivided_box(Point(0, 0, 0), Point(1, 1, 1), {{2, 1, 1}}));
+  mesh.refine_uniform(2);
+  EXPECT_EQ(mesh.n_active_cells(), 128u);
+  const Mesh c1 = mesh.coarsened();
+  EXPECT_EQ(c1.n_active_cells(), 16u);
+  const Mesh c2 = c1.coarsened();
+  EXPECT_EQ(c2.n_active_cells(), 2u);
+  const Mesh c3 = c2.coarsened();
+  EXPECT_EQ(c3.n_active_cells(), 2u); // coarse cells cannot merge
+}

@@ -1,0 +1,54 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "incns/vtk_writer.h"
+#include "matrixfree/field_tools.h"
+#include "mesh/generators.h"
+
+using namespace dgflow;
+
+TEST(VTKWriterTest, WritesConsistentLegacyFile)
+{
+  Mesh mesh(unit_cube());
+  mesh.refine_uniform(1);
+  TrilinearGeometry geom(mesh.coarse());
+  MatrixFree<double> mf;
+  MatrixFree<double>::AdditionalData data;
+  data.degrees = {2, 1};
+  data.n_q_points_1d = {3, 2};
+  mf.reinit(mesh, geom, data);
+
+  Vector<double> u, p;
+  interpolate_vector(mf, 0, 0,
+                     [](const Point &pt) {
+                       return Tensor1<double>(pt[0], -pt[1], 0.5);
+                     },
+                     u);
+  interpolate(mf, 1, 1, [](const Point &pt) { return pt[2]; }, p);
+
+  VTKWriter<double> writer(mf, 0, 0);
+  writer.add_vector("velocity", u);
+  writer.add_scalar("pressure", p, 1, 0);
+  const std::string path = "/tmp/dgflow_vtk_test.vtk";
+  writer.write(path);
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const std::string content = ss.str();
+
+  const unsigned int n_cells = mesh.n_active_cells();
+  const unsigned int points = n_cells * 27;     // (k+1)^3 per cell
+  const unsigned int subcells = n_cells * 8;    // k^3 per cell
+  EXPECT_NE(content.find("POINTS " + std::to_string(points)),
+            std::string::npos);
+  EXPECT_NE(content.find("CELLS " + std::to_string(subcells)),
+            std::string::npos);
+  EXPECT_NE(content.find("VECTORS velocity"), std::string::npos);
+  EXPECT_NE(content.find("SCALARS pressure"), std::string::npos);
+  std::remove(path.c_str());
+}
