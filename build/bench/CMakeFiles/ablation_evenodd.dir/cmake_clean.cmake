@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_evenodd.dir/ablation_evenodd.cpp.o"
+  "CMakeFiles/ablation_evenodd.dir/ablation_evenodd.cpp.o.d"
+  "ablation_evenodd"
+  "ablation_evenodd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_evenodd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

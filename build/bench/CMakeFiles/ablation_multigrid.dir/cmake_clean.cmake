@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_multigrid.dir/ablation_multigrid.cpp.o"
+  "CMakeFiles/ablation_multigrid.dir/ablation_multigrid.cpp.o.d"
+  "ablation_multigrid"
+  "ablation_multigrid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_multigrid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

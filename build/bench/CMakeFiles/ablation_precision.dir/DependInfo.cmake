@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_precision.cpp" "bench/CMakeFiles/ablation_precision.dir/ablation_precision.cpp.o" "gcc" "bench/CMakeFiles/ablation_precision.dir/ablation_precision.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dgflow_dof.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dgflow_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dgflow_amg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

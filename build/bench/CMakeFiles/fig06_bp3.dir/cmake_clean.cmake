@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_bp3.dir/fig06_bp3.cpp.o"
+  "CMakeFiles/fig06_bp3.dir/fig06_bp3.cpp.o.d"
+  "fig06_bp3"
+  "fig06_bp3.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_bp3.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

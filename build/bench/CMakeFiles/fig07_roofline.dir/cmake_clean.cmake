@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_roofline.dir/fig07_roofline.cpp.o"
+  "CMakeFiles/fig07_roofline.dir/fig07_roofline.cpp.o.d"
+  "fig07_roofline"
+  "fig07_roofline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_roofline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_lung_application.dir/table2_lung_application.cpp.o"
+  "CMakeFiles/table2_lung_application.dir/table2_lung_application.cpp.o.d"
+  "table2_lung_application"
+  "table2_lung_application.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_lung_application.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

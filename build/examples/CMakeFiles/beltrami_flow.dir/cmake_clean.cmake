@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/beltrami_flow.dir/beltrami_flow.cpp.o"
+  "CMakeFiles/beltrami_flow.dir/beltrami_flow.cpp.o.d"
+  "beltrami_flow"
+  "beltrami_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/beltrami_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

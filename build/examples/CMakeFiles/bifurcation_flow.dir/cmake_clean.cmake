@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bifurcation_flow.dir/bifurcation_flow.cpp.o"
+  "CMakeFiles/bifurcation_flow.dir/bifurcation_flow.cpp.o.d"
+  "bifurcation_flow"
+  "bifurcation_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bifurcation_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lung_simulation.dir/lung_simulation.cpp.o"
+  "CMakeFiles/lung_simulation.dir/lung_simulation.cpp.o.d"
+  "lung_simulation"
+  "lung_simulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lung_simulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dgflow_amg.dir/amg/amg.cpp.o"
+  "CMakeFiles/dgflow_amg.dir/amg/amg.cpp.o.d"
+  "CMakeFiles/dgflow_amg.dir/amg/sparse_matrix.cpp.o"
+  "CMakeFiles/dgflow_amg.dir/amg/sparse_matrix.cpp.o.d"
+  "libdgflow_amg.a"
+  "libdgflow_amg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dgflow_amg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dgflow_dof.dir/dof/dof_handler.cpp.o"
+  "CMakeFiles/dgflow_dof.dir/dof/dof_handler.cpp.o.d"
+  "libdgflow_dof.a"
+  "libdgflow_dof.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dgflow_dof.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

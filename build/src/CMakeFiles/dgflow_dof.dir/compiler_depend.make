@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for dgflow_dof.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dgflow_lung.dir/lung/airway_tree.cpp.o"
+  "CMakeFiles/dgflow_lung.dir/lung/airway_tree.cpp.o.d"
+  "CMakeFiles/dgflow_lung.dir/lung/lung_mesh.cpp.o"
+  "CMakeFiles/dgflow_lung.dir/lung/lung_mesh.cpp.o.d"
+  "CMakeFiles/dgflow_lung.dir/lung/ventilation.cpp.o"
+  "CMakeFiles/dgflow_lung.dir/lung/ventilation.cpp.o.d"
+  "libdgflow_lung.a"
+  "libdgflow_lung.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dgflow_lung.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

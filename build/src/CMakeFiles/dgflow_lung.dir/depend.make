@@ -1,0 +1,2 @@
+# Empty dependencies file for dgflow_lung.
+# This may be replaced when dependencies are built.

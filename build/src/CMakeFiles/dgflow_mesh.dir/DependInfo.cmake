@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mesh/coarse_mesh.cpp" "src/CMakeFiles/dgflow_mesh.dir/mesh/coarse_mesh.cpp.o" "gcc" "src/CMakeFiles/dgflow_mesh.dir/mesh/coarse_mesh.cpp.o.d"
+  "/root/repo/src/mesh/generators.cpp" "src/CMakeFiles/dgflow_mesh.dir/mesh/generators.cpp.o" "gcc" "src/CMakeFiles/dgflow_mesh.dir/mesh/generators.cpp.o.d"
+  "/root/repo/src/mesh/mesh.cpp" "src/CMakeFiles/dgflow_mesh.dir/mesh/mesh.cpp.o" "gcc" "src/CMakeFiles/dgflow_mesh.dir/mesh/mesh.cpp.o.d"
+  "/root/repo/src/mesh/partition.cpp" "src/CMakeFiles/dgflow_mesh.dir/mesh/partition.cpp.o" "gcc" "src/CMakeFiles/dgflow_mesh.dir/mesh/partition.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

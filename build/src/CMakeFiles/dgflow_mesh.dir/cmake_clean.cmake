@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dgflow_mesh.dir/mesh/coarse_mesh.cpp.o"
+  "CMakeFiles/dgflow_mesh.dir/mesh/coarse_mesh.cpp.o.d"
+  "CMakeFiles/dgflow_mesh.dir/mesh/generators.cpp.o"
+  "CMakeFiles/dgflow_mesh.dir/mesh/generators.cpp.o.d"
+  "CMakeFiles/dgflow_mesh.dir/mesh/mesh.cpp.o"
+  "CMakeFiles/dgflow_mesh.dir/mesh/mesh.cpp.o.d"
+  "CMakeFiles/dgflow_mesh.dir/mesh/partition.cpp.o"
+  "CMakeFiles/dgflow_mesh.dir/mesh/partition.cpp.o.d"
+  "libdgflow_mesh.a"
+  "libdgflow_mesh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dgflow_mesh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

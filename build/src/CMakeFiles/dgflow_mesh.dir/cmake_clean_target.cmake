@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdgflow_mesh.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dgflow_perfmodel.dir/perfmodel/kernel_model.cpp.o"
+  "CMakeFiles/dgflow_perfmodel.dir/perfmodel/kernel_model.cpp.o.d"
+  "CMakeFiles/dgflow_perfmodel.dir/perfmodel/machine.cpp.o"
+  "CMakeFiles/dgflow_perfmodel.dir/perfmodel/machine.cpp.o.d"
+  "CMakeFiles/dgflow_perfmodel.dir/perfmodel/scaling_model.cpp.o"
+  "CMakeFiles/dgflow_perfmodel.dir/perfmodel/scaling_model.cpp.o.d"
+  "libdgflow_perfmodel.a"
+  "libdgflow_perfmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dgflow_perfmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

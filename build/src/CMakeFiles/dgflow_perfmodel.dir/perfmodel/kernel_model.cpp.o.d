@@ -1,0 +1,3 @@
+src/CMakeFiles/dgflow_perfmodel.dir/perfmodel/kernel_model.cpp.o: \
+ /root/repo/src/perfmodel/kernel_model.cpp /usr/include/stdc-predef.h \
+ /root/repo/src/perfmodel/kernel_model.h

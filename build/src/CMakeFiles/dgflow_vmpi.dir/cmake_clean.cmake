@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dgflow_vmpi.dir/vmpi/communicator.cpp.o"
+  "CMakeFiles/dgflow_vmpi.dir/vmpi/communicator.cpp.o.d"
+  "libdgflow_vmpi.a"
+  "libdgflow_vmpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dgflow_vmpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_aligned_vector.dir/test_aligned_vector.cpp.o"
+  "CMakeFiles/test_aligned_vector.dir/test_aligned_vector.cpp.o.d"
+  "test_aligned_vector"
+  "test_aligned_vector.pdb"
+  "test_aligned_vector[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_aligned_vector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

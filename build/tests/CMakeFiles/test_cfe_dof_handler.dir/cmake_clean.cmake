@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cfe_dof_handler.dir/test_cfe_dof_handler.cpp.o"
+  "CMakeFiles/test_cfe_dof_handler.dir/test_cfe_dof_handler.cpp.o.d"
+  "test_cfe_dof_handler"
+  "test_cfe_dof_handler.pdb"
+  "test_cfe_dof_handler[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cfe_dof_handler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_coarse_mesh.dir/test_coarse_mesh.cpp.o"
+  "CMakeFiles/test_coarse_mesh.dir/test_coarse_mesh.cpp.o.d"
+  "test_coarse_mesh"
+  "test_coarse_mesh.pdb"
+  "test_coarse_mesh[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_coarse_mesh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

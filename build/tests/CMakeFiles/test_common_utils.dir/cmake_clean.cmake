@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_common_utils.dir/test_common_utils.cpp.o"
+  "CMakeFiles/test_common_utils.dir/test_common_utils.cpp.o.d"
+  "test_common_utils"
+  "test_common_utils.pdb"
+  "test_common_utils[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_common_utils.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_incns_operators.dir/test_incns_operators.cpp.o"
+  "CMakeFiles/test_incns_operators.dir/test_incns_operators.cpp.o.d"
+  "test_incns_operators"
+  "test_incns_operators.pdb"
+  "test_incns_operators[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_incns_operators.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_incns_solver.dir/test_incns_solver.cpp.o"
+  "CMakeFiles/test_incns_solver.dir/test_incns_solver.cpp.o.d"
+  "test_incns_solver"
+  "test_incns_solver.pdb"
+  "test_incns_solver[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_incns_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

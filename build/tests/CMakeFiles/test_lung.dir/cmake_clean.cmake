@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lung.dir/test_lung.cpp.o"
+  "CMakeFiles/test_lung.dir/test_lung.cpp.o.d"
+  "test_lung"
+  "test_lung.pdb"
+  "test_lung[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lung.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

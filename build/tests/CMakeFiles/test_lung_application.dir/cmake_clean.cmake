@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lung_application.dir/test_lung_application.cpp.o"
+  "CMakeFiles/test_lung_application.dir/test_lung_application.cpp.o.d"
+  "test_lung_application"
+  "test_lung_application.pdb"
+  "test_lung_application[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lung_application.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_matrix_free.dir/test_matrix_free.cpp.o"
+  "CMakeFiles/test_matrix_free.dir/test_matrix_free.cpp.o.d"
+  "test_matrix_free"
+  "test_matrix_free.pdb"
+  "test_matrix_free[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_matrix_free.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

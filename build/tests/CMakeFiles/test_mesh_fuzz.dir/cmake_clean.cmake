@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mesh_fuzz.dir/test_mesh_fuzz.cpp.o"
+  "CMakeFiles/test_mesh_fuzz.dir/test_mesh_fuzz.cpp.o.d"
+  "test_mesh_fuzz"
+  "test_mesh_fuzz.pdb"
+  "test_mesh_fuzz[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mesh_fuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

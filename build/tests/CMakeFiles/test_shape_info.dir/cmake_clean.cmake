@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_shape_info.dir/test_shape_info.cpp.o"
+  "CMakeFiles/test_shape_info.dir/test_shape_info.cpp.o.d"
+  "test_shape_info"
+  "test_shape_info.pdb"
+  "test_shape_info[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_shape_info.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

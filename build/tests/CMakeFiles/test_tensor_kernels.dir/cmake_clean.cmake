@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tensor_kernels.dir/test_tensor_kernels.cpp.o"
+  "CMakeFiles/test_tensor_kernels.dir/test_tensor_kernels.cpp.o.d"
+  "test_tensor_kernels"
+  "test_tensor_kernels.pdb"
+  "test_tensor_kernels[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tensor_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

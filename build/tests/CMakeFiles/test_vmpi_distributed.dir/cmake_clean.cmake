@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vmpi_distributed.dir/test_vmpi_distributed.cpp.o"
+  "CMakeFiles/test_vmpi_distributed.dir/test_vmpi_distributed.cpp.o.d"
+  "test_vmpi_distributed"
+  "test_vmpi_distributed.pdb"
+  "test_vmpi_distributed[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vmpi_distributed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_aligned_vector[1]_include.cmake")
+include("/root/repo/build/tests/test_vector[1]_include.cmake")
+include("/root/repo/build/tests/test_tensor[1]_include.cmake")
+include("/root/repo/build/tests/test_simd[1]_include.cmake")
+include("/root/repo/build/tests/test_quadrature[1]_include.cmake")
+include("/root/repo/build/tests/test_polynomial[1]_include.cmake")
+include("/root/repo/build/tests/test_shape_info[1]_include.cmake")
+include("/root/repo/build/tests/test_tensor_kernels[1]_include.cmake")
+include("/root/repo/build/tests/test_coarse_mesh[1]_include.cmake")
+include("/root/repo/build/tests/test_mesh[1]_include.cmake")
+include("/root/repo/build/tests/test_matrix_free[1]_include.cmake")
+include("/root/repo/build/tests/test_laplace[1]_include.cmake")
+include("/root/repo/build/tests/test_cfe_dof_handler[1]_include.cmake")
+include("/root/repo/build/tests/test_multigrid[1]_include.cmake")
+include("/root/repo/build/tests/test_amg[1]_include.cmake")
+include("/root/repo/build/tests/test_incns_operators[1]_include.cmake")
+include("/root/repo/build/tests/test_incns_solver[1]_include.cmake")
+include("/root/repo/build/tests/test_lung[1]_include.cmake")
+include("/root/repo/build/tests/test_vmpi[1]_include.cmake")
+include("/root/repo/build/tests/test_perfmodel[1]_include.cmake")
+include("/root/repo/build/tests/test_transfer[1]_include.cmake")
+include("/root/repo/build/tests/test_chebyshev[1]_include.cmake")
+include("/root/repo/build/tests/test_lung_application[1]_include.cmake")
+include("/root/repo/build/tests/test_vtk_writer[1]_include.cmake")
+include("/root/repo/build/tests/test_mesh_fuzz[1]_include.cmake")
+include("/root/repo/build/tests/test_common_utils[1]_include.cmake")
+include("/root/repo/build/tests/test_vmpi_distributed[1]_include.cmake")

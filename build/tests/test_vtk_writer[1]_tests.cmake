@@ -1,0 +1,3 @@
+add_test([=[VTKWriterTest.WritesConsistentLegacyFile]=]  /root/repo/build/tests/test_vtk_writer [==[--gtest_filter=VTKWriterTest.WritesConsistentLegacyFile]==] --gtest_also_run_disabled_tests)
+set_tests_properties([=[VTKWriterTest.WritesConsistentLegacyFile]=]  PROPERTIES WORKING_DIRECTORY /root/repo/build/tests SKIP_REGULAR_EXPRESSION [==[\[  SKIPPED \]]==])
+set(  test_vtk_writer_TESTS VTKWriterTest.WritesConsistentLegacyFile)
