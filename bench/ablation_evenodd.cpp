@@ -12,6 +12,7 @@ using namespace dgflow::bench;
 
 int main()
 {
+  dgflow::prof::EnvSession profile_session;
   print_header("Ablation: even-odd decomposition of the 1D kernels",
                "paper Sec. 3.1 (flop-minimizing optimizations)");
 

@@ -64,6 +64,7 @@ BoundaryMap all_dirichlet()
 
 int main()
 {
+  dgflow::prof::EnvSession profile_session;
   print_header("Ablation: hybrid multigrid design choices",
                "paper Sections 3.4 / 5.2 (design discussion)");
 

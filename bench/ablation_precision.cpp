@@ -48,6 +48,7 @@ void run_case(const Mesh &mesh, const Geometry &geom, const BoundaryMap &bc,
 
 int main()
 {
+  dgflow::prof::EnvSession profile_session;
   print_header("Ablation: single vs double precision multigrid V-cycle",
                "paper Section 3.4: SP V-cycle does not affect convergence "
                "and improves throughput");

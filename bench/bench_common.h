@@ -10,6 +10,7 @@
 #include "common/table.h"
 #include "common/vector.h"
 #include "common/timer.h"
+#include "instrumentation/profiler.h"
 #include "lung/lung_mesh.h"
 #include "mesh/generators.h"
 

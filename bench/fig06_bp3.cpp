@@ -14,6 +14,7 @@ using namespace dgflow::bench;
 
 int main()
 {
+  dgflow::prof::EnvSession profile_session;
   print_header(
     "Fig. 6 (right): CEED BP3 throughput per CG iteration vs problem size",
     "paper Fig. 6 right: Skylake node competitive with V100/A64FX despite "

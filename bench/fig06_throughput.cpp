@@ -32,6 +32,7 @@ BoundaryMap lung_bc(const LungMesh &lung)
 
 int main()
 {
+  dgflow::prof::EnvSession profile_session;
   print_header("Fig. 6 (left): mat-vec and smoother throughput, lung geometry",
                "paper Fig. 6 left (k=3 DP mat-vec: 1.4e9 DoF/s per node; SP "
                "smoother ~30% above the DP mat-vec)");

@@ -14,6 +14,7 @@ using namespace dgflow::bench;
 
 int main()
 {
+  dgflow::prof::EnvSession profile_session;
   print_header("Fig. 7: roofline of the DG Laplacian on the lung geometry",
                "paper Fig. 7: all degrees bandwidth-limited; measured "
                "transfer 20-30% above the ideal model");

@@ -49,6 +49,7 @@ double measure_rate(const CoarseMesh &coarse, const BoundaryMap &bc,
 
 int main()
 {
+  dgflow::prof::EnvSession profile_session;
   print_header("Fig. 8: strong scaling of the k=3 mat-vec (lung vs "
                "bifurcation), model-projected",
                "paper Fig. 8: saturation below 1e-4 s; cache-regime bump; "

@@ -15,6 +15,7 @@ using namespace dgflow::bench;
 
 int main()
 {
+  dgflow::prof::EnvSession profile_session;
   print_header("Fig. 9: Poisson solver scaling, generic bifurcation, k=3",
                "paper Fig. 9: 9 CG iterations at all sizes; near-ideal "
                "strong scaling down to ~0.1 s");

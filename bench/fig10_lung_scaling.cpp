@@ -18,6 +18,7 @@ using namespace dgflow::bench;
 
 int main()
 {
+  dgflow::prof::EnvSession profile_session;
   print_header("Fig. 10: Poisson solver scaling, lung geometry",
                "paper Fig. 10: 21-22 CG iterations; scaling saturates near "
                "0.1-0.15 s; V-cycle time 18/13/26/45% across fine/second/"

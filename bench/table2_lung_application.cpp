@@ -22,6 +22,7 @@ using namespace dgflow::bench;
 
 int main()
 {
+  dgflow::prof::EnvSession profile_session;
   print_header("Table 2: lung application runs",
                "paper Table 2: g=3..11, 0.017-0.045 s/step on 2-128 nodes, "
                "0.9-25 h/cycle, 1.9-57 h/l");

@@ -13,6 +13,7 @@ using namespace dgflow::bench;
 
 int main()
 {
+  dgflow::prof::EnvSession profile_session;
   print_header("Table 3: state-of-the-art comparison, min wall time per step",
                "paper Table 3");
 

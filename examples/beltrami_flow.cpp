@@ -11,12 +11,14 @@
 
 #include "incns/analytic_flows.h"
 #include "incns/solver.h"
+#include "instrumentation/profiler.h"
 #include "mesh/generators.h"
 
 using namespace dgflow;
 
 int main(int argc, char **argv)
 {
+  prof::EnvSession profile_session;
   const unsigned int degree = argc > 1 ? std::atoi(argv[1]) : 4;
   const double dt = argc > 2 ? std::atof(argv[2]) : 2e-3;
   const double end_time = 0.1;

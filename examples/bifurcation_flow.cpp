@@ -9,12 +9,14 @@
 
 #include <cstdio>
 
+#include "instrumentation/profiler.h"
 #include "lung/lung_application.h"
 
 using namespace dgflow;
 
 int main(int argc, char **argv)
 {
+  prof::EnvSession profile_session;
   const unsigned int n_steps = argc > 1 ? std::atoi(argv[1]) : 600;
 
   LungApplicationParameters prm;

@@ -10,12 +10,14 @@
 
 #include "incns/analytic_flows.h"
 #include "incns/solver.h"
+#include "instrumentation/profiler.h"
 #include "mesh/generators.h"
 
 using namespace dgflow;
 
 int main(int argc, char **argv)
 {
+  prof::EnvSession profile_session;
   const double end_time = argc > 1 ? std::atof(argv[1]) : 1.5;
 
   PoiseuilleChannel channel;
@@ -76,7 +78,7 @@ int main(int argc, char **argv)
       const double flux = solver.boundary_flux(1);
       std::printf("%10.3f %12.6f %11.2f%% %10u\n", info.time, flux,
                   100. * (flux - channel.flux()) / channel.flux(),
-                  info.pressure_iterations);
+                  info.pressure.iterations);
       next_report += end_time / 10.;
     }
   }

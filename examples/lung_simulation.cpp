@@ -11,12 +11,14 @@
 #include <cstdio>
 
 #include "incns/vtk_writer.h"
+#include "instrumentation/profiler.h"
 #include "lung/lung_application.h"
 
 using namespace dgflow;
 
 int main(int argc, char **argv)
 {
+  prof::EnvSession profile_session;
   LungApplicationParameters prm;
   prm.generations = argc > 1 ? std::atoi(argv[1]) : 3;
   const unsigned int n_steps = argc > 2 ? std::atoi(argv[2]) : 400;
@@ -56,7 +58,7 @@ int main(int argc, char **argv)
                   -app.solver().boundary_flux(LungMesh::inlet_id) / liter,
                   app.ventilation().inhaled_volume_current_cycle() / liter *
                     1000,
-                  info.pressure_iterations, info.wall_time);
+                  info.pressure.iterations, info.wall_time);
   }
 
   if (argc > 3)

@@ -12,6 +12,7 @@
 #include <cstdio>
 
 #include "common/timer.h"
+#include "instrumentation/profiler.h"
 #include "mesh/generators.h"
 #include "multigrid/hybrid_multigrid.h"
 #include "solvers/cg.h"
@@ -20,6 +21,9 @@ using namespace dgflow;
 
 int main(int argc, char **argv)
 {
+  // DGFLOW_PROFILE=1 prints the hierarchical profile at exit and
+  // DGFLOW_PROFILE_JSON=<path> archives it as JSON
+  prof::EnvSession profile_session;
   const unsigned int refinements = argc > 1 ? std::atoi(argv[1]) : 3;
   const unsigned int degree = argc > 2 ? std::atoi(argv[2]) : 3;
 
@@ -66,8 +70,8 @@ int main(int argc, char **argv)
   control.rel_tol = 1e-10;
   control.max_iterations = 100;
   Timer solve_timer;
-  const SolverResult result = solve_cg(laplace, solution, rhs, multigrid,
-                                       control);
+  const SolveStats result = solve_cg(laplace, solution, rhs, multigrid,
+                                     control);
   const double t_solve = solve_timer.seconds();
 
   const double error = l2_error(matrix_free, 0, 0, solution, exact);

@@ -1,8 +1,21 @@
 #!/bin/sh
 # Runs the full benchmark harness sequentially (single-core machine: do not
 # run anything else concurrently or the timings are polluted).
+#
+# Each benchmark runs with profiling enabled and archives its hierarchical
+# profiler report (timers / counters / vmpi traffic) as JSON into
+# bench_results/PROFILE_<name>.json for cross-PR diffing. Note the
+# measurement overhead is small but nonzero; for last-decimal kernel numbers
+# rerun the binary of interest without DGFLOW_PROFILE=1.
 set -e
 cd "$(dirname "$0")"
+mkdir -p bench_results
 for b in build/bench/*; do
-  [ -x "$b" ] && [ -f "$b" ] && "$b"
+  if [ -x "$b" ] && [ -f "$b" ]; then
+    name=$(basename "$b")
+    DGFLOW_PROFILE=1 \
+      DGFLOW_PROFILE_JSON="bench_results/PROFILE_${name}.json" \
+      "$b"
+  fi
 done
+echo "profiler reports archived in bench_results/ (PROFILE_*.json)"

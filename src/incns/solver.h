@@ -10,6 +10,8 @@
 // (Section 5.3).
 
 #include "common/timer.h"
+#include "instrumentation/profiler.h"
+#include "instrumentation/solve_stats.h"
 #include "matrixfree/field_tools.h"
 #include "multigrid/hybrid_multigrid.h"
 #include "operators/convective_operator.h"
@@ -58,14 +60,16 @@ public:
     VectorFunctionT velocity_neumann_data;
   };
 
+  /// Per-step record: one SolveStats per implicit substep (produced by the
+  /// instrumented solve_cg), plus the step's time, dt and wall time.
   struct StepInfo
   {
     double time = 0;     ///< time after the step
     double dt = 0;
-    unsigned int pressure_iterations = 0;
-    unsigned int viscous_iterations = 0;
-    unsigned int penalty_iterations = 0;
     double wall_time = 0;
+    SolveStats pressure; ///< pressure Poisson solve
+    SolveStats viscous;  ///< viscous Helmholtz solve
+    SolveStats penalty;  ///< divergence/continuity penalty solve
   };
 
   void setup(const Mesh &mesh, const Geometry &geometry, FlowBoundaryMap bc,
@@ -146,7 +150,6 @@ public:
   const VectorType &velocity() const { return u_; }
   const VectorType &pressure() const { return p_; }
   const MatrixFree<Number> &matrix_free() const { return mf_; }
-  TimerTree &timers() { return timers_; }
 
   static constexpr unsigned int u_space = 0, p_space = 1;
   static constexpr unsigned int quad_u = 0, quad_p = 1, quad_over = 2;
@@ -186,6 +189,8 @@ public:
   /// Advances one time step of the dual splitting scheme.
   StepInfo advance()
   {
+    DGFLOW_PROF_SCOPE("ins_step");
+    DGFLOW_PROF_COUNT("ins_steps", 1);
     Timer total;
     StepInfo info;
     const double dt = compute_time_step();
@@ -197,8 +202,8 @@ public:
 
     // (1) explicit convective step
     {
-      ScopedTimer st(timers_, "convective");
-      convective_.evaluate(conv_, u_, time_);
+      DGFLOW_PROF_SCOPE("convective_step");
+      convective_.apply(conv_, u_, time_);
       // w = M^{-1} (-beta0 C(u^n) - beta1 C(u^{n-1}))
       rhs_u_.reinit(u_.size(), true);
       rhs_u_.equ(Number(-bdf.beta[0]), conv_);
@@ -215,10 +220,10 @@ public:
 
     // (2) pressure Poisson equation
     {
-      ScopedTimer st(timers_, "pressure");
+      DGFLOW_PROF_SCOPE("pressure");
       if (prm_.rotational_pressure_bc)
         compute_vorticity(vort_, u_);
-      divergence_.apply(rhs_p_, u_hat_, t_new, true);
+      divergence_.apply(rhs_p_, u_hat_, t_new);
       rhs_p_.scale(Number(-bdf.gamma0 / dt));
       add_pressure_boundary_rhs(rhs_p_, t_new, bdf);
 
@@ -233,7 +238,7 @@ public:
       SolverControl control;
       control.max_iterations = 1000;
       control.rel_tol = prm_.rel_tol_pressure;
-      SolverResult result;
+      SolveStats result;
       bool mg_failed = !pressure_mg_usable_;
       if (pressure_mg_usable_)
         try
@@ -256,20 +261,21 @@ public:
         DGFLOW_ASSERT(result.converged,
                       "pressure solve failed to converge (Jacobi fallback)");
       }
-      info.pressure_iterations = result.iterations;
+      info.pressure = result;
+      DGFLOW_PROF_COUNT("ins_pressure_iterations", result.iterations);
     }
 
     // (3) projection
     {
-      ScopedTimer st(timers_, "projection");
-      gradient_.apply(rhs_u_, p_, t_new, true);
+      DGFLOW_PROF_SCOPE("projection");
+      gradient_.apply(rhs_u_, p_, t_new);
       mass_u_.apply_inverse(work_u_, rhs_u_);
       u_hat_.add(Number(-dt / bdf.gamma0), work_u_);
     }
 
     // (4) viscous step
     {
-      ScopedTimer st(timers_, "viscous");
+      DGFLOW_PROF_SCOPE("viscous");
       const Number mass_factor = Number(bdf.gamma0 / dt);
       helmholtz_.set_mass_factor(mass_factor);
       mass_u_.vmult(rhs_u_, u_hat_);
@@ -284,12 +290,13 @@ public:
       const auto result =
         solve_cg(helmholtz_, work_u_, rhs_u_, viscous_jacobi_, control);
       DGFLOW_ASSERT(result.converged, "viscous solve failed to converge");
-      info.viscous_iterations = result.iterations;
+      info.viscous = result;
+      DGFLOW_PROF_COUNT("ins_viscous_iterations", result.iterations);
     }
 
     // (5) divergence/continuity penalty step
     {
-      ScopedTimer st(timers_, "penalty");
+      DGFLOW_PROF_SCOPE("penalty");
       penalty_.update(work_u_, Number(dt), Number(prm_.penalty_floor));
       mass_u_.vmult(rhs_u_, work_u_);
       u_old_.swap(u_);
@@ -300,7 +307,8 @@ public:
       InverseMassPreconditioner precond{&mass_u_};
       const auto result = solve_cg(penalty_, u_, rhs_u_, precond, control);
       DGFLOW_ASSERT(result.converged, "penalty solve failed to converge");
-      info.penalty_iterations = result.iterations;
+      info.penalty = result;
+      DGFLOW_PROF_COUNT("ins_penalty_iterations", result.iterations);
     }
 
     conv_old_.swap(conv_);
@@ -511,7 +519,6 @@ private:
   double time_ = 0, dt_prev_ = 0;
   unsigned long step_count_ = 0;
   bool pressure_mg_usable_ = true;
-  TimerTree timers_;
 };
 
 } // namespace dgflow

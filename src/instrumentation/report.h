@@ -1,0 +1,394 @@
+#pragma once
+
+// Structured profiling output (paper Sections 4-5 report per-kernel timings,
+// iteration counts and communication volumes as first-class results): a
+// snapshot of the profiler state that can render itself as a hierarchical
+// console table or as machine-readable JSON, plus a parser for the same JSON
+// schema so benchmark tooling can diff archived runs across PRs.
+
+#include <cctype>
+#include <cstdint>
+#include <iomanip>
+#include <limits>
+#include <map>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/exceptions.h"
+
+namespace dgflow::prof
+{
+/// One node of the scoped-timer hierarchy (aggregated over all threads).
+struct TimerEntry
+{
+  std::string name;
+  unsigned long count = 0;
+  double total = 0.;                        ///< accumulated seconds
+  double min = std::numeric_limits<double>::max();
+  double max = 0.;
+  std::vector<TimerEntry> children;
+
+  /// Seconds not attributed to any child scope.
+  double self() const
+  {
+    double s = total;
+    for (const auto &c : children)
+      s -= c.total;
+    return s;
+  }
+
+  /// Depth of the subtree rooted here (a leaf has depth 1).
+  unsigned int depth() const
+  {
+    unsigned int d = 0;
+    for (const auto &c : children)
+      d = std::max(d, c.depth());
+    return d + 1;
+  }
+};
+
+/// Aggregated vmpi communication volume (summed over ranks at join).
+struct VmpiStats
+{
+  unsigned long long runs = 0;    ///< completed vmpi::run invocations
+  unsigned long long ranks = 0;   ///< total ranks across those runs
+  unsigned long long messages = 0;
+  unsigned long long bytes = 0;
+  unsigned long long barriers = 0;
+  unsigned long long allreduces = 0;
+};
+
+struct ProfileReport
+{
+  std::vector<TimerEntry> timers;
+  std::map<std::string, long long> counters;
+  VmpiStats vmpi;
+
+  /// Maximum nesting depth of the timer hierarchy.
+  unsigned int depth() const
+  {
+    unsigned int d = 0;
+    for (const auto &t : timers)
+      d = std::max(d, t.depth());
+    return d;
+  }
+
+  const TimerEntry *find(const std::string &path) const
+  {
+    const std::vector<TimerEntry> *level = &timers;
+    const TimerEntry *found = nullptr;
+    std::size_t pos = 0;
+    while (pos <= path.size())
+    {
+      const std::size_t sep = path.find('/', pos);
+      const std::string part =
+        path.substr(pos, sep == std::string::npos ? sep : sep - pos);
+      found = nullptr;
+      for (const auto &e : *level)
+        if (e.name == part)
+        {
+          found = &e;
+          break;
+        }
+      if (!found || sep == std::string::npos)
+        return found;
+      level = &found->children;
+      pos = sep + 1;
+    }
+    return found;
+  }
+
+  void print(std::ostream &out) const
+  {
+    out << "\nprofile: scoped timers\n";
+    out << "  " << std::left << std::setw(44) << "section" << std::right
+        << std::setw(9) << "calls" << std::setw(12) << "total [s]"
+        << std::setw(12) << "self [s]" << std::setw(12) << "min [s]"
+        << std::setw(12) << "max [s]" << '\n';
+    out << "  " << std::string(99, '-') << '\n';
+    for (const auto &t : timers)
+      print_node(out, t, 0);
+
+    if (!counters.empty())
+    {
+      out << "\nprofile: counters\n";
+      for (const auto &[name, value] : counters)
+        out << "  " << std::left << std::setw(44) << name << std::right
+            << std::setw(16) << value << '\n';
+    }
+
+    if (vmpi.runs > 0)
+    {
+      out << "\nprofile: vmpi traffic (aggregated over "
+          << vmpi.ranks << " ranks in " << vmpi.runs << " runs)\n";
+      out << "  messages    " << vmpi.messages << '\n';
+      out << "  bytes       " << vmpi.bytes << '\n';
+      out << "  barriers    " << vmpi.barriers << '\n';
+      out << "  allreduces  " << vmpi.allreduces << '\n';
+    }
+    out.flush();
+  }
+
+  void write_json(std::ostream &out) const
+  {
+    out << "{\n  \"timers\": [";
+    for (std::size_t i = 0; i < timers.size(); ++i)
+      write_node(out, timers[i], 2, i + 1 < timers.size());
+    out << (timers.empty() ? "" : "\n  ") << "],\n  \"counters\": {";
+    std::size_t k = 0;
+    for (const auto &[name, value] : counters)
+      out << (k++ ? "," : "") << "\n    \"" << name << "\": " << value;
+    out << (counters.empty() ? "" : "\n  ") << "},\n  \"vmpi\": {"
+        << "\"runs\": " << vmpi.runs << ", \"ranks\": " << vmpi.ranks
+        << ", \"messages\": " << vmpi.messages << ", \"bytes\": " << vmpi.bytes
+        << ", \"barriers\": " << vmpi.barriers
+        << ", \"allreduces\": " << vmpi.allreduces << "}\n}\n";
+  }
+
+  std::string json() const
+  {
+    std::ostringstream ss;
+    write_json(ss);
+    return ss.str();
+  }
+
+  /// Parses JSON produced by write_json (subset of JSON: objects, arrays,
+  /// strings without escapes, numbers, booleans).
+  static ProfileReport parse_json(const std::string &text);
+
+private:
+  static void print_node(std::ostream &out, const TimerEntry &t,
+                         const unsigned int indent)
+  {
+    std::string label(2 * indent, ' ');
+    label += t.name;
+    if (label.size() > 43)
+      label = label.substr(0, 40) + "...";
+    out << "  " << std::left << std::setw(44) << label << std::right
+        << std::setw(9) << t.count << std::setw(12) << Table_fmt(t.total)
+        << std::setw(12) << Table_fmt(t.self()) << std::setw(12)
+        << Table_fmt(t.count ? t.min : 0.) << std::setw(12)
+        << Table_fmt(t.max) << '\n';
+    for (const auto &c : t.children)
+      print_node(out, c, indent + 1);
+  }
+
+  static std::string Table_fmt(const double v)
+  {
+    std::ostringstream ss;
+    ss << std::scientific << std::setprecision(3) << v;
+    return ss.str();
+  }
+
+  static void write_node(std::ostream &out, const TimerEntry &t,
+                         const unsigned int indent, const bool more)
+  {
+    const std::string pad(2 * indent, ' ');
+    out << '\n' << pad << "{\"name\": \"" << t.name << "\", \"count\": "
+        << t.count << ", \"total\": " << json_num(t.total)
+        << ", \"min\": " << json_num(t.count ? t.min : 0.)
+        << ", \"max\": " << json_num(t.max) << ", \"children\": [";
+    for (std::size_t i = 0; i < t.children.size(); ++i)
+      write_node(out, t.children[i], indent + 1, i + 1 < t.children.size());
+    if (!t.children.empty())
+      out << '\n' << pad;
+    out << "]}" << (more ? "," : "");
+  }
+
+  static std::string json_num(const double v)
+  {
+    std::ostringstream ss;
+    ss << std::setprecision(17) << v;
+    return ss.str();
+  }
+};
+
+// ---------------------------------------------------------------------------
+// minimal JSON parser (schema-directed, just enough for the profiler output)
+// ---------------------------------------------------------------------------
+
+namespace internal
+{
+class JsonParser
+{
+public:
+  explicit JsonParser(const std::string &text) : s_(text) {}
+
+  void skip_ws()
+  {
+    while (pos_ < s_.size() && std::isspace(static_cast<unsigned char>(s_[pos_])))
+      ++pos_;
+  }
+
+  char peek()
+  {
+    skip_ws();
+    DGFLOW_ASSERT(pos_ < s_.size(), "unexpected end of JSON");
+    return s_[pos_];
+  }
+
+  void expect(const char c)
+  {
+    DGFLOW_ASSERT(peek() == c, "expected '" << c << "' at position " << pos_
+                                            << ", got '" << s_[pos_] << "'");
+    ++pos_;
+  }
+
+  bool consume_if(const char c)
+  {
+    if (peek() == c)
+    {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  std::string parse_string()
+  {
+    expect('"');
+    std::string out;
+    while (pos_ < s_.size() && s_[pos_] != '"')
+      out += s_[pos_++];
+    expect('"');
+    return out;
+  }
+
+  double parse_number()
+  {
+    skip_ws();
+    std::size_t end = pos_;
+    while (end < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[end])) ||
+            s_[end] == '-' || s_[end] == '+' || s_[end] == '.' ||
+            s_[end] == 'e' || s_[end] == 'E'))
+      ++end;
+    DGFLOW_ASSERT(end > pos_, "expected number at position " << pos_);
+    const double v = std::stod(s_.substr(pos_, end - pos_));
+    pos_ = end;
+    return v;
+  }
+
+private:
+  const std::string &s_;
+  std::size_t pos_ = 0;
+};
+} // namespace internal
+
+inline ProfileReport ProfileReport::parse_json(const std::string &text)
+{
+  using internal::JsonParser;
+  JsonParser p(text);
+
+  // recursive timer-node parser
+  struct NodeParser
+  {
+    static TimerEntry parse(JsonParser &p)
+    {
+      TimerEntry t;
+      p.expect('{');
+      if (!p.consume_if('}'))
+      {
+        do
+        {
+          const std::string key = p.parse_string();
+          p.expect(':');
+          if (key == "name")
+            t.name = p.parse_string();
+          else if (key == "count")
+            t.count = static_cast<unsigned long>(p.parse_number());
+          else if (key == "total")
+            t.total = p.parse_number();
+          else if (key == "min")
+            t.min = p.parse_number();
+          else if (key == "max")
+            t.max = p.parse_number();
+          else if (key == "children")
+          {
+            p.expect('[');
+            if (!p.consume_if(']'))
+            {
+              do
+                t.children.push_back(parse(p));
+              while (p.consume_if(','));
+              p.expect(']');
+            }
+          }
+          else
+            DGFLOW_ASSERT(false, "unknown timer key '" << key << "'");
+        } while (p.consume_if(','));
+        p.expect('}');
+      }
+      return t;
+    }
+  };
+
+  ProfileReport r;
+  p.expect('{');
+  do
+  {
+    const std::string key = p.parse_string();
+    p.expect(':');
+    if (key == "timers")
+    {
+      p.expect('[');
+      if (!p.consume_if(']'))
+      {
+        do
+          r.timers.push_back(NodeParser::parse(p));
+        while (p.consume_if(','));
+        p.expect(']');
+      }
+    }
+    else if (key == "counters")
+    {
+      p.expect('{');
+      if (!p.consume_if('}'))
+      {
+        do
+        {
+          const std::string name = p.parse_string();
+          p.expect(':');
+          r.counters[name] = static_cast<long long>(p.parse_number());
+        } while (p.consume_if(','));
+        p.expect('}');
+      }
+    }
+    else if (key == "vmpi")
+    {
+      p.expect('{');
+      if (!p.consume_if('}'))
+      {
+        do
+        {
+          const std::string name = p.parse_string();
+          p.expect(':');
+          const auto v = static_cast<unsigned long long>(p.parse_number());
+          if (name == "runs")
+            r.vmpi.runs = v;
+          else if (name == "ranks")
+            r.vmpi.ranks = v;
+          else if (name == "messages")
+            r.vmpi.messages = v;
+          else if (name == "bytes")
+            r.vmpi.bytes = v;
+          else if (name == "barriers")
+            r.vmpi.barriers = v;
+          else if (name == "allreduces")
+            r.vmpi.allreduces = v;
+          else
+            DGFLOW_ASSERT(false, "unknown vmpi key '" << name << "'");
+        } while (p.consume_if(','));
+        p.expect('}');
+      }
+    }
+    else
+      DGFLOW_ASSERT(false, "unknown report key '" << key << "'");
+  } while (p.consume_if(','));
+  p.expect('}');
+  return r;
+}
+
+} // namespace dgflow::prof

@@ -1,0 +1,23 @@
+#pragma once
+
+// The one coherent per-solve statistics object produced by the instrumented
+// Krylov solvers (iterations, residuals, convergence flags, wall time).
+// INSSolver::StepInfo exposes one SolveStats per implicit substep so
+// examples/tests read a single struct instead of loose counters.
+
+namespace dgflow
+{
+struct SolveStats
+{
+  unsigned int iterations = 0;
+  double initial_residual = 0.;
+  double final_residual = 0.;
+  bool converged = false;
+  /// Krylov space exhausted (search direction numerically zero); the
+  /// returned iterate is the best available and is treated as converged
+  /// when the residual has stagnated at roundoff level.
+  bool breakdown = false;
+  double seconds = 0.; ///< wall time of the solve
+};
+
+} // namespace dgflow

@@ -15,6 +15,7 @@
 #include <memory>
 
 #include "common/timer.h"
+#include "instrumentation/profiler.h"
 
 #include "amg/amg.h"
 #include "multigrid/transfer.h"
@@ -57,6 +58,7 @@ public:
              const unsigned int degree, const BoundaryMap &bc,
              const Options &options = Options())
   {
+    DGFLOW_PROF_SCOPE("mg_setup");
     options_ = options;
     bc_ = bc;
 
@@ -172,6 +174,8 @@ public:
   /// V-cycle in the level precision.
   void vmult(Vector<double> &dst, const Vector<double> &src) const
   {
+    DGFLOW_PROF_SCOPE("mg_vcycle");
+    DGFLOW_PROF_COUNT("mg_vcycles", 1);
     src_f_.copy_and_convert(src);
     Level &top = levels_.back();
     top.x.reinit(src.size(), true);
@@ -182,6 +186,8 @@ public:
   /// Runs one V-cycle in the level precision (for nesting / diagnostics).
   void vcycle_level_precision(LVec &x, const LVec &b) const
   {
+    DGFLOW_PROF_SCOPE("mg_vcycle");
+    DGFLOW_PROF_COUNT("mg_vcycles", 1);
     vcycle(levels_.size() - 1, x, b);
   }
 
@@ -211,6 +217,7 @@ private:
   void build_levels()
   {
     levels_.clear();
+    level_names_.clear();
 
     // bottom-up: AMG coarse level lives inside the coarsest Q1 level
     const bool have_h = !coarse_ops_.empty();
@@ -281,6 +288,9 @@ private:
         static_cast<unsigned int>(s + 1));
     DGFLOW_ASSERT(l == levels_.size(), "level/transfer bookkeeping mismatch");
 
+    for (std::size_t lev = 0; lev < levels_.size(); ++lev)
+      level_names_.push_back("level" + std::to_string(lev));
+
     // smoothers (skip the AMG-solved coarsest level)
     for (unsigned int lev = 0; lev < levels_.size(); ++lev)
     {
@@ -314,12 +324,16 @@ private:
   {
     if (level_seconds_.size() != levels_.size())
       level_seconds_.assign(levels_.size(), 0.);
+    // scope per level: the recursion nests level l-1 under level l, so the
+    // profile shows the full grid traversal as one branch of the tree
+    DGFLOW_PROF_SCOPE(level_names_[l]);
     const Level &level = levels_[l];
     if (l == 0)
     {
       Timer t;
       if (level.is_amg)
       {
+        DGFLOW_PROF_SCOPE("amg_coarse");
         amg_b_.copy_and_convert(b);
         amg_x_.reinit(amg_b_.size());
         for (unsigned int c = 0; c < options_.amg_cycles; ++c)
@@ -329,6 +343,7 @@ private:
       }
       else
       {
+        DGFLOW_PROF_SCOPE("smoother");
         level.smoother.smooth(x, b, true);
         level_seconds_[l] += t.seconds();
       }
@@ -336,20 +351,32 @@ private:
     }
 
     Timer t1;
-    level.smoother.smooth(x, b, true);
+    {
+      DGFLOW_PROF_SCOPE("smoother");
+      level.smoother.smooth(x, b, true);
+    }
     level.op.vmult(level.r, x);
     level.r.sadd(LevelNumber(-1), LevelNumber(1), b);
     const Level &coarse = levels_[l - 1];
-    level.to_coarser->restrict_down(coarse.b, level.r);
+    {
+      DGFLOW_PROF_SCOPE("transfer");
+      level.to_coarser->restrict_down(coarse.b, level.r);
+    }
     coarse.x.reinit(coarse.b.size(), true);
     level_seconds_[l] += t1.seconds();
 
     vcycle(l - 1, coarse.x, coarse.b);
 
     Timer t2;
-    level.to_coarser->prolongate(level.r, coarse.x);
+    {
+      DGFLOW_PROF_SCOPE("transfer");
+      level.to_coarser->prolongate(level.r, coarse.x);
+    }
     x.add(LevelNumber(1), level.r);
-    level.smoother.smooth(x, b, false);
+    {
+      DGFLOW_PROF_SCOPE("smoother");
+      level.smoother.smooth(x, b, false);
+    }
     level_seconds_[l] += t2.seconds();
   }
 
@@ -373,6 +400,7 @@ private:
   AMG amg_;
 
   mutable std::vector<Level> levels_;
+  std::vector<std::string> level_names_;
   mutable LVec src_f_;
   mutable Vector<double> amg_x_, amg_b_;
   mutable std::vector<double> level_seconds_;

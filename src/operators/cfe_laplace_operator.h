@@ -6,8 +6,13 @@
 // gather/scatter resolve shared dofs, hanging-node constraints and Dirichlet
 // conditions on the fly. Also provides the assembled CSR matrix for the
 // algebraic coarse solver.
+//
+// Evaluation interface per operators/README.md: vmult/vmult_add for the
+// homogeneous action (the level operators of the V-cycle act on residuals,
+// so no inhomogeneous apply is needed).
 
 #include "amg/sparse_matrix.h"
+#include "instrumentation/profiler.h"
 #include "matrixfree/fe_evaluation.h"
 #include "operators/cfe_space.h"
 
@@ -40,6 +45,14 @@ public:
   {
     dst.reinit(n_dofs(), true);
     dst = Number(0);
+    vmult_add(dst, src);
+  }
+
+  void vmult_add(VectorType &dst, const VectorType &src) const
+  {
+    DGFLOW_PROF_SCOPE("cfe_laplace");
+    DGFLOW_PROF_COUNT("mf_cell_batches", mf_->n_cell_batches());
+    DGFLOW_PROF_COUNT("mf_dofs", src.size() + dst.size());
 
     FEEvaluation<Number, 1> phi(*mf_, space_, quad_);
     const unsigned int npc = phi.dofs_per_component;
@@ -57,7 +70,7 @@ public:
     // identity rows on Dirichlet dofs keep the operator SPD
     for (std::size_t i = 0; i < n_dofs(); ++i)
       if (cfe_->dirichlet[i])
-        dst[i] = src[i];
+        dst[i] += src[i];
   }
 
   void compute_diagonal(VectorType &diag) const

@@ -4,9 +4,14 @@
 // the paper): divergence form nabla.(u (x) u) discretized with the local
 // Lax-Friedrichs flux, evaluated with over-integration (k+2 quadrature
 // points per direction) to curb aliasing in under-resolved turbulent flows.
+//
+// The operator is nonlinear and explicit in time, so it only has the
+// time-dependent apply entry point of the interface documented in
+// operators/README.md (no vmult: there is no linear homogeneous action).
 
 #include <functional>
 
+#include "instrumentation/profiler.h"
 #include "matrixfree/fe_evaluation.h"
 #include "matrixfree/fe_face_evaluation.h"
 #include "operators/boundary.h"
@@ -80,8 +85,12 @@ public:
 
   /// dst = weak form of nabla.(u (x) u) tested with v, at time t (boundary
   /// data evaluated at t).
-  void evaluate(VectorType &dst, const VectorType &src, const double t) const
+  void apply(VectorType &dst, const VectorType &src, const double t) const
   {
+    DGFLOW_PROF_SCOPE("convective");
+    DGFLOW_PROF_COUNT("mf_cell_batches", mf_->n_cell_batches());
+    DGFLOW_PROF_COUNT("mf_face_batches", mf_->n_face_batches());
+    DGFLOW_PROF_COUNT("mf_dofs", src.size() + dst.size());
     dst.reinit(mf_->n_dofs(space_, 3), true);
     dst = Number(0);
 

@@ -5,7 +5,12 @@
 // tested with velocity functions, both with central fluxes (paper Section
 // 2.3). With homogeneous boundary data the two are negative adjoints of
 // each other, which the test suite verifies.
+//
+// Both operators follow the unified evaluation interface documented in
+// operators/README.md: vmult/vmult_add for the homogeneous action, apply
+// for the time-dependent action with inhomogeneous boundary data.
 
+#include "instrumentation/profiler.h"
 #include "matrixfree/fe_evaluation.h"
 #include "matrixfree/fe_face_evaluation.h"
 #include "operators/convective_operator.h"
@@ -30,14 +35,36 @@ public:
     bc_ = &bc;
   }
 
-  /// dst (pressure space) = weak divergence of src (velocity space).
-  /// Velocity boundary data g_u is evaluated at time @p t; pass
-  /// use_boundary_values=false for the homogeneous action.
-  void apply(VectorType &dst, const VectorType &src, const double t,
-             const bool use_boundary_values = true) const
+  /// dst (pressure space) = weak divergence of src (velocity space) with
+  /// inhomogeneous velocity boundary data g_u evaluated at time @p t.
+  void apply(VectorType &dst, const VectorType &src, const double t) const
   {
     dst.reinit(mf_->n_dofs(p_space_, 1), true);
     dst = Number(0);
+    apply_add(dst, src, t, true);
+  }
+
+  /// Homogeneous action (boundary data zeroed).
+  void vmult(VectorType &dst, const VectorType &src) const
+  {
+    dst.reinit(mf_->n_dofs(p_space_, 1), true);
+    dst = Number(0);
+    apply_add(dst, src, 0., false);
+  }
+
+  void vmult_add(VectorType &dst, const VectorType &src) const
+  {
+    apply_add(dst, src, 0., false);
+  }
+
+private:
+  void apply_add(VectorType &dst, const VectorType &src, const double t,
+                 const bool use_boundary_values) const
+  {
+    DGFLOW_PROF_SCOPE("divergence");
+    DGFLOW_PROF_COUNT("mf_cell_batches", mf_->n_cell_batches());
+    DGFLOW_PROF_COUNT("mf_face_batches", mf_->n_face_batches());
+    DGFLOW_PROF_COUNT("mf_dofs", src.size() + dst.size());
 
     FEEvaluation<Number, 3> u(*mf_, u_space_, quad_);
     FEEvaluation<Number, 1> q_test(*mf_, p_space_, quad_);
@@ -109,7 +136,6 @@ public:
     }
   }
 
-private:
   const MatrixFree<Number> *mf_ = nullptr;
   unsigned int u_space_ = 0, p_space_ = 0, quad_ = 0;
   const FlowBoundaryMap *bc_ = nullptr;
@@ -133,12 +159,36 @@ public:
     bc_ = &bc;
   }
 
-  /// dst (velocity space) = weak pressure gradient of src (pressure space).
-  void apply(VectorType &dst, const VectorType &src, const double t,
-             const bool use_boundary_values = true) const
+  /// dst (velocity space) = weak pressure gradient of src (pressure space)
+  /// with inhomogeneous pressure boundary data g_p evaluated at time @p t.
+  void apply(VectorType &dst, const VectorType &src, const double t) const
   {
     dst.reinit(mf_->n_dofs(u_space_, 3), true);
     dst = Number(0);
+    apply_add(dst, src, t, true);
+  }
+
+  /// Homogeneous action (boundary data zeroed).
+  void vmult(VectorType &dst, const VectorType &src) const
+  {
+    dst.reinit(mf_->n_dofs(u_space_, 3), true);
+    dst = Number(0);
+    apply_add(dst, src, 0., false);
+  }
+
+  void vmult_add(VectorType &dst, const VectorType &src) const
+  {
+    apply_add(dst, src, 0., false);
+  }
+
+private:
+  void apply_add(VectorType &dst, const VectorType &src, const double t,
+                 const bool use_boundary_values) const
+  {
+    DGFLOW_PROF_SCOPE("gradient");
+    DGFLOW_PROF_COUNT("mf_cell_batches", mf_->n_cell_batches());
+    DGFLOW_PROF_COUNT("mf_face_batches", mf_->n_face_batches());
+    DGFLOW_PROF_COUNT("mf_dofs", src.size() + dst.size());
 
     FEEvaluation<Number, 1> p(*mf_, p_space_, quad_);
     FEEvaluation<Number, 3> v_test(*mf_, u_space_, quad_);
@@ -214,7 +264,6 @@ public:
     }
   }
 
-private:
   const MatrixFree<Number> *mf_ = nullptr;
   unsigned int u_space_ = 0, p_space_ = 0, quad_ = 0;
   const FlowBoundaryMap *bc_ = nullptr;

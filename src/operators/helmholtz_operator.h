@@ -4,7 +4,12 @@
 // (gamma0/dt) M + nu * A_SIP applied componentwise, matrix-free, with
 // velocity Dirichlet (mirror ghost) and Neumann (do-nothing) boundaries.
 // With mass_factor = 0 this is the pure viscous operator V(U).
+//
+// Evaluation interface per operators/README.md: vmult/vmult_add for the
+// homogeneous action; inhomogeneous boundary data enters via
+// add_boundary_rhs (the operator itself is time-independent).
 
+#include "instrumentation/profiler.h"
 #include "matrixfree/fe_evaluation.h"
 #include "matrixfree/fe_face_evaluation.h"
 #include "operators/convective_operator.h"
@@ -39,6 +44,15 @@ public:
   {
     dst.reinit(n_dofs(), true);
     dst = Number(0);
+    vmult_add(dst, src);
+  }
+
+  void vmult_add(VectorType &dst, const VectorType &src) const
+  {
+    DGFLOW_PROF_SCOPE("helmholtz");
+    DGFLOW_PROF_COUNT("mf_cell_batches", mf_->n_cell_batches());
+    DGFLOW_PROF_COUNT("mf_face_batches", mf_->n_face_batches());
+    DGFLOW_PROF_COUNT("mf_dofs", src.size() + dst.size());
 
     FEEvaluation<Number, 3> phi(*mf_, space_, quad_);
     for (unsigned int b = 0; b < mf_->n_cell_batches(); ++b)

@@ -5,7 +5,11 @@
 // for consistency, adjoint-consistency and penalty terms. This operator is
 // the left-hand side of the pressure Poisson equation (2) and the workhorse
 // of the multigrid smoother benchmarks (Figs. 6-10).
+//
+// Evaluation interface per operators/README.md: vmult/vmult_add for the
+// homogeneous action; inhomogeneous data enters via assemble_rhs.
 
+#include "instrumentation/profiler.h"
 #include "matrixfree/fe_evaluation.h"
 #include "matrixfree/fe_face_evaluation.h"
 #include "matrixfree/field_tools.h"
@@ -48,6 +52,10 @@ public:
 
   void vmult_add(VectorType &dst, const VectorType &src) const
   {
+    DGFLOW_PROF_SCOPE("laplace");
+    DGFLOW_PROF_COUNT("mf_cell_batches", mf_->n_cell_batches());
+    DGFLOW_PROF_COUNT("mf_face_batches", mf_->n_face_batches());
+    DGFLOW_PROF_COUNT("mf_dofs", src.size() + dst.size());
     FEEvaluation<Number, 1> phi(*mf_, space_, quad_);
     for (unsigned int b = 0; b < mf_->n_cell_batches(); ++b)
     {

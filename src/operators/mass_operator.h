@@ -5,7 +5,12 @@
 // JxW even on deformed cells - the property the dual splitting scheme
 // exploits for the cheap M^{-1} applications in Eqs. (1) and (3) and as the
 // preconditioner of the projection/penalty solves (paper Section 5.3).
+//
+// Evaluation interface per operators/README.md: vmult/vmult_add (the
+// operator is time-independent); apply_inverse is the extra exact-inverse
+// entry point the splitting scheme relies on.
 
+#include "instrumentation/profiler.h"
 #include "matrixfree/fe_evaluation.h"
 
 namespace dgflow
@@ -32,20 +37,28 @@ public:
   void vmult(VectorType &dst, const VectorType &src) const
   {
     dst.reinit(n_dofs(), true);
-    apply_scaled<false>(dst, src);
+    apply_scaled<false, false>(dst, src);
+  }
+
+  void vmult_add(VectorType &dst, const VectorType &src) const
+  {
+    apply_scaled<false, true>(dst, src);
   }
 
   /// dst = M^{-1} src (exact, diagonal in the collocated basis).
   void apply_inverse(VectorType &dst, const VectorType &src) const
   {
     dst.reinit(n_dofs(), true);
-    apply_scaled<true>(dst, src);
+    apply_scaled<true, false>(dst, src);
   }
 
 private:
-  template <bool inverse>
+  template <bool inverse, bool add>
   void apply_scaled(VectorType &dst, const VectorType &src) const
   {
+    DGFLOW_PROF_SCOPE(inverse ? "mass_inverse" : "mass");
+    DGFLOW_PROF_COUNT("mf_cell_batches", mf_->n_cell_batches());
+    DGFLOW_PROF_COUNT("mf_dofs", src.size() + dst.size());
     const auto &metric = mf_->cell_metric(quad_);
     const unsigned int nq = metric.n_q;
     for (unsigned int b = 0; b < mf_->n_cell_batches(); ++b)
@@ -60,7 +73,11 @@ private:
           {
             const Number jxw = metric.JxW[std::size_t(b) * nq + q][l];
             const std::size_t idx = base + c * nq + q;
-            dst[idx] = inverse ? src[idx] / jxw : src[idx] * jxw;
+            const Number v = inverse ? src[idx] / jxw : src[idx] * jxw;
+            if (add)
+              dst[idx] += v;
+            else
+              dst[idx] = v;
           }
       }
     }

@@ -7,7 +7,11 @@
 // step solves (M + dt * A_pen) u = M u_hat with CG preconditioned by the
 // inverse mass operator; the penalty parameters follow Fehn et al. (2018):
 // tau_D = zeta * ||u||_e * h_e / (k+1), tau_C = zeta * ||u||_f.
+//
+// Evaluation interface per operators/README.md: vmult/vmult_add (the
+// operator depends on time only through update(), not on boundary data).
 
+#include "instrumentation/profiler.h"
 #include "matrixfree/fe_evaluation.h"
 #include "matrixfree/fe_face_evaluation.h"
 #include "operators/convective_operator.h"
@@ -90,6 +94,15 @@ public:
   {
     dst.reinit(n_dofs(), true);
     dst = Number(0);
+    vmult_add(dst, src);
+  }
+
+  void vmult_add(VectorType &dst, const VectorType &src) const
+  {
+    DGFLOW_PROF_SCOPE("penalty_op");
+    DGFLOW_PROF_COUNT("mf_cell_batches", mf_->n_cell_batches());
+    DGFLOW_PROF_COUNT("mf_face_batches", mf_->n_face_batches());
+    DGFLOW_PROF_COUNT("mf_dofs", src.size() + dst.size());
 
     FEEvaluation<Number, 3> phi(*mf_, space_, quad_);
     for (unsigned int b = 0; b < mf_->n_cell_batches(); ++b)

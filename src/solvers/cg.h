@@ -8,7 +8,10 @@
 #include <cmath>
 
 #include "common/exceptions.h"
+#include "common/timer.h"
 #include "common/vector.h"
+#include "instrumentation/profiler.h"
+#include "instrumentation/solve_stats.h"
 
 namespace dgflow
 {
@@ -17,18 +20,6 @@ struct SolverControl
   unsigned int max_iterations = 1000;
   double rel_tol = 1e-10;
   double abs_tol = 0.;
-};
-
-struct SolverResult
-{
-  unsigned int iterations = 0;
-  double initial_residual = 0.;
-  double final_residual = 0.;
-  bool converged = false;
-  /// Krylov space exhausted (search direction numerically zero); the
-  /// returned iterate is the best available and is treated as converged
-  /// when the residual has stagnated at roundoff level.
-  bool breakdown = false;
 };
 
 /// Identity preconditioner.
@@ -75,13 +66,15 @@ private:
   Vector<Number> inv_diag_;
 };
 
-/// Solves A x = b with initial guess x; returns the iteration statistics.
+/// Solves A x = b with initial guess x; returns the solve statistics.
 template <typename Operator, typename Preconditioner, typename Number>
-SolverResult solve_cg(const Operator &A, Vector<Number> &x,
-                      const Vector<Number> &b, Preconditioner &P,
-                      const SolverControl &control)
+SolveStats solve_cg(const Operator &A, Vector<Number> &x,
+                    const Vector<Number> &b, Preconditioner &P,
+                    const SolverControl &control)
 {
-  SolverResult result;
+  DGFLOW_PROF_SCOPE("cg");
+  Timer solve_timer;
+  SolveStats result;
   const std::size_t n = b.size();
   Vector<Number> r(n), z(n), p(n), Ap(n);
 
@@ -98,6 +91,8 @@ SolverResult solve_cg(const Operator &A, Vector<Number> &x,
   {
     result.converged = true;
     result.final_residual = res_norm;
+    result.seconds = solve_timer.seconds();
+    DGFLOW_PROF_COUNT("cg_solves", 1);
     return result;
   }
 
@@ -142,6 +137,9 @@ SolverResult solve_cg(const Operator &A, Vector<Number> &x,
     p.sadd(beta, Number(1), z);
   }
   result.final_residual = res_norm;
+  result.seconds = solve_timer.seconds();
+  DGFLOW_PROF_COUNT("cg_solves", 1);
+  DGFLOW_PROF_COUNT("cg_iterations", result.iterations);
   return result;
 }
 

@@ -48,6 +48,8 @@ public:
   void smooth(Vector<Number> &x, const Vector<Number> &b,
               const bool zero_initial_guess) const
   {
+    DGFLOW_PROF_COUNT("chebyshev_sweeps", 1);
+    DGFLOW_PROF_COUNT("chebyshev_iterations", data_.degree);
     const double theta = 0.5 * (lambda_max_ + lambda_min_);
     const double delta = 0.5 * (lambda_max_ - lambda_min_);
 

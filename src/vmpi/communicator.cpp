@@ -5,6 +5,7 @@
 #include <thread>
 
 #include "common/exceptions.h"
+#include "instrumentation/profiler.h"
 
 namespace dgflow::vmpi
 {
@@ -15,12 +16,17 @@ void run(const int n_ranks, const std::function<void(Communicator &)> &f)
   std::vector<std::thread> threads;
   std::vector<std::exception_ptr> errors(n_ranks);
 
+  // communicators live past the join so the per-rank traffic can be summed
+  std::vector<Communicator> comms;
+  comms.reserve(n_ranks);
+  for (int r = 0; r < n_ranks; ++r)
+    comms.emplace_back(state, r);
+
   for (int r = 0; r < n_ranks; ++r)
     threads.emplace_back([&, r]() {
-      Communicator comm(state, r);
       try
       {
-        f(comm);
+        f(comms[r]);
       }
       catch (...)
       {
@@ -29,6 +35,22 @@ void run(const int n_ranks, const std::function<void(Communicator &)> &f)
     });
   for (auto &t : threads)
     t.join();
+
+  if (prof::Profiler::instance().enabled())
+  {
+    Communicator::Traffic total;
+    for (const Communicator &c : comms)
+    {
+      total.messages += c.traffic().messages;
+      total.bytes += c.traffic().bytes;
+      total.barriers += c.traffic().barriers;
+      total.allreduces += c.traffic().allreduces;
+    }
+    prof::Profiler::instance().add_vmpi_run(n_ranks, total.messages,
+                                            total.bytes, total.barriers,
+                                            total.allreduces);
+  }
+
   for (const auto &e : errors)
     if (e)
       std::rethrow_exception(e);
@@ -38,6 +60,8 @@ void Communicator::send(const int dest, const int tag, const void *data,
                         const std::size_t bytes)
 {
   DGFLOW_ASSERT(dest >= 0 && dest < size(), "invalid destination rank");
+  traffic_.messages += 1;
+  traffic_.bytes += bytes;
   internal::Message msg;
   msg.source = rank_;
   msg.tag = tag;
@@ -79,11 +103,18 @@ std::size_t Communicator::recv(const int source, const int tag, void *data,
 
 void Communicator::barrier()
 {
+  traffic_.barriers += 1;
   std::vector<double> dummy;
-  allreduce(dummy, Op::sum);
+  allreduce_impl(dummy, Op::sum);
 }
 
 void Communicator::allreduce(std::vector<double> &values, const Op op)
+{
+  traffic_.allreduces += 1;
+  allreduce_impl(values, op);
+}
+
+void Communicator::allreduce_impl(std::vector<double> &values, const Op op)
 {
   std::unique_lock<std::mutex> lock(state_.coll_mutex);
   // entry gate: the previous collective must be fully drained

@@ -61,12 +61,25 @@ struct SharedState
 class Communicator
 {
 public:
+  /// Per-rank communication volume. Each Communicator is used by exactly one
+  /// thread, so plain counters suffice; vmpi::run sums them over ranks at
+  /// join and feeds the profiler's vmpi metrics.
+  struct Traffic
+  {
+    unsigned long long messages = 0;
+    unsigned long long bytes = 0; ///< payload bytes sent
+    unsigned long long barriers = 0;
+    unsigned long long allreduces = 0;
+  };
+
   Communicator(internal::SharedState &state, const int rank)
     : state_(state), rank_(rank)
   {}
 
   int rank() const { return rank_; }
   int size() const { return state_.n_ranks; }
+
+  const Traffic &traffic() const { return traffic_; }
 
   /// Buffered non-blocking send (returns immediately).
   void send(const int dest, const int tag, const void *data,
@@ -113,8 +126,13 @@ public:
   }
 
 private:
+  /// Collective rendezvous shared by barrier (empty vector) and allreduce,
+  /// so barriers are not double-counted as allreduces.
+  void allreduce_impl(std::vector<double> &values, const Op op);
+
   internal::SharedState &state_;
   int rank_;
+  Traffic traffic_;
 };
 
 } // namespace dgflow::vmpi

@@ -82,8 +82,8 @@ TEST(DivergenceGradient, NegativeAdjointsWithHomogeneousData)
   const auto u = random_vec(s.mf.n_dofs(0, 3), 1);
   const auto p = random_vec(s.mf.n_dofs(1, 1), 2);
   Vector<double> Du, Gp;
-  div.apply(Du, u, 0., false);
-  grad.apply(Gp, p, 0., false);
+  div.vmult(Du, u);
+  grad.vmult(Gp, p);
   const double a = Gp.dot(u), b = Du.dot(p);
   EXPECT_NEAR(a, -b, 1e-11 * std::abs(a));
 }
@@ -123,7 +123,7 @@ TEST(DivergenceGradient, DivergenceOfLinearSolenoidalFieldIsZero)
   interpolate_vector(s.mf, 0, 0,
                      [&](const Point &p) { return uf(p, 0.); }, u);
   Vector<double> Du;
-  div.apply(Du, u, 0., true);
+  div.apply(Du, u, 0.);
   EXPECT_NEAR(double(Du.l2_norm()), 0., 1e-11);
 }
 
@@ -145,7 +145,7 @@ TEST(ConvectiveOperatorTest, VanishesForConstantField)
   Vector<double> u;
   interpolate_vector(s.mf, 0, 0, [&](const Point &) { return c; }, u);
   Vector<double> Cu;
-  conv.evaluate(Cu, u, 0.);
+  conv.apply(Cu, u, 0.);
   EXPECT_NEAR(double(Cu.linfty_norm()), 0., 1e-12);
 }
 
@@ -165,15 +165,15 @@ TEST(ConvectiveOperatorTest, EnergyConsistency)
                      },
                      u);
   Vector<double> Cu, Cmu;
-  conv.evaluate(Cu, u, 0.);
+  conv.apply(Cu, u, 0.);
   Vector<double> mu(u.size());
   mu.equ(-1., u);
-  conv.evaluate(Cmu, mu, 0.);
+  conv.apply(Cmu, mu, 0.);
   // C is quadratic: C(-u) = C(u) up to the Lax-Friedrichs term sign; check
   // the quadratic scaling C(2u) = 4 C(u) for the interior-dominated part
   Vector<double> u2(u.size()), Cu2;
   u2.equ(2., u);
-  conv.evaluate(Cu2, u2, 0.);
+  conv.apply(Cu2, u2, 0.);
   // boundary Dirichlet data is zero here, so C is exactly homogeneous of
   // degree 2
   Vector<double> diff(u.size());

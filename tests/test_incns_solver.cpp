@@ -219,7 +219,7 @@ TEST(INSSolverMisc, AdaptiveTimeStepRespondsToVelocity)
   }
 }
 
-TEST(INSSolverMisc, TimersAndStepInfoAreRecorded)
+TEST(INSSolverMisc, ProfilerAndStepInfoAreRecorded)
 {
   EthierSteinman es;
   Mesh mesh(unit_cube());
@@ -228,16 +228,47 @@ TEST(INSSolverMisc, TimersAndStepInfoAreRecorded)
   solver.setup(mesh, geom, ethier_steinman_bc(es), es_parameters(es, 5e-3));
   solver.set_initial_condition(
     [&es](const Point &p) { return es.velocity(p, 0.); });
+
+  auto &profiler = prof::Profiler::instance();
+  profiler.enable(true);
+  profiler.reset();
   const auto info = solver.advance();
+  const prof::ProfileReport report = profiler.report();
+  profiler.enable(false);
+
   EXPECT_GT(info.wall_time, 0.);
-  EXPECT_GT(info.pressure_iterations, 0u);
-  const auto &timers = solver.timers().entries();
+  EXPECT_TRUE(info.pressure.converged);
+  EXPECT_TRUE(info.viscous.converged);
+  EXPECT_TRUE(info.penalty.converged);
+  EXPECT_GT(info.pressure.iterations, 0u);
+  EXPECT_GT(info.viscous.iterations, 0u);
+  EXPECT_GT(info.penalty.iterations, 0u);
+  EXPECT_GT(info.pressure.seconds, 0.);
+
+#ifdef DGFLOW_PROFILE
+  // every substep shows up once under the step scope
   for (const char *section :
-       {"convective", "pressure", "projection", "viscous", "penalty"})
+       {"ins_step/convective_step", "ins_step/pressure", "ins_step/projection",
+        "ins_step/viscous", "ins_step/penalty"})
   {
-    ASSERT_TRUE(timers.count(section)) << section;
-    EXPECT_EQ(timers.at(section).count, 1ul);
+    const auto *entry = report.find(section);
+    ASSERT_NE(entry, nullptr) << section;
+    EXPECT_EQ(entry->count, 1ul) << section;
+    EXPECT_GT(entry->total, 0.) << section;
   }
+  // the recorded iteration counters match the SolveStats the solver returned
+  EXPECT_EQ(report.counters.at("ins_pressure_iterations"),
+            static_cast<long long>(info.pressure.iterations));
+  EXPECT_EQ(report.counters.at("ins_viscous_iterations"),
+            static_cast<long long>(info.viscous.iterations));
+  EXPECT_EQ(report.counters.at("ins_penalty_iterations"),
+            static_cast<long long>(info.penalty.iterations));
+  EXPECT_EQ(report.counters.at("ins_steps"), 1ll);
+  // ins_step / pressure / cg / mg_vcycle / levelN / smoother: the hierarchy
+  // resolves the full solver stack
+  EXPECT_GE(report.depth(), 4u);
+  EXPECT_NE(report.find("ins_step/pressure/cg"), nullptr);
+#endif
 }
 
 TEST(INSSolverMisc, KineticEnergyDecaysForViscousFlow)

@@ -35,7 +35,7 @@ struct PoissonSetup
     mg.setup(mesh, geom, degree, all_dirichlet(), opts);
   }
 
-  SolverResult solve(Vector<double> &x, const double tol = 1e-10)
+  SolveStats solve(Vector<double> &x, const double tol = 1e-10)
   {
     const auto exact = [](const Point &p) {
       return std::sin(M_PI * p[0]) * std::sin(M_PI * p[1]) *
