@@ -8,6 +8,15 @@
 // Initial guesses of all solves are extrapolated from previous time steps,
 // enabling the relaxed solver tolerances used for the application runs
 // (Section 5.3).
+//
+// Resilience: the pressure solve runs on a RecoveringSolver fallback ladder
+// (hybrid-multigrid CG, then Jacobi CG with relaxed control); a failed or
+// non-finite substep rejects the whole time step — the BDF state is rolled
+// back, dt halved and the step retried a bounded number of times. The full
+// time-integration state can be checkpointed to a versioned, checksummed
+// binary file and restored for an exact (bit-for-bit) resume.
+
+#include <limits>
 
 #include "common/timer.h"
 #include "instrumentation/profiler.h"
@@ -20,6 +29,8 @@
 #include "operators/laplace_operator.h"
 #include "operators/mass_operator.h"
 #include "operators/penalty_operator.h"
+#include "resilience/checkpoint.h"
+#include "resilience/recovering_solver.h"
 #include "timeint/bdf.h"
 
 namespace dgflow
@@ -58,6 +69,14 @@ public:
     typename HybridMultigrid<float>::Options multigrid;
     /// optional analytic velocity Neumann data on pressure boundaries
     VectorFunctionT velocity_neumann_data;
+    /// bounded time-step rejection: a failed or non-finite substep rolls
+    /// the BDF state back, halves dt and retries at most this many times
+    unsigned int max_step_rejections = 5;
+    /// deterministic fault hook (testing): when set and returning true for
+    /// (step, attempt), a NaN is injected into the intermediate velocity
+    /// after the convective step, exercising rejection/rollback end-to-end
+    std::function<bool(unsigned long step, unsigned int attempt)>
+      inject_substep_fault;
   };
 
   /// Per-step record: one SolveStats per implicit substep (produced by the
@@ -65,11 +84,16 @@ public:
   struct StepInfo
   {
     double time = 0;     ///< time after the step
-    double dt = 0;
+    double dt = 0;       ///< dt actually taken (halved on rejections)
     double wall_time = 0;
     SolveStats pressure; ///< pressure Poisson solve
     SolveStats viscous;  ///< viscous Helmholtz solve
     SolveStats penalty;  ///< divergence/continuity penalty solve
+    /// number of rejected attempts before this step succeeded
+    unsigned int rejections = 0;
+    bool success = true;
+    /// which substep failed on the last rejected attempt (diagnostics)
+    std::string failed_stage;
   };
 
   void setup(const Mesh &mesh, const Geometry &geometry, FlowBoundaryMap bc,
@@ -113,6 +137,30 @@ public:
       laplace_.compute_diagonal(diag_p);
       pressure_jacobi_.reinit(diag_p);
     }
+
+    // pressure fallback ladder: the fast hybrid-multigrid CG is demoted
+    // permanently if it fails (a diverging V-cycle on a pathological mesh
+    // stays broken); the robust Jacobi CG with relaxed control backs it up
+    pressure_solver_.clear();
+    pressure_solver_.add_rung(
+      "mg_cg",
+      [this](VectorType &x, const VectorType &b) {
+        SolverControl control;
+        control.max_iterations = 1000;
+        control.rel_tol = prm_.rel_tol_pressure;
+        return solve_cg(laplace_, x, b, pressure_mg_, control);
+      },
+      /*demote_on_failure=*/true);
+    pressure_solver_.add_rung(
+      "jacobi_cg", [this](VectorType &x, const VectorType &b) {
+        SolverControl control;
+        control.max_iterations = 100000;
+        control.rel_tol = prm_.rel_tol_pressure;
+        // Jacobi CG converges slowly and its residual is not monotone;
+        // give the plateau detector a generous window
+        control.stagnation_window = 5000;
+        return solve_cg(laplace_, x, b, pressure_jacobi_, control);
+      });
 
     // viscous diagonal is affine in the mass factor: precompute both parts
     helmholtz_.set_mass_factor(Number(0));
@@ -186,15 +234,47 @@ public:
     return std::min(prm_.max_dt, control.next(min_h_over_u, dt_prev_));
   }
 
-  /// Advances one time step of the dual splitting scheme.
+  /// Advances one time step of the dual splitting scheme. A failed substep
+  /// (diverged solve, exhausted pressure ladder or non-finite state) rejects
+  /// the attempt: the BDF state is rolled back, dt is halved and the step is
+  /// retried, at most Parameters::max_step_rejections times before the
+  /// (recoverable) exception of the final rejection propagates.
   StepInfo advance()
   {
     DGFLOW_PROF_SCOPE("ins_step");
     DGFLOW_PROF_COUNT("ins_steps", 1);
     Timer total;
-    StepInfo info;
-    const double dt = compute_time_step();
+    double dt = compute_time_step();
     DGFLOW_ASSERT(dt > 0, "vanishing time step");
+
+    const StateSnapshot snapshot = save_state();
+    StepInfo info;
+    for (unsigned int attempt = 0;; ++attempt)
+    {
+      info = try_step(dt, attempt);
+      info.rejections = attempt;
+      if (info.success)
+        break;
+      DGFLOW_PROF_COUNT("ins_step_rejections", 1);
+      DGFLOW_ASSERT(attempt < prm_.max_step_rejections,
+                    "time step at t = "
+                      << snapshot.time << " rejected " << (attempt + 1)
+                      << " times (last failure: " << info.failed_stage
+                      << "); giving up at dt = " << dt);
+      restore_state(snapshot);
+      dt *= 0.5;
+    }
+    info.wall_time = total.seconds();
+    return info;
+  }
+
+private:
+  /// One attempt at a step of size dt. Returns info.success == false (with
+  /// failed_stage set) instead of throwing/aborting on solver failure, so
+  /// advance() can roll back and retry with a smaller dt.
+  StepInfo try_step(const double dt, const unsigned int attempt)
+  {
+    StepInfo info;
     const double t_new = time_ + dt;
     const BDFCoefficients bdf =
       step_count_ == 0 ? BDFCoefficients::bdf1()
@@ -218,6 +298,10 @@ public:
       u_hat_.add(Number(dt / bdf.gamma0), work_u_);
     }
 
+    if (prm_.inject_substep_fault &&
+        prm_.inject_substep_fault(step_count_, attempt))
+      u_hat_[0] = std::numeric_limits<Number>::quiet_NaN();
+
     // (2) pressure Poisson equation
     {
       DGFLOW_PROF_SCOPE("pressure");
@@ -235,34 +319,27 @@ public:
       p_old_ = p_;
       p_.swap(work_p_);
 
-      SolverControl control;
-      control.max_iterations = 1000;
-      control.rel_tol = prm_.rel_tol_pressure;
-      SolveStats result;
-      bool mg_failed = !pressure_mg_usable_;
-      if (pressure_mg_usable_)
-        try
-        {
-          result = solve_cg(laplace_, p_, rhs_p_, pressure_mg_, control);
-          mg_failed = !result.converged;
-        }
-        catch (const std::exception &)
-        {
-          mg_failed = true; // V-cycle diverged on a pathological mesh
-        }
-      if (mg_failed)
-        pressure_mg_usable_ = false; // do not retry the diverging cycle
-      if (mg_failed)
+      // a non-finite right-hand side is the convective step's fault, not the
+      // pressure solvers': reject the step before it can demote the
+      // multigrid rung of the fallback ladder
+      if (!std::isfinite(double(rhs_p_.l2_norm())))
       {
-        // robust (slower) fallback: point-Jacobi preconditioned CG
-        p_ = p_old_;
-        control.max_iterations = 100000;
-        result = solve_cg(laplace_, p_, rhs_p_, pressure_jacobi_, control);
-        DGFLOW_ASSERT(result.converged,
-                      "pressure solve failed to converge (Jacobi fallback)");
+        info.success = false;
+        info.failed_stage = "pressure_rhs_non_finite";
+        return info;
       }
+
+      const SolveStats result = pressure_solver_.solve(p_, rhs_p_);
       info.pressure = result;
       DGFLOW_PROF_COUNT("ins_pressure_iterations", result.iterations);
+      if (!result.converged)
+      {
+        info.success = false;
+        info.failed_stage =
+          std::string("pressure (") + to_string(result.failure) +
+          ", ladder rung: " + pressure_solver_.last_rung() + ")";
+        return info;
+      }
     }
 
     // (3) projection
@@ -289,9 +366,15 @@ public:
       control.rel_tol = prm_.rel_tol_viscous;
       const auto result =
         solve_cg(helmholtz_, work_u_, rhs_u_, viscous_jacobi_, control);
-      DGFLOW_ASSERT(result.converged, "viscous solve failed to converge");
       info.viscous = result;
       DGFLOW_PROF_COUNT("ins_viscous_iterations", result.iterations);
+      if (!result.converged)
+      {
+        info.success = false;
+        info.failed_stage =
+          std::string("viscous (") + to_string(result.failure) + ")";
+        return info;
+      }
     }
 
     // (5) divergence/continuity penalty step
@@ -306,9 +389,23 @@ public:
       control.rel_tol = prm_.rel_tol_projection;
       InverseMassPreconditioner precond{&mass_u_};
       const auto result = solve_cg(penalty_, u_, rhs_u_, precond, control);
-      DGFLOW_ASSERT(result.converged, "penalty solve failed to converge");
       info.penalty = result;
       DGFLOW_PROF_COUNT("ins_penalty_iterations", result.iterations);
+      if (!result.converged)
+      {
+        info.success = false;
+        info.failed_stage =
+          std::string("penalty (") + to_string(result.failure) + ")";
+        return info;
+      }
+    }
+
+    if (!std::isfinite(double(u_.l2_norm())) ||
+        !std::isfinite(double(p_.l2_norm())))
+    {
+      info.success = false;
+      info.failed_stage = "non_finite_state";
+      return info;
     }
 
     conv_old_.swap(conv_);
@@ -318,8 +415,74 @@ public:
     ++step_count_;
     info.time = time_;
     info.dt = dt;
-    info.wall_time = total.seconds();
     return info;
+  }
+
+public:
+  /// Writes the complete time-integration state (bit-for-bit) into an open
+  /// checkpoint writer. setup() and set_initial_condition() configuration is
+  /// not stored: a restart re-runs the deterministic setup, then deserializes.
+  void serialize(resilience::CheckpointWriter &writer) const
+  {
+    writer.write_u64(step_count_);
+    writer.write_double(time_);
+    writer.write_double(dt_prev_);
+    writer.write_vector(u_);
+    writer.write_vector(u_old_);
+    writer.write_vector(p_);
+    writer.write_vector(p_old_);
+    writer.write_vector(conv_);
+    writer.write_vector(conv_old_);
+    writer.write_vector(vort_);
+    writer.write_vector(vort_old_);
+  }
+
+  /// Restores the state written by serialize(). Must be called on a solver
+  /// that has been setup() with the same mesh/parameters; vector sizes are
+  /// validated against the discretization.
+  void deserialize(resilience::CheckpointReader &reader)
+  {
+    step_count_ = reader.read_u64();
+    time_ = reader.read_double();
+    dt_prev_ = reader.read_double();
+    reader.read_vector(u_);
+    reader.read_vector(u_old_);
+    reader.read_vector(p_);
+    reader.read_vector(p_old_);
+    reader.read_vector(conv_);
+    reader.read_vector(conv_old_);
+    reader.read_vector(vort_);
+    reader.read_vector(vort_old_);
+    DGFLOW_ASSERT(u_.size() == mf_.n_dofs(u_space, 3),
+                  "checkpoint velocity size "
+                    << u_.size() << " does not match the discretization ("
+                    << mf_.n_dofs(u_space, 3)
+                    << " dofs): mesh or degree changed between runs");
+    DGFLOW_ASSERT(p_.size() == mf_.n_dofs(p_space, 1),
+                  "checkpoint pressure size "
+                    << p_.size() << " does not match the discretization ("
+                    << mf_.n_dofs(p_space, 1) << " dofs)");
+  }
+
+  /// Convenience wrapper: atomically writes a standalone checkpoint file.
+  void save_checkpoint(const std::string &path) const
+  {
+    resilience::CheckpointWriter writer(path);
+    serialize(writer);
+    writer.close();
+  }
+
+  /// Convenience wrapper: validates and restores a standalone checkpoint.
+  void load_checkpoint(const std::string &path)
+  {
+    resilience::CheckpointReader reader(path);
+    deserialize(reader);
+  }
+
+  /// The pressure fallback ladder (recovery counters for diagnostics/tests).
+  const resilience::RecoveringSolver<Number> &pressure_solver() const
+  {
+    return pressure_solver_;
   }
 
   /// Volume flux through all boundary faces with the given id (outward
@@ -369,6 +532,36 @@ public:
   }
 
 private:
+  /// Everything try_step may mutate before committing the step, so a
+  /// rejected attempt can be rolled back exactly.
+  struct StateSnapshot
+  {
+    VectorType u, u_old, p, p_old, conv, conv_old, vort, vort_old;
+    double time, dt_prev;
+    unsigned long step_count;
+  };
+
+  StateSnapshot save_state() const
+  {
+    return StateSnapshot{u_,    u_old_,    p_,    p_old_,   conv_, conv_old_,
+                         vort_, vort_old_, time_, dt_prev_, step_count_};
+  }
+
+  void restore_state(const StateSnapshot &s)
+  {
+    u_ = s.u;
+    u_old_ = s.u_old;
+    p_ = s.p;
+    p_old_ = s.p_old;
+    conv_ = s.conv;
+    conv_old_ = s.conv_old;
+    vort_ = s.vort;
+    vort_old_ = s.vort_old;
+    time_ = s.time;
+    dt_prev_ = s.dt_prev;
+    step_count_ = s.step_count;
+  }
+
   struct InverseMassPreconditioner
   {
     const MassOperator<Number, 3> *mass;
@@ -516,9 +709,10 @@ private:
   VectorType u_hat_, rhs_u_, rhs_p_, work_u_, work_p_;
   VectorType diag_viscous_, diag_mass_;
 
+  resilience::RecoveringSolver<Number> pressure_solver_;
+
   double time_ = 0, dt_prev_ = 0;
   unsigned long step_count_ = 0;
-  bool pressure_mg_usable_ = true;
 };
 
 } // namespace dgflow

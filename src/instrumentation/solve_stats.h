@@ -4,9 +4,43 @@
 // Krylov solvers (iterations, residuals, convergence flags, wall time).
 // INSSolver::StepInfo exposes one SolveStats per implicit substep so
 // examples/tests read a single struct instead of loose counters.
+//
+// Failure taxonomy: a failed solve never aborts the process. It returns
+// converged = false plus a SolveFailure classifying *why*, so callers
+// (RecoveringSolver, the INS time-step rejection loop) can pick the right
+// recovery: retry with a more robust preconditioner, or roll the time step
+// back and halve dt.
 
 namespace dgflow
 {
+/// Why a solve failed (SolveFailure::none on success).
+enum class SolveFailure
+{
+  none,           ///< converged (or still healthy)
+  breakdown,      ///< Krylov direction exhausted (p.Ap <= 0) above tolerance
+  stagnation,     ///< residual stopped improving for a full window
+  non_finite,     ///< NaN/Inf in a residual or inner product
+  max_iterations  ///< iteration budget exhausted above tolerance
+};
+
+inline const char *to_string(const SolveFailure f)
+{
+  switch (f)
+  {
+    case SolveFailure::none:
+      return "none";
+    case SolveFailure::breakdown:
+      return "breakdown";
+    case SolveFailure::stagnation:
+      return "stagnation";
+    case SolveFailure::non_finite:
+      return "non_finite";
+    case SolveFailure::max_iterations:
+      return "max_iterations";
+  }
+  return "unknown";
+}
+
 struct SolveStats
 {
   unsigned int iterations = 0;
@@ -17,7 +51,11 @@ struct SolveStats
   /// returned iterate is the best available and is treated as converged
   /// when the residual has stagnated at roundoff level.
   bool breakdown = false;
+  /// failure classification when converged == false
+  SolveFailure failure = SolveFailure::none;
   double seconds = 0.; ///< wall time of the solve
+
+  bool failed() const { return !converged; }
 };
 
 } // namespace dgflow

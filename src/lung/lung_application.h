@@ -121,6 +121,36 @@ public:
     return prm_.ventilator.period / solver_.compute_time_step();
   }
 
+  /// Atomically writes the coupled 0D/3D state (flow solver, ventilation
+  /// model and the outlet-flux coupling buffer) to one checkpoint file.
+  void save_checkpoint(const std::string &path) const
+  {
+    resilience::CheckpointWriter writer(path);
+    solver_.serialize(writer);
+    ventilation_->save_state(writer);
+    writer.write_u64(outlet_fluxes_.size());
+    for (const double q : outlet_fluxes_)
+      writer.write_double(q);
+    writer.close();
+  }
+
+  /// Restores a save_checkpoint() file into an application constructed with
+  /// the same parameters; the resumed run continues bit-for-bit.
+  void load_checkpoint(const std::string &path)
+  {
+    resilience::CheckpointReader reader(path);
+    solver_.deserialize(reader);
+    ventilation_->load_state(reader);
+    const std::uint64_t n = reader.read_u64();
+    DGFLOW_ASSERT(n == outlet_fluxes_.size(),
+                  "checkpoint has " << n << " outlet fluxes, application has "
+                                    << outlet_fluxes_.size());
+    for (double &q : outlet_fluxes_)
+      q = reader.read_double();
+    DGFLOW_ASSERT(reader.exhausted(),
+                  "trailing bytes after the application checkpoint records");
+  }
+
   Solver &solver() { return solver_; }
   const Mesh &mesh() const { return *mesh_; }
   const AirwayTree &tree() const { return tree_; }

@@ -89,6 +89,42 @@ void VentilationModel::update(const double t, const double dt,
   }
 }
 
+void VentilationModel::save_state(resilience::CheckpointWriter &writer) const
+{
+  writer.write_u64(outlets_.size());
+  writer.write_double(vent_.dp);
+  writer.write_double(last_inlet_flux_);
+  writer.write_double(inhaled_);
+  writer.write_double(tidal_volume_last_);
+  writer.write_double(cycle_start_);
+  for (const Outlet &out : outlets_)
+  {
+    writer.write_double(out.V);
+    writer.write_double(out.Q);
+    writer.write_double(out.p);
+  }
+}
+
+void VentilationModel::load_state(resilience::CheckpointReader &reader)
+{
+  const std::uint64_t n = reader.read_u64();
+  DGFLOW_ASSERT(n == outlets_.size(),
+                "checkpoint has " << n << " outlets, model has "
+                                  << outlets_.size()
+                                  << ": airway tree changed between runs");
+  vent_.dp = reader.read_double();
+  last_inlet_flux_ = reader.read_double();
+  inhaled_ = reader.read_double();
+  tidal_volume_last_ = reader.read_double();
+  cycle_start_ = reader.read_double();
+  for (Outlet &out : outlets_)
+  {
+    out.V = reader.read_double();
+    out.Q = reader.read_double();
+    out.p = reader.read_double();
+  }
+}
+
 double VentilationModel::predicted_steady_flow(
   const double dp_applied, const double resolved_tree_resistance) const
 {

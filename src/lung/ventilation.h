@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "lung/airway_tree.h"
+#include "resilience/checkpoint.h"
 
 namespace dgflow
 {
@@ -97,6 +98,15 @@ public:
   /// the resolved 3D resistance against the Poiseuille prediction.
   double predicted_steady_flow(const double dp_applied,
                                const double resolved_tree_resistance) const;
+
+  /// Writes the evolving 0D state (compartment volumes/flows/pressures,
+  /// controller-adjusted dp, cycle bookkeeping) bit-for-bit. R and C are
+  /// rebuilt deterministically from the tree on restart and not stored.
+  void save_state(resilience::CheckpointWriter &writer) const;
+
+  /// Restores the state written by save_state(); the model must have been
+  /// constructed from the same tree (outlet count is validated).
+  void load_state(resilience::CheckpointReader &reader);
 
 private:
   struct Outlet

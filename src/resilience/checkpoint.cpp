@@ -1,0 +1,79 @@
+#include "resilience/checkpoint.h"
+
+#include <cstdio>
+#include <fstream>
+
+namespace dgflow::resilience
+{
+void CheckpointWriter::close()
+{
+  DGFLOW_ASSERT(!closed_, "CheckpointWriter::close() called twice");
+  closed_ = true;
+
+  const std::uint64_t payload_size = payload_.size();
+  const std::uint64_t checksum =
+    internal::fnv1a64(payload_.data(), payload_.size());
+  const std::uint32_t reserved = 0;
+
+  const std::string tmp = path_ + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out)
+      throw CheckpointError("cannot open '" + tmp + "' for writing");
+    out.write(internal::magic, sizeof(internal::magic));
+    out.write(reinterpret_cast<const char *>(&internal::format_version),
+              sizeof(internal::format_version));
+    out.write(reinterpret_cast<const char *>(&reserved), sizeof(reserved));
+    out.write(reinterpret_cast<const char *>(&payload_size),
+              sizeof(payload_size));
+    out.write(reinterpret_cast<const char *>(&checksum), sizeof(checksum));
+    out.write(payload_.data(), payload_.size());
+    out.flush();
+    if (!out)
+      throw CheckpointError("short write to '" + tmp + "'");
+  }
+  if (std::rename(tmp.c_str(), path_.c_str()) != 0)
+    throw CheckpointError("cannot publish '" + tmp + "' as '" + path_ + "'");
+}
+
+CheckpointReader::CheckpointReader(const std::string &path)
+{
+  std::ifstream in(path, std::ios::binary);
+  if (!in)
+    throw CheckpointError("cannot open '" + path + "'");
+
+  char magic[sizeof(internal::magic)];
+  std::uint32_t version = 0, reserved = 0;
+  std::uint64_t payload_size = 0, checksum = 0;
+  in.read(magic, sizeof(magic));
+  in.read(reinterpret_cast<char *>(&version), sizeof(version));
+  in.read(reinterpret_cast<char *>(&reserved), sizeof(reserved));
+  in.read(reinterpret_cast<char *>(&payload_size), sizeof(payload_size));
+  in.read(reinterpret_cast<char *>(&checksum), sizeof(checksum));
+  if (!in)
+    throw CheckpointError("'" + path + "' is too short for a header");
+  if (std::memcmp(magic, internal::magic, sizeof(magic)) != 0)
+    throw CheckpointError("'" + path + "' has no DGFLOWCK magic");
+  if (version != internal::format_version)
+    throw CheckpointError("'" + path + "' has format version " +
+                          std::to_string(version) + ", reader supports " +
+                          std::to_string(internal::format_version));
+
+  payload_.resize(payload_size);
+  in.read(payload_.data(), static_cast<std::streamsize>(payload_size));
+  if (static_cast<std::uint64_t>(in.gcount()) != payload_size)
+    throw CheckpointError("'" + path + "' payload truncated: header claims " +
+                          std::to_string(payload_size) + " bytes, file has " +
+                          std::to_string(in.gcount()));
+
+  const std::uint64_t actual =
+    internal::fnv1a64(payload_.data(), payload_.size());
+  if (actual != checksum)
+    throw CheckpointError("'" + path + "' checksum mismatch (stored " +
+                          std::to_string(checksum) + ", computed " +
+                          std::to_string(actual) +
+                          "): the file is corrupted; refusing to restart "
+                          "from it");
+}
+
+} // namespace dgflow::resilience

@@ -1,0 +1,159 @@
+#pragma once
+
+// Deterministic, seeded fault-injection plan for the vmpi layer. A FaultPlan
+// implements vmpi::FaultHandler: installed on every rank's Communicator it
+// decides, per message, whether to drop, delay, reorder or corrupt the
+// payload, and whether a rank stalls before entering a collective. All
+// decisions are pure hashes of (seed, source, dest, tag, sequence number),
+// so a faulty run is bit-for-bit reproducible regardless of thread
+// interleaving — the property that makes "did the recovery path fire?"
+// assertions in tests meaningful.
+//
+// Env knobs (read by FaultPlan::config_from_env, all optional):
+//   DGFLOW_FAULT_SEED       hash seed (default 1)
+//   DGFLOW_FAULT_DROP       per-message drop probability in [0,1]
+//   DGFLOW_FAULT_DELAY      per-message delay probability in [0,1]
+//   DGFLOW_FAULT_DELAY_MS   injected in-flight latency (default 1 ms)
+//   DGFLOW_FAULT_REORDER    per-message reorder probability in [0,1]
+//   DGFLOW_FAULT_CORRUPT    per-message payload-corruption probability
+//   DGFLOW_FAULT_STALL_RANK rank stalled before collectives (-1 = none)
+//   DGFLOW_FAULT_STALL_MS   stall duration (default 50 ms)
+// Together with DGFLOW_VMPI_TIMEOUT this turns any binary that installs a
+// FaultPlan (Communicator::install_fault_handler) into a fault-injection
+// harness whose behavior is steered entirely from the environment.
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+
+#include "vmpi/communicator.h"
+
+namespace dgflow::resilience
+{
+class FaultPlan : public vmpi::FaultHandler
+{
+public:
+  struct Config
+  {
+    std::uint64_t seed = 1;
+    double drop_rate = 0.;
+    double delay_rate = 0.;
+    double delay_seconds = 1e-3;
+    double reorder_rate = 0.;
+    double corrupt_rate = 0.;
+    std::size_t corrupt_bytes = 1;
+    int stall_rank = -1;        ///< rank stalled before collectives (-1: none)
+    double stall_seconds = 0.05;
+    int only_tag = -1;          ///< restrict message faults to one tag (-1: all)
+  };
+
+  /// Injection counts, summed over all ranks sharing the plan.
+  struct Counts
+  {
+    unsigned long long dropped = 0;
+    unsigned long long delayed = 0;
+    unsigned long long reordered = 0;
+    unsigned long long corrupted = 0;
+    unsigned long long stalls = 0;
+  };
+
+  explicit FaultPlan(const Config &config) : config_(config) {}
+
+  static Config config_from_env()
+  {
+    Config c;
+    const auto real = [](const char *name, const double fallback) {
+      const char *v = std::getenv(name);
+      return v ? std::atof(v) : fallback;
+    };
+    if (const char *v = std::getenv("DGFLOW_FAULT_SEED"))
+      c.seed = std::strtoull(v, nullptr, 10);
+    c.drop_rate = real("DGFLOW_FAULT_DROP", 0.);
+    c.delay_rate = real("DGFLOW_FAULT_DELAY", 0.);
+    c.delay_seconds = real("DGFLOW_FAULT_DELAY_MS", 1.) * 1e-3;
+    c.reorder_rate = real("DGFLOW_FAULT_REORDER", 0.);
+    c.corrupt_rate = real("DGFLOW_FAULT_CORRUPT", 0.);
+    c.stall_rank = static_cast<int>(real("DGFLOW_FAULT_STALL_RANK", -1.));
+    c.stall_seconds = real("DGFLOW_FAULT_STALL_MS", 50.) * 1e-3;
+    return c;
+  }
+
+  const Config &config() const { return config_; }
+
+  Counts counts() const
+  {
+    Counts c;
+    c.dropped = dropped_.load(std::memory_order_relaxed);
+    c.delayed = delayed_.load(std::memory_order_relaxed);
+    c.reordered = reordered_.load(std::memory_order_relaxed);
+    c.corrupted = corrupted_.load(std::memory_order_relaxed);
+    c.stalls = stalls_.load(std::memory_order_relaxed);
+    return c;
+  }
+
+  vmpi::FaultAction on_message(const int source, const int dest,
+                               const int tag, const unsigned long long seq,
+                               const std::size_t bytes) override
+  {
+    vmpi::FaultAction action;
+    if (config_.only_tag >= 0 && tag != config_.only_tag)
+      return action;
+    // independent deterministic draws per fault type (distinct salts)
+    if (draw(1, source, dest, tag, seq) < config_.drop_rate)
+    {
+      action.drop = true;
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      return action;
+    }
+    if (draw(2, source, dest, tag, seq) < config_.delay_rate)
+    {
+      action.delay_seconds = config_.delay_seconds;
+      delayed_.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (draw(3, source, dest, tag, seq) < config_.reorder_rate)
+    {
+      action.reorder = true;
+      reordered_.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (draw(4, source, dest, tag, seq) < config_.corrupt_rate && bytes > 0)
+    {
+      action.corrupt_bytes = config_.corrupt_bytes;
+      corrupted_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return action;
+  }
+
+  double stall_before_collective(const int rank,
+                                 const unsigned long long /*seq*/) override
+  {
+    if (rank != config_.stall_rank || config_.stall_seconds <= 0.)
+      return 0.;
+    stalls_.fetch_add(1, std::memory_order_relaxed);
+    return config_.stall_seconds;
+  }
+
+private:
+  /// Uniform draw in [0,1), a pure function of the identifiers (splitmix64
+  /// finalizer over the combined key).
+  double draw(const std::uint64_t salt, const int source, const int dest,
+              const int tag, const unsigned long long seq) const
+  {
+    std::uint64_t x = config_.seed;
+    for (const std::uint64_t k :
+         {salt, std::uint64_t(source), std::uint64_t(dest), std::uint64_t(tag),
+          std::uint64_t(seq)})
+    {
+      x += 0x9e3779b97f4a7c15ull + k;
+      x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+      x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+      x = x ^ (x >> 31);
+    }
+    return double(x >> 11) * 0x1.0p-53;
+  }
+
+  Config config_;
+  std::atomic<unsigned long long> dropped_{0}, delayed_{0}, reordered_{0},
+    corrupted_{0}, stalls_{0};
+};
+
+} // namespace dgflow::resilience

@@ -4,6 +4,11 @@
 // follows the paper: the norm of the unpreconditioned residual relative to
 // the norm of the right-hand side. The preconditioner may run in a lower
 // precision internally (mixed-precision multigrid V-cycle, Section 3.4).
+//
+// Failure handling: the solver never aborts. Non-finite residuals or inner
+// products, residual stagnation and Krylov breakdown all terminate the
+// iteration with a failed SolveStats carrying the SolveFailure reason, so
+// callers can fall back (RecoveringSolver) or reject the time step.
 
 #include <cmath>
 
@@ -20,6 +25,9 @@ struct SolverControl
   unsigned int max_iterations = 1000;
   double rel_tol = 1e-10;
   double abs_tol = 0.;
+  /// declare stagnation after this many consecutive iterations without any
+  /// residual improvement (0 disables the check)
+  unsigned int stagnation_window = 100;
 };
 
 /// Identity preconditioner.
@@ -48,6 +56,12 @@ public:
     inv_diag_.reinit(diagonal.size(), true);
     for (std::size_t i = 0; i < diagonal.size(); ++i)
     {
+      DGFLOW_ASSERT(std::isfinite(double(diagonal[i])),
+                    "non-finite diagonal entry " << double(diagonal[i])
+                      << " at index " << i << " of " << diagonal.size()
+                      << ": the operator produced NaN/Inf during diagonal "
+                         "assembly; refusing to build a Jacobi "
+                         "preconditioner that would propagate it silently");
       DGFLOW_ASSERT(diagonal[i] != Number(0), "zero diagonal entry");
       inv_diag_[i] = Number(1) / diagonal[i];
     }
@@ -78,6 +92,15 @@ SolveStats solve_cg(const Operator &A, Vector<Number> &x,
   const std::size_t n = b.size();
   Vector<Number> r(n), z(n), p(n), Ap(n);
 
+  const auto finish = [&](SolveStats &stats) -> SolveStats & {
+    stats.seconds = solve_timer.seconds();
+    DGFLOW_PROF_COUNT("cg_solves", 1);
+    DGFLOW_PROF_COUNT("cg_iterations", stats.iterations);
+    if (stats.failed())
+      DGFLOW_PROF_COUNT("cg_failures", 1);
+    return stats;
+  };
+
   A.vmult(Ap, x);
   r.equ(Number(1), b, Number(-1), Ap);
 
@@ -87,35 +110,45 @@ SolveStats solve_cg(const Operator &A, Vector<Number> &x,
 
   double res_norm = double(r.l2_norm());
   result.initial_residual = res_norm;
+  result.final_residual = res_norm;
+  if (!std::isfinite(res_norm))
+  {
+    result.failure = SolveFailure::non_finite;
+    return finish(result);
+  }
   if (res_norm <= tol)
   {
     result.converged = true;
-    result.final_residual = res_norm;
-    result.seconds = solve_timer.seconds();
-    DGFLOW_PROF_COUNT("cg_solves", 1);
-    return result;
+    return finish(result);
   }
 
   P.vmult(z, r);
   p = z;
   Number rz = r.dot(z);
 
+  double best_res = res_norm;
+  unsigned int last_improvement = 0;
+
   for (unsigned int it = 1; it <= control.max_iterations; ++it)
   {
     A.vmult(Ap, p);
     const Number pAp = p.dot(Ap);
+    if (!std::isfinite(double(pAp)) || !std::isfinite(double(rz)))
+    {
+      result.failure = SolveFailure::non_finite;
+      break;
+    }
     if (!(pAp > Number(0)))
     {
       // direction numerically exhausted: for the SPD operators used here
       // this means the residual has stagnated at roundoff level relative to
       // the preconditioned system; accept the current iterate if the
-      // stagnation happened below a loosened tolerance, else report failure
+      // stagnation happened below a loosened tolerance, else report the
+      // breakdown to the caller for recovery (never abort the process)
       result.breakdown = true;
       result.converged = res_norm <= 100. * tol;
-      DGFLOW_ASSERT(result.converged,
-                    "CG breakdown above tolerance (p.Ap = "
-                      << pAp << ", n = " << n << ", it = " << it
-                      << ", res = " << res_norm << ", tol = " << tol << ")");
+      if (!result.converged)
+        result.failure = SolveFailure::breakdown;
       break;
     }
     const Number alpha = rz / pAp;
@@ -124,9 +157,26 @@ SolveStats solve_cg(const Operator &A, Vector<Number> &x,
 
     res_norm = double(r.l2_norm());
     result.iterations = it;
+    result.final_residual = res_norm;
+    if (!std::isfinite(res_norm))
+    {
+      result.failure = SolveFailure::non_finite;
+      break;
+    }
     if (res_norm <= tol)
     {
       result.converged = true;
+      break;
+    }
+    if (res_norm < best_res)
+    {
+      best_res = res_norm;
+      last_improvement = it;
+    }
+    else if (control.stagnation_window > 0 &&
+             it - last_improvement >= control.stagnation_window)
+    {
+      result.failure = SolveFailure::stagnation;
       break;
     }
 
@@ -136,11 +186,10 @@ SolveStats solve_cg(const Operator &A, Vector<Number> &x,
     rz = rz_new;
     p.sadd(beta, Number(1), z);
   }
+  if (!result.converged && result.failure == SolveFailure::none)
+    result.failure = SolveFailure::max_iterations;
   result.final_residual = res_norm;
-  result.seconds = solve_timer.seconds();
-  DGFLOW_PROF_COUNT("cg_solves", 1);
-  DGFLOW_PROF_COUNT("cg_iterations", result.iterations);
-  return result;
+  return finish(result);
 }
 
 } // namespace dgflow

@@ -6,7 +6,14 @@
 // eigenvalue of D^{-1} A is estimated by power iteration at setup; the
 // smoothing range targets the upper part of the spectrum as usual for
 // multigrid smoothers.
+//
+// Failure handling: eigenvalue-estimation breakdown or non-finite input no
+// longer aborts. reinit() records a failed SolveStats (setup_stats()) and
+// falls back to conservative eigenvalue bounds so the V-cycle stays usable;
+// smooth_checked() additionally detects a non-finite smoothing result, which
+// the outer CG then surfaces as a non_finite solve failure.
 
+#include <cmath>
 #include <random>
 
 #include "common/vector.h"
@@ -34,14 +41,28 @@ public:
   {
     op_ = &op;
     data_ = data;
+    setup_stats_ = SolveStats();
     inv_diag_.reinit(diagonal.size(), true);
     for (std::size_t i = 0; i < diagonal.size(); ++i)
-      inv_diag_[i] =
-        diagonal[i] == Number(0) ? Number(1) : Number(1) / diagonal[i];
-    estimate_eigenvalues();
+    {
+      const bool usable =
+        std::isfinite(double(diagonal[i])) && diagonal[i] != Number(0);
+      if (!usable)
+        setup_stats_.failure = SolveFailure::non_finite;
+      inv_diag_[i] = usable ? Number(1) / diagonal[i] : Number(1);
+    }
+    if (setup_stats_.failure == SolveFailure::none)
+      estimate_eigenvalues();
+    else
+      use_fallback_eigenvalues();
   }
 
   double max_eigenvalue() const { return lambda_max_; }
+
+  /// Statistics of the setup-time eigenvalue estimation: converged = true
+  /// when the Lanczos process produced a usable bound, else the failure
+  /// reason and the conservative fallback bounds in use.
+  const SolveStats &setup_stats() const { return setup_stats_; }
 
   /// One smoothing sweep: improves x for A x = b, starting from the given x
   /// (pass x = 0 for the pre-smoother on the residual equation).
@@ -86,6 +107,27 @@ public:
       x.add(Number(1), d_);
       rho_old = rho;
     }
+  }
+
+  /// smooth() plus a finiteness check of the result, reported as a
+  /// SolveStats (failure = non_finite when the sweep produced NaN/Inf).
+  /// Off the V-cycle hot path; used by diagnostics and recovery logic.
+  SolveStats smooth_checked(Vector<Number> &x, const Vector<Number> &b,
+                            const bool zero_initial_guess) const
+  {
+    SolveStats stats;
+    stats.iterations = data_.degree;
+    smooth(x, b, zero_initial_guess);
+    const double norm = double(x.l2_norm());
+    stats.final_residual = norm;
+    if (!std::isfinite(norm))
+    {
+      stats.failure = SolveFailure::non_finite;
+      DGFLOW_PROF_COUNT("chebyshev_failures", 1);
+    }
+    else
+      stats.converged = true;
+    return stats;
   }
 
   /// Preconditioner interface (zero initial guess).
@@ -136,7 +178,15 @@ private:
       rz = rz_new;
       p.sadd(Number(beta), Number(1), z);
     }
-    DGFLOW_ASSERT(!alphas.empty(), "eigenvalue estimation broke down");
+    if (alphas.empty())
+    {
+      // the very first step broke down (zero/indefinite operator or NaN):
+      // report it and keep the smoother usable with conservative bounds
+      setup_stats_.failure = std::isfinite(rz) ? SolveFailure::breakdown
+                                               : SolveFailure::non_finite;
+      use_fallback_eigenvalues();
+      return;
+    }
 
     // Gershgorin bound of the Lanczos tridiagonal
     double lambda = 0;
@@ -150,7 +200,26 @@ private:
         k > 0 ? std::sqrt(betas[k - 1]) / alphas[k - 1] : 0.;
       lambda = std::max(lambda, diag + off_right + off_left);
     }
+    if (!std::isfinite(lambda) || lambda <= 0)
+    {
+      setup_stats_.failure = SolveFailure::non_finite;
+      use_fallback_eigenvalues();
+      return;
+    }
+    setup_stats_.converged = true;
+    setup_stats_.iterations = static_cast<unsigned int>(alphas.size());
+    setup_stats_.final_residual = std::sqrt(std::max(0., rz));
     lambda_max_ = data_.max_eigenvalue_safety * lambda;
+    lambda_min_ = lambda_max_ / data_.smoothing_range;
+  }
+
+  /// Conservative bounds for a failed estimation: a unit top eigenvalue of
+  /// D^{-1} A (exact for the Jacobi-scaled diagonal part) keeps the sweep
+  /// finite and contractive on the upper spectrum.
+  void use_fallback_eigenvalues()
+  {
+    DGFLOW_PROF_COUNT("chebyshev_eigen_fallbacks", 1);
+    lambda_max_ = data_.max_eigenvalue_safety;
     lambda_min_ = lambda_max_ / data_.smoothing_range;
   }
 
@@ -158,6 +227,7 @@ private:
   AdditionalData data_;
   Vector<Number> inv_diag_;
   double lambda_max_ = 1., lambda_min_ = 0.05;
+  SolveStats setup_stats_;
   mutable Vector<Number> r_, d_;
 };
 

@@ -6,6 +6,7 @@
 // (Eq. 6), so the coefficients depend on the ratio of consecutive steps.
 
 #include <array>
+#include <cmath>
 
 #include "common/exceptions.h"
 
@@ -49,6 +50,16 @@ public:
   /// step size (0 on the first call).
   double next(const double min_h_over_u, const double previous) const
   {
+    DGFLOW_ASSERT(std::isfinite(min_h_over_u) && min_h_over_u > 0,
+                  "CFL controller received min h/||u|| = "
+                    << min_h_over_u
+                    << " (previous dt = " << previous
+                    << "): the velocity field contains NaN/Inf or the mesh "
+                       "metric is degenerate; refusing to propagate a "
+                       "non-finite time step into the BDF coefficients");
+    DGFLOW_ASSERT(std::isfinite(previous) && previous >= 0,
+                  "CFL controller received non-finite previous dt = "
+                    << previous);
     double dt = cfl_ / std::pow(double(degree_), 1.5) * min_h_over_u;
     if (previous > 0)
       dt = std::min(dt, max_growth_ * previous);

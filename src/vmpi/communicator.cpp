@@ -1,6 +1,8 @@
 #include "vmpi/communicator.h"
 
 #include <algorithm>
+#include <cstdlib>
+#include <sstream>
 #include <stdexcept>
 #include <thread>
 
@@ -9,10 +11,32 @@
 
 namespace dgflow::vmpi
 {
+namespace
+{
+using clock = std::chrono::steady_clock;
+
+/// Deadline for a wait starting now with the given timeout (<= 0: forever).
+clock::time_point deadline_from(const clock::time_point start,
+                                const double timeout_seconds)
+{
+  if (timeout_seconds <= 0.)
+    return clock::time_point::max();
+  return start + std::chrono::duration_cast<clock::duration>(
+                   std::chrono::duration<double>(timeout_seconds));
+}
+
+double seconds_since(const clock::time_point start)
+{
+  return std::chrono::duration<double>(clock::now() - start).count();
+}
+} // namespace
+
 void run(const int n_ranks, const std::function<void(Communicator &)> &f)
 {
   DGFLOW_ASSERT(n_ranks >= 1, "need at least one rank");
   internal::SharedState state(n_ranks);
+  if (const char *v = std::getenv("DGFLOW_VMPI_TIMEOUT"))
+    state.default_timeout = std::atof(v);
   std::vector<std::thread> threads;
   std::vector<std::exception_ptr> errors(n_ranks);
 
@@ -62,15 +86,47 @@ void Communicator::send(const int dest, const int tag, const void *data,
   DGFLOW_ASSERT(dest >= 0 && dest < size(), "invalid destination rank");
   traffic_.messages += 1;
   traffic_.bytes += bytes;
+
+  FaultAction action;
+  if (faults_)
+  {
+    const unsigned long long seq = send_seq_[{dest, tag}]++;
+    action = faults_->on_message(rank_, dest, tag, seq, bytes);
+  }
+  if (action.drop)
+    return;
+
   internal::Message msg;
   msg.source = rank_;
   msg.tag = tag;
   msg.data.resize(bytes);
   std::memcpy(msg.data.data(), data, bytes);
+  if (action.corrupt_bytes > 0)
+    for (std::size_t i = 0; i < std::min(action.corrupt_bytes, bytes); ++i)
+      msg.data[i] = static_cast<char>(msg.data[i] ^ 0x5A);
+  msg.available_at = action.delay_seconds > 0.
+                       ? deadline_from(clock::now(), action.delay_seconds)
+                       : clock::time_point::min();
+
   auto &box = state_.mailboxes[dest];
   {
     std::lock_guard<std::mutex> lock(box.mutex);
-    box.messages.push_back(std::move(msg));
+    if (action.reorder)
+    {
+      // jump ahead of messages from other (source,tag) streams, but keep
+      // the per-(source,tag) FIFO (the MPI non-overtaking guarantee the
+      // matching logic relies on)
+      auto pos = box.messages.begin();
+      for (auto it = box.messages.rbegin(); it != box.messages.rend(); ++it)
+        if (it->source == msg.source && it->tag == msg.tag)
+        {
+          pos = it.base();
+          break;
+        }
+      box.messages.insert(pos, std::move(msg));
+    }
+    else
+      box.messages.push_back(std::move(msg));
   }
   box.cv.notify_all();
 }
@@ -79,15 +135,20 @@ std::size_t Communicator::recv(const int source, const int tag, void *data,
                                const std::size_t max_bytes)
 {
   auto &box = state_.mailboxes[rank_];
+  const auto start = clock::now();
+  const auto deadline = deadline_from(start, timeout_seconds_);
   std::unique_lock<std::mutex> lock(box.mutex);
   for (;;)
   {
+    // first positional match preserves the per-(source,tag) FIFO even when
+    // fault injection holds a matched message back via available_at
     const auto it = std::find_if(
       box.messages.begin(), box.messages.end(),
       [&](const internal::Message &m) {
         return m.source == source && m.tag == tag;
       });
-    if (it != box.messages.end())
+    const auto now = clock::now();
+    if (it != box.messages.end() && it->available_at <= now)
     {
       DGFLOW_ASSERT(it->data.size() <= max_bytes,
                     "receive buffer too small: " << it->data.size() << " > "
@@ -97,7 +158,26 @@ std::size_t Communicator::recv(const int source, const int tag, void *data,
       box.messages.erase(it);
       return bytes;
     }
-    box.cv.wait(lock);
+
+    auto wake_at = deadline;
+    if (it != box.messages.end() && it->available_at < wake_at)
+      wake_at = it->available_at;
+    if (now >= deadline)
+    {
+      std::ostringstream ss;
+      ss << "vmpi timeout: rank " << rank_ << " waited "
+         << seconds_since(start) << " s for a message from rank " << source
+         << " with tag " << tag << " (mailbox holds " << box.messages.size()
+         << " unmatched message(s)";
+      for (const auto &m : box.messages)
+        ss << " [source " << m.source << ", tag " << m.tag << "]";
+      ss << ")";
+      throw TimeoutError(ss.str(), rank_, source, tag, seconds_since(start));
+    }
+    if (wake_at == clock::time_point::max())
+      box.cv.wait(lock);
+    else
+      box.cv.wait_until(lock, wake_at);
   }
 }
 
@@ -105,50 +185,96 @@ void Communicator::barrier()
 {
   traffic_.barriers += 1;
   std::vector<double> dummy;
-  allreduce_impl(dummy, Op::sum);
+  allreduce_impl(dummy, Op::sum, "barrier");
 }
 
 void Communicator::allreduce(std::vector<double> &values, const Op op)
 {
   traffic_.allreduces += 1;
-  allreduce_impl(values, op);
+  allreduce_impl(values, op, "allreduce");
 }
 
-void Communicator::allreduce_impl(std::vector<double> &values, const Op op)
+void Communicator::allreduce_impl(std::vector<double> &values, const Op op,
+                                  const char *op_name)
 {
+  if (faults_)
+  {
+    const double stall =
+      faults_->stall_before_collective(rank_, collective_seq_++);
+    if (stall > 0.)
+      std::this_thread::sleep_for(std::chrono::duration<double>(stall));
+  }
+
+  const auto start = clock::now();
+  const auto deadline = deadline_from(start, timeout_seconds_);
+  const auto timed_wait = [&](std::unique_lock<std::mutex> &lock,
+                              const auto &predicate, const char *phase) {
+    if (deadline == clock::time_point::max())
+    {
+      state_.coll_cv.wait(lock, predicate);
+      return;
+    }
+    if (!state_.coll_cv.wait_until(lock, deadline, predicate))
+      throw TimeoutError("vmpi timeout: rank " + std::to_string(rank_) +
+                           " waited " + std::to_string(seconds_since(start)) +
+                           " s in " + op_name + " (" + phase + ", " +
+                           std::to_string(state_.coll_count) + "/" +
+                           std::to_string(state_.n_ranks) +
+                           " ranks arrived)",
+                         rank_, -1, -1, seconds_since(start));
+  };
+
   std::unique_lock<std::mutex> lock(state_.coll_mutex);
   // entry gate: the previous collective must be fully drained
-  state_.coll_cv.wait(lock, [&]() { return state_.coll_exiting == 0; });
+  timed_wait(lock, [&]() { return state_.coll_exiting == 0; }, "entry gate");
 
   const long generation = state_.coll_generation;
-  if (state_.coll_count == 0)
-    state_.reduce_slot = values;
-  else
-    for (std::size_t i = 0; i < values.size(); ++i)
-      switch (op)
-      {
-        case Op::sum:
-          state_.reduce_slot[i] += values[i];
-          break;
-        case Op::max:
-          state_.reduce_slot[i] = std::max(state_.reduce_slot[i], values[i]);
-          break;
-        case Op::min:
-          state_.reduce_slot[i] = std::min(state_.reduce_slot[i], values[i]);
-          break;
-      }
+  state_.coll_contributions[rank_] = values;
 
   if (++state_.coll_count == state_.n_ranks)
   {
+    // reduce in fixed rank order: the floating-point result must not depend
+    // on which rank happened to arrive last (injected delays change thread
+    // timing; bitwise reproducibility requires a deterministic order)
+    state_.reduce_slot = state_.coll_contributions[0];
+    for (int r = 1; r < state_.n_ranks; ++r)
+    {
+      const std::vector<double> &contrib = state_.coll_contributions[r];
+      for (std::size_t i = 0; i < state_.reduce_slot.size(); ++i)
+        switch (op)
+        {
+          case Op::sum:
+            state_.reduce_slot[i] += contrib[i];
+            break;
+          case Op::max:
+            state_.reduce_slot[i] = std::max(state_.reduce_slot[i], contrib[i]);
+            break;
+          case Op::min:
+            state_.reduce_slot[i] = std::min(state_.reduce_slot[i], contrib[i]);
+            break;
+        }
+    }
     state_.coll_count = 0;
     state_.coll_exiting = state_.n_ranks;
     ++state_.coll_generation;
     state_.coll_cv.notify_all();
   }
   else
-    state_.coll_cv.wait(lock, [&]() {
-      return state_.coll_generation != generation;
-    });
+  {
+    try
+    {
+      timed_wait(lock,
+                 [&]() { return state_.coll_generation != generation; },
+                 "rendezvous");
+    }
+    catch (...)
+    {
+      // withdraw from the rendezvous so a later collective (or another
+      // rank's timeout accounting) does not count this rank as arrived
+      --state_.coll_count;
+      throw;
+    }
+  }
 
   values = state_.reduce_slot;
   if (--state_.coll_exiting == 0)

@@ -8,14 +8,28 @@
 // (partitioned vectors, ghost exchange, reductions) execute the same logic
 // they would across real ranks, and the message counts feed the scaling
 // performance model. See DESIGN.md.
+//
+// Resilience: every blocking wait (recv, barrier, allreduce) carries a
+// deadline, so a lost or stalled message surfaces as a structured
+// TimeoutError naming the rank, expected source/tag and elapsed time
+// instead of hanging the process. A FaultHandler can be installed on a
+// Communicator to inject per-message faults (drop, delay, reorder, payload
+// corruption) and per-collective rank stalls; the deterministic seeded
+// implementation lives in resilience/fault_injection.h.
 
+#include <chrono>
 #include <condition_variable>
 #include <cstring>
 #include <deque>
 #include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
+#include <stdexcept>
+#include <string>
 #include <vector>
+
+#include "common/exceptions.h"
 
 namespace dgflow::vmpi
 {
@@ -25,6 +39,55 @@ class Communicator;
 /// Exceptions thrown by any rank are rethrown on the caller.
 void run(const int n_ranks, const std::function<void(Communicator &)> &f);
 
+/// A blocking vmpi operation exceeded its deadline. Carries the structured
+/// context needed to diagnose the lost message: the waiting rank, the
+/// expected source and tag (-1 for collectives), and the elapsed wait.
+class TimeoutError : public std::runtime_error
+{
+public:
+  TimeoutError(const std::string &what, const int rank_, const int source_,
+               const int tag_, const double elapsed_seconds_)
+    : std::runtime_error(what), rank(rank_), source(source_), tag(tag_),
+      elapsed_seconds(elapsed_seconds_)
+  {}
+
+  int rank;               ///< the rank whose wait timed out
+  int source;             ///< expected source rank (-1 for collectives)
+  int tag;                ///< expected tag (-1 for collectives)
+  double elapsed_seconds; ///< how long the rank waited
+};
+
+/// Fault decided for one message (all default to "deliver normally").
+struct FaultAction
+{
+  bool drop = false;          ///< message is never delivered
+  bool reorder = false;       ///< jump ahead of other (source,tag) streams
+  double delay_seconds = 0.;  ///< in-flight latency before matchable
+  std::size_t corrupt_bytes = 0; ///< bit-flip this many leading payload bytes
+};
+
+/// Fault-injection hook installed on a Communicator. Decisions must be
+/// functions of the passed identifiers only (not of wall time or thread
+/// interleaving) to keep injected runs reproducible; @p seq is the
+/// per-(source,dest,tag) message sequence number, which is deterministic
+/// because each Communicator is driven by a single thread.
+class FaultHandler
+{
+public:
+  virtual ~FaultHandler() = default;
+
+  virtual FaultAction on_message(int source, int dest, int tag,
+                                 unsigned long long seq,
+                                 std::size_t bytes) = 0;
+
+  /// Seconds to stall @p rank before it enters its @p seq -th collective.
+  virtual double stall_before_collective(int /*rank*/,
+                                         unsigned long long /*seq*/)
+  {
+    return 0.;
+  }
+};
+
 namespace internal
 {
 struct Message
@@ -32,6 +95,8 @@ struct Message
   int source;
   int tag;
   std::vector<char> data;
+  /// earliest time the message may be matched by a recv (fault injection)
+  std::chrono::steady_clock::time_point available_at;
 };
 
 struct Mailbox
@@ -43,9 +108,13 @@ struct Mailbox
 
 struct SharedState
 {
-  explicit SharedState(const int n) : mailboxes(n), n_ranks(n) {}
+  explicit SharedState(const int n)
+    : mailboxes(n), n_ranks(n), coll_contributions(n)
+  {}
   std::vector<Mailbox> mailboxes;
   int n_ranks;
+  /// default wait deadline for all ranks (seconds; <= 0 waits forever)
+  double default_timeout = 120.;
 
   // barrier / collective state (two-phase: ranks may not enter the next
   // collective before everyone has left the previous one)
@@ -54,6 +123,9 @@ struct SharedState
   int coll_count = 0;
   int coll_exiting = 0;
   long coll_generation = 0;
+  /// per-rank contributions; the last arriving rank reduces them in rank
+  /// order so the floating-point result is independent of thread timing
+  std::vector<std::vector<double>> coll_contributions;
   std::vector<double> reduce_slot;
 };
 } // namespace internal
@@ -73,7 +145,7 @@ public:
   };
 
   Communicator(internal::SharedState &state, const int rank)
-    : state_(state), rank_(rank)
+    : state_(state), rank_(rank), timeout_seconds_(state.default_timeout)
   {}
 
   int rank() const { return rank_; }
@@ -81,11 +153,22 @@ public:
 
   const Traffic &traffic() const { return traffic_; }
 
+  /// Deadline for this rank's blocking waits (seconds; <= 0 waits forever).
+  /// The process-wide default comes from DGFLOW_VMPI_TIMEOUT (see vmpi::run).
+  void set_timeout(const double seconds) { timeout_seconds_ = seconds; }
+  double timeout() const { return timeout_seconds_; }
+
+  /// Installs @p handler on this rank (nullptr uninstalls). The handler
+  /// filters messages this rank *sends* and stalls this rank's collectives;
+  /// it is typically shared by all ranks of a run and must be thread-safe.
+  void install_fault_handler(FaultHandler *handler) { faults_ = handler; }
+
   /// Buffered non-blocking send (returns immediately).
   void send(const int dest, const int tag, const void *data,
             const std::size_t bytes);
 
   /// Blocking receive matching (source, tag); returns the payload size.
+  /// Throws TimeoutError when no matching message arrives in time.
   std::size_t recv(const int source, const int tag, void *data,
                    const std::size_t max_bytes);
 
@@ -102,6 +185,11 @@ public:
     std::vector<T> v(max_elements);
     const std::size_t bytes =
       recv(source, tag, v.data(), max_elements * sizeof(T));
+    DGFLOW_ASSERT(bytes % sizeof(T) == 0,
+                  "recv_vector payload of " << bytes
+                    << " bytes is not a multiple of the element size "
+                    << sizeof(T) << " (source " << source << ", tag " << tag
+                    << "): refusing to truncate");
     v.resize(bytes / sizeof(T));
     return v;
   }
@@ -128,11 +216,17 @@ public:
 private:
   /// Collective rendezvous shared by barrier (empty vector) and allreduce,
   /// so barriers are not double-counted as allreduces.
-  void allreduce_impl(std::vector<double> &values, const Op op);
+  void allreduce_impl(std::vector<double> &values, const Op op,
+                      const char *op_name);
 
   internal::SharedState &state_;
   int rank_;
   Traffic traffic_;
+  double timeout_seconds_;
+  FaultHandler *faults_ = nullptr;
+  /// deterministic per-(dest,tag) send sequence numbers for fault decisions
+  std::map<std::pair<int, int>, unsigned long long> send_seq_;
+  unsigned long long collective_seq_ = 0;
 };
 
 } // namespace dgflow::vmpi

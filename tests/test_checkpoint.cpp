@@ -1,0 +1,304 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "incns/analytic_flows.h"
+#include "incns/solver.h"
+#include "lung/lung_application.h"
+#include "mesh/generators.h"
+#include "resilience/checkpoint.h"
+
+using namespace dgflow;
+
+namespace
+{
+std::string temp_path(const std::string &name)
+{
+  return ::testing::TempDir() + "dgflow_" + name;
+}
+
+std::vector<char> read_file(const std::string &path)
+{
+  std::ifstream in(path, std::ios::binary);
+  return std::vector<char>(std::istreambuf_iterator<char>(in),
+                           std::istreambuf_iterator<char>());
+}
+
+void write_file(const std::string &path, const std::vector<char> &bytes)
+{
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+FlowBoundaryMap ethier_steinman_bc(const EthierSteinman &es)
+{
+  FlowBoundaryMap bc;
+  for (unsigned int id = 0; id < 6; ++id)
+  {
+    FlowBoundary b;
+    if (id == 1)
+    {
+      b.kind = FlowBoundary::Kind::pressure;
+      b.pressure = [es](const Point &p, double t) { return es.pressure(p, t); };
+      b.backflow_stabilization = false;
+    }
+    else
+    {
+      b.kind = FlowBoundary::Kind::velocity_dirichlet;
+      b.velocity = [es](const Point &p, double t) { return es.velocity(p, t); };
+      b.velocity_dt = [es](const Point &p, double t) {
+        return es.velocity_dt(p, t);
+      };
+    }
+    bc[id] = b;
+  }
+  return bc;
+}
+
+INSSolver<double>::Parameters es_parameters(const EthierSteinman &es)
+{
+  INSSolver<double>::Parameters prm;
+  prm.degree = 3;
+  prm.viscosity = es.nu;
+  prm.cfl = 0.2; // adaptive dt: the restart must reproduce the dt sequence
+  prm.rel_tol_pressure = 1e-8;
+  prm.rel_tol_viscous = 1e-8;
+  prm.rel_tol_projection = 1e-8;
+  return prm;
+}
+
+void setup_es(INSSolver<double> &solver, const Mesh &mesh,
+              const Geometry &geom, const EthierSteinman &es)
+{
+  solver.setup(mesh, geom, ethier_steinman_bc(es), es_parameters(es));
+  solver.set_initial_condition(
+    [&es](const Point &p) { return es.velocity(p, 0.); },
+    [&es](const Point &p) { return es.pressure(p, 0.); });
+}
+} // namespace
+
+TEST(CheckpointFileTest, RoundTripPreservesRecordsBitwise)
+{
+  const std::string path = temp_path("roundtrip.ckpt");
+  Vector<double> vd(5);
+  for (std::size_t i = 0; i < vd.size(); ++i)
+    vd[i] = std::sin(3.7 * double(i)) * 1e-7;
+  Vector<float> vf(3);
+  for (std::size_t i = 0; i < vf.size(); ++i)
+    vf[i] = float(i) + 0.25f;
+
+  {
+    resilience::CheckpointWriter writer(path);
+    writer.write_u64(42);
+    writer.write_double(0.1); // not exactly representable: bitwise matters
+    writer.write_vector(vd);
+    writer.write_vector(vf);
+    writer.close();
+  }
+
+  resilience::CheckpointReader reader(path);
+  EXPECT_EQ(reader.read_u64(), 42ull);
+  EXPECT_EQ(reader.read_double(), 0.1);
+  Vector<double> rd;
+  Vector<float> rf;
+  reader.read_vector(rd);
+  reader.read_vector(rf);
+  ASSERT_EQ(rd.size(), vd.size());
+  for (std::size_t i = 0; i < vd.size(); ++i)
+    EXPECT_EQ(rd[i], vd[i]);
+  ASSERT_EQ(rf.size(), vf.size());
+  for (std::size_t i = 0; i < vf.size(); ++i)
+    EXPECT_EQ(rf[i], vf[i]);
+  EXPECT_TRUE(reader.exhausted());
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointFileTest, TypeAndPrecisionMismatchesAreStructuredErrors)
+{
+  const std::string path = temp_path("mismatch.ckpt");
+  {
+    resilience::CheckpointWriter writer(path);
+    writer.write_u64(1);
+    Vector<double> v(2);
+    writer.write_vector(v);
+    writer.close();
+  }
+  {
+    // reading a scalar as the wrong record type
+    resilience::CheckpointReader reader(path);
+    EXPECT_THROW(reader.read_double(), resilience::CheckpointError);
+  }
+  {
+    // reading a double vector as float
+    resilience::CheckpointReader reader(path);
+    reader.read_u64();
+    Vector<float> v;
+    EXPECT_THROW(reader.read_vector(v), resilience::CheckpointError);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointFileTest, CorruptionTruncationAndBadHeaderAreRejected)
+{
+  const std::string path = temp_path("corrupt.ckpt");
+  {
+    resilience::CheckpointWriter writer(path);
+    writer.write_double(1.5);
+    writer.write_u64(7);
+    writer.close();
+  }
+  const std::vector<char> good = read_file(path);
+  ASSERT_GT(good.size(), 40u);
+
+  // flip one payload byte: checksum must catch it
+  {
+    std::vector<char> bad = good;
+    bad[bad.size() - 3] = static_cast<char>(bad[bad.size() - 3] ^ 0x10);
+    write_file(path, bad);
+    try
+    {
+      resilience::CheckpointReader reader(path);
+      FAIL() << "corrupted checkpoint was accepted";
+    }
+    catch (const resilience::CheckpointError &e)
+    {
+      EXPECT_NE(std::string(e.what()).find("checksum"), std::string::npos)
+        << e.what();
+    }
+  }
+
+  // truncated payload
+  {
+    std::vector<char> bad(good.begin(), good.end() - 4);
+    write_file(path, bad);
+    EXPECT_THROW(resilience::CheckpointReader reader(path),
+                 resilience::CheckpointError);
+  }
+
+  // bad magic
+  {
+    std::vector<char> bad = good;
+    bad[0] = 'X';
+    write_file(path, bad);
+    EXPECT_THROW(resilience::CheckpointReader reader(path),
+                 resilience::CheckpointError);
+  }
+
+  // missing file
+  std::remove(path.c_str());
+  EXPECT_THROW(resilience::CheckpointReader reader(path),
+               resilience::CheckpointError);
+}
+
+TEST(CheckpointFileTest, UnsupportedVersionIsRejected)
+{
+  const std::string path = temp_path("version.ckpt");
+  {
+    resilience::CheckpointWriter writer(path);
+    writer.write_u64(1);
+    writer.close();
+  }
+  std::vector<char> bytes = read_file(path);
+  bytes[8] = 99; // version field follows the 8-byte magic
+  write_file(path, bytes);
+  try
+  {
+    resilience::CheckpointReader reader(path);
+    FAIL() << "future-version checkpoint was accepted";
+  }
+  catch (const resilience::CheckpointError &e)
+  {
+    EXPECT_NE(std::string(e.what()).find("version"), std::string::npos)
+      << e.what();
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointINSTest, RestartResumesBitForBit)
+{
+  EthierSteinman es;
+  Mesh mesh(unit_cube());
+  TrilinearGeometry geom(mesh.coarse());
+  const std::string path = temp_path("ins.ckpt");
+
+  // reference run: 3 steps, checkpoint, 3 more steps
+  INSSolver<double> reference;
+  setup_es(reference, mesh, geom, es);
+  for (int i = 0; i < 3; ++i)
+    reference.advance();
+  reference.save_checkpoint(path);
+  for (int i = 0; i < 3; ++i)
+    reference.advance();
+
+  // restarted run: fresh solver, same setup, resume from the checkpoint
+  INSSolver<double> restarted;
+  setup_es(restarted, mesh, geom, es);
+  restarted.load_checkpoint(path);
+  std::remove(path.c_str());
+  for (int i = 0; i < 3; ++i)
+    restarted.advance();
+
+  // exact resume: the adaptive dt sequence and all fields are identical
+  EXPECT_EQ(restarted.time(), reference.time());
+  ASSERT_EQ(restarted.velocity().size(), reference.velocity().size());
+  for (std::size_t i = 0; i < reference.velocity().size(); ++i)
+    ASSERT_EQ(restarted.velocity()[i], reference.velocity()[i]) << "dof " << i;
+  for (std::size_t i = 0; i < reference.pressure().size(); ++i)
+    ASSERT_EQ(restarted.pressure()[i], reference.pressure()[i]) << "dof " << i;
+}
+
+TEST(CheckpointINSTest, MismatchedDiscretizationIsRejected)
+{
+  EthierSteinman es;
+  Mesh mesh(unit_cube());
+  TrilinearGeometry geom(mesh.coarse());
+  const std::string path = temp_path("ins_mismatch.ckpt");
+
+  INSSolver<double> coarse;
+  setup_es(coarse, mesh, geom, es);
+  coarse.advance();
+  coarse.save_checkpoint(path);
+
+  Mesh fine(unit_cube());
+  fine.refine_uniform(1);
+  TrilinearGeometry fine_geom(fine.coarse());
+  INSSolver<double> other;
+  setup_es(other, fine, fine_geom, es);
+  EXPECT_THROW(other.load_checkpoint(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointLungTest, ApplicationRestartResumesBitForBit)
+{
+  LungApplicationParameters prm;
+  prm.generations = 1;
+  const std::string path = temp_path("lung.ckpt");
+
+  LungApplication reference(prm);
+  for (int i = 0; i < 10; ++i)
+    reference.advance();
+  reference.save_checkpoint(path);
+  const double dp_at_save = reference.ventilation().current_dp();
+  for (int i = 0; i < 5; ++i)
+    reference.advance();
+
+  LungApplication restarted(prm);
+  restarted.load_checkpoint(path);
+  std::remove(path.c_str());
+  EXPECT_EQ(restarted.ventilation().current_dp(), dp_at_save);
+  for (int i = 0; i < 5; ++i)
+    restarted.advance();
+
+  EXPECT_EQ(restarted.solver().time(), reference.solver().time());
+  const auto &u_ref = reference.solver().velocity();
+  const auto &u_new = restarted.solver().velocity();
+  ASSERT_EQ(u_new.size(), u_ref.size());
+  for (std::size_t i = 0; i < u_ref.size(); ++i)
+    ASSERT_EQ(u_new[i], u_ref[i]) << "dof " << i;
+  for (unsigned int o = 0; o < reference.ventilation().n_outlets(); ++o)
+    EXPECT_EQ(restarted.ventilation().outlet_pressure(o),
+              reference.ventilation().outlet_pressure(o));
+}
