@@ -9,6 +9,9 @@
 // efficiency), with the paper's values for comparison. Problem sizes are
 // scaled to the single-core memory (1-6 MDoF instead of 10-100 MDoF/node).
 
+#include <cstdlib>
+#include <vector>
+
 #include "bench/bench_common.h"
 #include "operators/cfe_laplace_operator.h"
 #include "operators/laplace_operator.h"
@@ -43,6 +46,13 @@ int main()
                "smoother SP DG [DoF/s]", "smoother SP Q1 [DoF/s]",
                "SP/DP ratio"});
 
+  struct Row
+  {
+    unsigned int degree;
+    std::size_t cells, dofs;
+    double rate_dp, rate_sp, rate_c, compression;
+  };
+  std::vector<Row> rows;
   double throughput_k3 = 0;
   for (unsigned int degree = 1; degree <= 6; ++degree)
   {
@@ -132,6 +142,8 @@ int main()
                   Table::format(laplace.n_dofs() / 1e6, 3),
                   Table::sci(rate_dp, 3), Table::sci(rate_sp, 3),
                   Table::sci(rate_c, 3), Table::format(rate_sp / rate_dp, 3));
+    rows.push_back({degree, mesh.n_active_cells(), laplace.n_dofs(), rate_dp,
+                    rate_sp, rate_c, mf.metric_compression_ratio()});
   }
   table.print();
 
@@ -141,5 +153,30 @@ int main()
               throughput_k3 * 48 * 0.8);
   std::printf("expected shape: throughput roughly flat in k with a maximum "
               "near k=3-4; SP smoother ~1.3x the DP mat-vec rate.\n");
+
+  if (const char *path = std::getenv("DGFLOW_BENCH_JSON"))
+  {
+    std::FILE *f = std::fopen(path, "w");
+    if (f)
+    {
+      std::fprintf(f, "{\n  \"schema\": \"dgflow-bench-fig06-v1\",\n");
+      std::fprintf(f, "  \"projected_node_dofs_per_s_k3\": %.6e,\n",
+                   throughput_k3 * 48 * 0.8);
+      std::fprintf(f, "  \"benchmarks\": [\n");
+      for (std::size_t i = 0; i < rows.size(); ++i)
+        std::fprintf(f,
+                     "    {\"degree\": %u, \"cells\": %zu, \"n_dofs\": %zu, "
+                     "\"matvec_dp_dofs_per_s\": %.6e, "
+                     "\"smoother_sp_dofs_per_s\": %.6e, "
+                     "\"smoother_q1_dofs_per_s\": %.6e, "
+                     "\"metric_compression\": %.6g}%s\n",
+                     rows[i].degree, rows[i].cells, rows[i].dofs,
+                     rows[i].rate_dp, rows[i].rate_sp, rows[i].rate_c,
+                     rows[i].compression, i + 1 < rows.size() ? "," : "");
+      std::fprintf(f, "  ]\n}\n");
+      std::fclose(f);
+      std::printf("benchmark JSON archived to %s\n", path);
+    }
+  }
   return 0;
 }

@@ -13,9 +13,15 @@ mkdir -p bench_results
 for b in build/bench/*; do
   if [ -x "$b" ] && [ -f "$b" ]; then
     name=$(basename "$b")
+    # benchmarks that support it also archive machine-readable results
+    # (kernels_microbench -> BENCH_kernels.json: the roofline fast-path
+    # comparison the acceptance criteria read)
+    bench_json="bench_results/BENCH_${name}.json"
+    [ "$name" = kernels_microbench ] && bench_json="bench_results/BENCH_kernels.json"
     DGFLOW_PROFILE=1 \
       DGFLOW_PROFILE_JSON="bench_results/PROFILE_${name}.json" \
+      DGFLOW_BENCH_JSON="$bench_json" \
       "$b"
   fi
 done
-echo "profiler reports archived in bench_results/ (PROFILE_*.json)"
+echo "profiler reports archived in bench_results/ (PROFILE_*.json, BENCH_*.json)"

@@ -105,6 +105,16 @@ public:
         data_[i] = init;
   }
 
+  /// Resize to @p n elements and set every element (old and new) to
+  /// @p value. Unlike resize(n, value), which only initializes elements
+  /// beyond the old size, this guarantees no stale state survives a
+  /// same-size or shrinking resize.
+  void assign(const std::size_t n, const T &value)
+  {
+    resize_without_init(n);
+    fill(value);
+  }
+
   void reserve(const std::size_t n)
   {
     if (n > capacity_)

@@ -10,6 +10,17 @@
 #define DGFLOW_RESTRICT __restrict__
 #endif
 
+// Forced inlining for the thin fixed-extent kernel wrappers: the whole point
+// of passing extents as template arguments is constant propagation into the
+// runtime kernel bodies, which requires the wrapper to actually inline.
+#ifndef DGFLOW_ALWAYS_INLINE
+#if defined(__GNUC__) || defined(__clang__)
+#define DGFLOW_ALWAYS_INLINE inline __attribute__((always_inline))
+#else
+#define DGFLOW_ALWAYS_INLINE inline
+#endif
+#endif
+
 namespace dgflow
 {
 /// Spatial dimension. The solver is specialized to 3D, matching the paper.

@@ -1,0 +1,24 @@
+// Process-wide enable switch for the specialized kernel fast path.
+
+#include "fem/kernel_dispatch.h"
+
+#include <atomic>
+
+namespace dgflow
+{
+namespace
+{
+std::atomic<bool> specialized_enabled{true};
+} // namespace
+
+void set_specialized_kernels_enabled(const bool enabled)
+{
+  specialized_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool specialized_kernels_enabled()
+{
+  return specialized_enabled.load(std::memory_order_relaxed);
+}
+
+} // namespace dgflow

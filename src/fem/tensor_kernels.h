@@ -275,6 +275,61 @@ inline void apply_matrix_1d_evenodd(const MT *DGFLOW_RESTRICT Me,
   (void)rh;
 }
 
+// ---------------------------------------------------------------------------
+// Fixed-extent variants: all sizes, the sweep direction, and the tensor
+// extents are template parameters, so after (forced) inlining the runtime
+// kernels above see only compile-time constants - strides fold, the inner
+// loops fully unroll, and the FMA chains schedule without loop overhead.
+// These are the building blocks of the specialized fast path dispatched via
+// fem/kernel_dispatch.h; the runtime-extent kernels remain the verified
+// fallback for sizes without an instantiation.
+// ---------------------------------------------------------------------------
+
+/// apply_matrix_1d with compile-time m, n, direction and extents.
+template <bool contract_over_rows, bool add, int m, int n, int direction,
+          int e0, int e1, int e2, typename MT, typename T>
+DGFLOW_ALWAYS_INLINE void apply_matrix_1d_fixed(const MT *DGFLOW_RESTRICT M,
+                                                const T *DGFLOW_RESTRICT in,
+                                                T *DGFLOW_RESTRICT out)
+{
+  apply_matrix_1d<contract_over_rows, add>(M, m, n, in, out, direction,
+                                           {{e0, e1, e2}});
+}
+
+/// apply_matrix_1d_evenodd with compile-time m, n, direction and extents.
+template <bool contract_over_rows, bool add, int m, int n, int sign,
+          int direction, int e0, int e1, int e2, typename MT, typename T>
+DGFLOW_ALWAYS_INLINE void
+apply_matrix_1d_evenodd_fixed(const MT *DGFLOW_RESTRICT Me,
+                              const MT *DGFLOW_RESTRICT Mo,
+                              const T *DGFLOW_RESTRICT in,
+                              T *DGFLOW_RESTRICT out)
+{
+  apply_matrix_1d_evenodd<contract_over_rows, add>(Me, Mo, m, n, sign, in,
+                                                   out, direction,
+                                                   {{e0, e1, e2}});
+}
+
+/// contract_to_face with compile-time n, direction and extents.
+template <bool add, int n, int direction, int e0, int e1, int e2, typename MT,
+          typename T>
+DGFLOW_ALWAYS_INLINE void contract_to_face_fixed(const MT *DGFLOW_RESTRICT v,
+                                                 const T *DGFLOW_RESTRICT in,
+                                                 T *DGFLOW_RESTRICT out)
+{
+  contract_to_face<add>(v, n, in, out, direction, {{e0, e1, e2}});
+}
+
+/// expand_from_face with compile-time n, direction and extents.
+template <bool add, int n, int direction, int e0, int e1, int e2, typename MT,
+          typename T>
+DGFLOW_ALWAYS_INLINE void expand_from_face_fixed(const MT *DGFLOW_RESTRICT v,
+                                                 const T *DGFLOW_RESTRICT in,
+                                                 T *DGFLOW_RESTRICT out)
+{
+  expand_from_face<add>(v, n, in, out, direction, {{e0, e1, e2}});
+}
+
 /// 2D variant of apply_matrix_1d for operations on face planes, direction in
 /// {0,1}, extents e2 of the plane.
 template <bool contract_over_rows, bool add, typename MT, typename T>

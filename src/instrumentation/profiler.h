@@ -49,6 +49,20 @@ private:
   std::atomic<long long> value_{0};
 };
 
+/// Last-value-wins named metric for derived quantities that are not
+/// monotonic (throughput in DoF/s, bytes per DoF, compression ratios).
+/// Updates are dropped while profiling is disabled, like Counter.
+class Gauge
+{
+public:
+  void set(const double v);
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0., std::memory_order_relaxed); }
+
+private:
+  std::atomic<double> value_{0.};
+};
+
 class Profiler
 {
 public:
@@ -72,6 +86,14 @@ public:
   {
     std::lock_guard<std::mutex> lock(mutex_);
     return counters_[name];
+  }
+
+  /// Returns the gauge registered under @p name (created on first use).
+  /// Same lifetime/caching contract as counter().
+  Gauge &gauge(const std::string &name)
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return gauges_[name];
   }
 
   /// Adds one completed vmpi::run's rank-aggregated traffic.
@@ -100,6 +122,8 @@ public:
       merge_children(tree->root, r.timers);
     for (const auto &[name, c] : counters_)
       r.counters[name] = c.value();
+    for (const auto &[name, g] : gauges_)
+      r.gauges[name] = g.value();
     r.vmpi = vmpi_;
     return r;
   }
@@ -117,6 +141,8 @@ public:
     }
     for (auto &[name, c] : counters_)
       c.reset();
+    for (auto &[name, g] : gauges_)
+      g.reset();
     vmpi_ = VmpiStats();
   }
 
@@ -183,6 +209,7 @@ private:
   mutable std::mutex mutex_;
   std::vector<std::shared_ptr<ThreadTree>> trees_;
   std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
   VmpiStats vmpi_;
 };
 
@@ -192,11 +219,58 @@ inline void Counter::add(const long long v)
     value_.fetch_add(v, std::memory_order_relaxed);
 }
 
+inline void Gauge::set(const double v)
+{
+  if (Profiler::instance().enabled())
+    value_.store(v, std::memory_order_relaxed);
+}
+
 /// Convenience accessor: prof::counter("cg_iterations").add(n).
 inline Counter &counter(const std::string &name)
 {
   return Profiler::instance().counter(name);
 }
+
+/// Convenience accessor: prof::gauge("laplace_dofs_per_s").set(v).
+inline Gauge &gauge(const std::string &name)
+{
+  return Profiler::instance().gauge(name);
+}
+
+/// RAII throughput probe: measures the wall time of the enclosing scope and
+/// publishes items/second to the gauge "<name>_per_s" on destruction. The
+/// two clock reads happen only while profiling is enabled.
+class ThroughputScope
+{
+public:
+  ThroughputScope(Gauge &gauge, const std::size_t n_items)
+    : gauge_(gauge), n_items_(n_items),
+      active_(Profiler::instance().enabled())
+  {
+    if (active_)
+      start_ = clock::now();
+  }
+
+  ~ThroughputScope()
+  {
+    if (!active_)
+      return;
+    const double s =
+      std::chrono::duration<double>(clock::now() - start_).count();
+    if (s > 0.)
+      gauge_.set(static_cast<double>(n_items_) / s);
+  }
+
+  ThroughputScope(const ThroughputScope &) = delete;
+  ThroughputScope &operator=(const ThroughputScope &) = delete;
+
+private:
+  using clock = std::chrono::steady_clock;
+  Gauge &gauge_;
+  std::size_t n_items_;
+  bool active_ = false;
+  clock::time_point start_;
+};
 
 /// RAII scoped timer; nests under the innermost live Scope of this thread.
 class Scope
@@ -299,6 +373,27 @@ public:
     DGFLOW_PROF_CONCAT(dgflow_prof_c_, __LINE__).add(amount);                \
   } while (0)
 
+/// Sets the named gauge to @p value (gauge handle cached per site).
+#define DGFLOW_PROF_GAUGE(name, value)                                       \
+  do                                                                         \
+  {                                                                          \
+    static ::dgflow::prof::Gauge &DGFLOW_PROF_CONCAT(dgflow_prof_g_,         \
+                                                     __LINE__) =             \
+      ::dgflow::prof::gauge(name);                                           \
+    DGFLOW_PROF_CONCAT(dgflow_prof_g_, __LINE__).set(value);                 \
+  } while (0)
+
+/// Publishes items/second of the enclosing scope to the gauge
+/// "<name>_dofs_per_s" when the scope exits.
+#define DGFLOW_PROF_THROUGHPUT(name, n_items)                                \
+  static ::dgflow::prof::Gauge &DGFLOW_PROF_CONCAT(dgflow_prof_tg_,          \
+                                                   __LINE__) =               \
+    ::dgflow::prof::gauge(std::string(name) + "_dofs_per_s");                \
+  ::dgflow::prof::ThroughputScope DGFLOW_PROF_CONCAT(                        \
+    dgflow_prof_tp_, __LINE__)(DGFLOW_PROF_CONCAT(dgflow_prof_tg_,           \
+                                                  __LINE__),                 \
+                               n_items)
+
 #else
 
 #define DGFLOW_PROF_SCOPE(name)                                              \
@@ -306,6 +401,14 @@ public:
   {                                                                          \
   } while (0)
 #define DGFLOW_PROF_COUNT(name, amount)                                      \
+  do                                                                         \
+  {                                                                          \
+  } while (0)
+#define DGFLOW_PROF_GAUGE(name, value)                                       \
+  do                                                                         \
+  {                                                                          \
+  } while (0)
+#define DGFLOW_PROF_THROUGHPUT(name, n_items)                                \
   do                                                                         \
   {                                                                          \
   } while (0)

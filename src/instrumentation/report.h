@@ -64,6 +64,7 @@ struct ProfileReport
 {
   std::vector<TimerEntry> timers;
   std::map<std::string, long long> counters;
+  std::map<std::string, double> gauges;
   VmpiStats vmpi;
 
   /// Maximum nesting depth of the timer hierarchy.
@@ -119,6 +120,14 @@ struct ProfileReport
             << std::setw(16) << value << '\n';
     }
 
+    if (!gauges.empty())
+    {
+      out << "\nprofile: gauges\n";
+      for (const auto &[name, value] : gauges)
+        out << "  " << std::left << std::setw(44) << name << std::right
+            << std::setw(16) << Table_fmt(value) << '\n';
+    }
+
     if (vmpi.runs > 0)
     {
       out << "\nprofile: vmpi traffic (aggregated over "
@@ -140,7 +149,12 @@ struct ProfileReport
     std::size_t k = 0;
     for (const auto &[name, value] : counters)
       out << (k++ ? "," : "") << "\n    \"" << name << "\": " << value;
-    out << (counters.empty() ? "" : "\n  ") << "},\n  \"vmpi\": {"
+    out << (counters.empty() ? "" : "\n  ") << "},\n  \"gauges\": {";
+    std::size_t g = 0;
+    for (const auto &[name, value] : gauges)
+      out << (g++ ? "," : "") << "\n    \"" << name
+          << "\": " << json_num(value);
+    out << (gauges.empty() ? "" : "\n  ") << "},\n  \"vmpi\": {"
         << "\"runs\": " << vmpi.runs << ", \"ranks\": " << vmpi.ranks
         << ", \"messages\": " << vmpi.messages << ", \"bytes\": " << vmpi.bytes
         << ", \"barriers\": " << vmpi.barriers
@@ -352,6 +366,20 @@ inline ProfileReport ProfileReport::parse_json(const std::string &text)
           const std::string name = p.parse_string();
           p.expect(':');
           r.counters[name] = static_cast<long long>(p.parse_number());
+        } while (p.consume_if(','));
+        p.expect('}');
+      }
+    }
+    else if (key == "gauges")
+    {
+      p.expect('{');
+      if (!p.consume_if('}'))
+      {
+        do
+        {
+          const std::string name = p.parse_string();
+          p.expect(':');
+          r.gauges[name] = p.parse_number();
         } while (p.consume_if(','));
         p.expect('}');
       }

@@ -10,9 +10,19 @@
 // taken with the collocation derivative matrix - 6 instead of 9 1D kernel
 // sweeps for value+gradient evaluation. With the collocated Gauss basis
 // (n_q_1d == degree+1) the interpolation step disappears entirely.
+//
+// Two fast paths resolve at construction/reinit:
+//  * kernel dispatch: when fem/kernel_dispatch.h has a fixed-size
+//    instantiation for (degree, n_q_1d), the fully-unrolled kernels replace
+//    the runtime-extent sweeps (bit-identical results by construction);
+//  * metric compression: get_gradient/submit_gradient/JxW branch on the
+//    batch's GeometryType - Cartesian batches multiply by the constant
+//    diagonal of J^{-T}, affine batches by the constant full tensor, and
+//    only general batches stream per-q metric data.
 
 #include <type_traits>
 
+#include "fem/kernel_dispatch.h"
 #include "matrixfree/matrix_free.h"
 
 namespace dgflow
@@ -31,11 +41,16 @@ public:
     std::conditional_t<n_components == 1, Tensor1<VA>, Tensor2<VA>>;
 
   /// @p use_even_odd selects the flop-reduced even-odd kernels (ablation
-  /// studies may disable them).
+  /// studies may disable them; disabling also bypasses the specialized
+  /// fixed-size kernels, which build on the even-odd decomposition).
   FEEvaluation(const MatrixFree<Number> &mf, const unsigned int space,
                const unsigned int quad, const bool use_even_odd = true)
     : mf_(mf), space_(space), quad_(quad), shape_(mf.shape_info(space, quad)),
-      n_(shape_.n_dofs_1d), nq_(shape_.n_q_1d), even_odd_(use_even_odd)
+      n_(shape_.n_dofs_1d), nq_(shape_.n_q_1d), even_odd_(use_even_odd),
+      kernels_(use_even_odd
+                 ? lookup_cell_kernels<Number>(shape_.degree, shape_.n_q_1d)
+                 : nullptr),
+      q_weight_(mf.cell_metric(quad).q_weight.data())
   {
     n_q_points = nq_ * nq_ * nq_;
     dofs_per_component = n_ * n_ * n_;
@@ -52,6 +67,21 @@ public:
   {
     batch_ = cell_batch;
     metric_offset_ = std::size_t(cell_batch) * n_q_points;
+    const auto &metric = mf_.cell_metric(quad_);
+    geom_type_ = metric.type[cell_batch];
+    const std::size_t slot = metric.data_index[cell_batch];
+    if (geom_type_ == GeometryType::general)
+    {
+      jac_q_ = metric.inv_jac_t.data() + slot * n_q_points;
+      jxw_q_ = metric.JxW.data() + slot * n_q_points;
+    }
+    else
+    {
+      jit_const_ = metric.batch_inv_jac_t[slot];
+      det_const_ = metric.batch_det[slot];
+      jac_q_ = nullptr;
+      jxw_q_ = nullptr;
+    }
   }
 
   unsigned int n_filled_lanes() const
@@ -89,17 +119,25 @@ public:
       VA *vq = values_quad_.data() + c * n_q_points;
       interpolate_to_quad(dofs, vq);
       if (gradients)
+      {
+        VA *gq = gradients_quad_.data() + c * dim * n_q_points;
+        if (kernels_)
+        {
+          kernels_->collocation_gradients(shape_, vq, gq);
+          continue;
+        }
         for (unsigned int d = 0; d < dim; ++d)
         {
-          VA *gq = gradients_quad_.data() + (c * dim + d) * n_q_points;
           if (even_odd_)
             apply_matrix_1d_evenodd<false, false>(
               shape_.grad_colloc_eo_e.data(), shape_.grad_colloc_eo_o.data(),
-              nq_, nq_, -1, vq, gq, d, {{nq_, nq_, nq_}});
+              nq_, nq_, -1, vq, gq + d * n_q_points, d, {{nq_, nq_, nq_}});
           else
-            apply_matrix_1d<false, false>(shape_.grad_colloc.data(), nq_,
-                                          nq_, vq, gq, d, {{nq_, nq_, nq_}});
+            apply_matrix_1d<false, false>(shape_.grad_colloc.data(), nq_, nq_,
+                                          vq, gq + d * n_q_points, d,
+                                          {{nq_, nq_, nq_}});
         }
+      }
     }
     (void)values; // values are always produced as part of the chain
   }
@@ -109,6 +147,13 @@ public:
     for (int c = 0; c < n_components; ++c)
     {
       VA *vq = values_quad_.data() + c * n_q_points;
+      if (gradients && kernels_)
+      {
+        kernels_->collocation_gradients_transpose(
+          shape_, gradients_quad_.data() + c * dim * n_q_points, vq, !values);
+        integrate_from_quad(vq, values_dofs_.data() + c * dofs_per_component);
+        continue;
+      }
       if (gradients)
         for (unsigned int d = 0; d < dim; ++d)
         {
@@ -159,13 +204,12 @@ public:
 
   gradient_type get_gradient(const unsigned int q) const
   {
-    const Tensor2<VA> &jit = mf_.cell_metric(quad_).inv_jac_t[metric_offset_ + q];
     if constexpr (n_components == 1)
     {
       Tensor1<VA> g;
       for (unsigned int d = 0; d < dim; ++d)
         g[d] = gradients_quad_[d * n_q_points + q];
-      return apply(jit, g);
+      return transform_gradient(g, q);
     }
     else
     {
@@ -175,7 +219,7 @@ public:
         Tensor1<VA> gr;
         for (unsigned int d = 0; d < dim; ++d)
           gr[d] = gradients_quad_[(c * dim + d) * n_q_points + q];
-        const Tensor1<VA> gp = apply(jit, gr);
+        const Tensor1<VA> gp = transform_gradient(gr, q);
         for (unsigned int d = 0; d < dim; ++d)
           g[c][d] = gp[d];
       }
@@ -192,7 +236,7 @@ public:
 
   void submit_value(const value_type &v, const unsigned int q)
   {
-    const VA jxw = mf_.cell_metric(quad_).JxW[metric_offset_ + q];
+    const VA jxw = JxW(q);
     if constexpr (n_components == 1)
       values_quad_[q] = v * jxw;
     else
@@ -202,12 +246,10 @@ public:
 
   void submit_gradient(const gradient_type &g, const unsigned int q)
   {
-    const auto &metric = mf_.cell_metric(quad_);
-    const Tensor2<VA> &jit = metric.inv_jac_t[metric_offset_ + q];
-    const VA jxw = metric.JxW[metric_offset_ + q];
+    const VA jxw = JxW(q);
     if constexpr (n_components == 1)
     {
-      const Tensor1<VA> t = apply_transpose(jit, g);
+      const Tensor1<VA> t = transform_gradient_transpose(g, q);
       for (unsigned int d = 0; d < dim; ++d)
         gradients_quad_[d * n_q_points + q] = t[d] * jxw;
     }
@@ -217,7 +259,7 @@ public:
         Tensor1<VA> gc;
         for (unsigned int d = 0; d < dim; ++d)
           gc[d] = g[c][d];
-        const Tensor1<VA> t = apply_transpose(jit, gc);
+        const Tensor1<VA> t = transform_gradient_transpose(gc, q);
         for (unsigned int d = 0; d < dim; ++d)
           gradients_quad_[(c * dim + d) * n_q_points + q] = t[d] * jxw;
       }
@@ -240,8 +282,12 @@ public:
 
   VA JxW(const unsigned int q) const
   {
-    return mf_.cell_metric(quad_).JxW[metric_offset_ + q];
+    if (geom_type_ == GeometryType::general)
+      return jxw_q_[q];
+    return det_const_ * q_weight_[q];
   }
+
+  GeometryType geometry_type() const { return geom_type_; }
 
   VA *begin_dof_values() { return values_dofs_.data(); }
   const VA *begin_dof_values() const { return values_dofs_.data(); }
@@ -250,12 +296,58 @@ public:
   unsigned int dofs_per_component;
 
 private:
+  /// Pulls a reference-space gradient to real space (J^{-T} g), picking the
+  /// cheapest form the batch's GeometryType allows.
+  Tensor1<VA> transform_gradient(const Tensor1<VA> &g, const unsigned int q) const
+  {
+    switch (geom_type_)
+    {
+      case GeometryType::cartesian:
+      {
+        Tensor1<VA> t;
+        for (unsigned int d = 0; d < dim; ++d)
+          t[d] = jit_const_[d][d] * g[d];
+        return t;
+      }
+      case GeometryType::affine:
+        return apply(jit_const_, g);
+      default:
+        return apply(jac_q_[q], g);
+    }
+  }
+
+  /// Pushes a real-space test gradient back to reference space (J^{-1} g).
+  Tensor1<VA> transform_gradient_transpose(const Tensor1<VA> &g,
+                                           const unsigned int q) const
+  {
+    switch (geom_type_)
+    {
+      case GeometryType::cartesian:
+      {
+        Tensor1<VA> t;
+        for (unsigned int d = 0; d < dim; ++d)
+          t[d] = jit_const_[d][d] * g[d];
+        return t;
+      }
+      case GeometryType::affine:
+        return apply_transpose(jit_const_, g);
+      default:
+        return apply_transpose(jac_q_[q], g);
+    }
+  }
+
   void interpolate_to_quad(const VA *dofs, VA *vq)
   {
     if (shape_.collocation)
     {
       for (unsigned int i = 0; i < n_q_points; ++i)
         vq[i] = dofs[i];
+      return;
+    }
+    if (kernels_)
+    {
+      kernels_->interpolate_to_quad(shape_, dofs, vq, tmp1_.data(),
+                                    tmp2_.data());
       return;
     }
     if (even_odd_)
@@ -285,6 +377,12 @@ private:
     {
       for (unsigned int i = 0; i < n_q_points; ++i)
         dofs[i] = vq[i];
+      return;
+    }
+    if (kernels_)
+    {
+      kernels_->integrate_from_quad(shape_, vq, dofs, tmp1_.data(),
+                                    tmp2_.data());
       return;
     }
     if (even_odd_)
@@ -331,8 +429,19 @@ private:
   const ShapeInfo<Number> &shape_;
   unsigned int n_, nq_;
   bool even_odd_ = true;
+  /// Specialized kernel table for (degree, n_q_1d), nullptr -> generic path.
+  const CellKernels<Number> *kernels_ = nullptr;
+  /// Tensorized reference quadrature weights (for compressed-metric JxW).
+  const Number *q_weight_ = nullptr;
   unsigned int batch_ = 0;
   std::size_t metric_offset_ = 0;
+
+  // Per-batch metric state cached by reinit().
+  GeometryType geom_type_ = GeometryType::general;
+  const Tensor2<VA> *jac_q_ = nullptr; ///< per-q J^{-T} (general batches)
+  const VA *jxw_q_ = nullptr;          ///< per-q JxW (general batches)
+  Tensor2<VA> jit_const_;              ///< batch J^{-T} (compressed batches)
+  VA det_const_;                       ///< batch |det J| (compressed batches)
 
   AlignedVector<VA> values_dofs_, values_quad_, gradients_quad_;
   AlignedVector<VA> tmp1_, tmp2_;

@@ -7,7 +7,13 @@
 // coarse side of a 2:1 interface is evaluated on the fine side's quadrature
 // points). The fine cell is always the "interior" (minus) side; its ordering
 // defines the quadrature layout shared by both sides and the stored metric.
+//
+// Mirrors the two fast paths of FEEvaluation: fixed-size face kernels
+// resolved once at construction (fem/kernel_dispatch.h), and per-batch
+// constant metric data (normal, surface Jacobian, J^{-T}) cached by reinit
+// for Cartesian/affine face batches.
 
+#include "fem/kernel_dispatch.h"
 #include "matrixfree/matrix_free.h"
 
 namespace dgflow
@@ -29,7 +35,9 @@ public:
                    const unsigned int quad, const bool interior)
     : mf_(mf), space_(space), quad_(quad), interior_(interior),
       shape_(mf.shape_info(space, quad)), n_(shape_.n_dofs_1d),
-      nq_(shape_.n_q_1d)
+      nq_(shape_.n_q_1d),
+      kernels_(lookup_face_kernels<Number>(shape_.degree, shape_.n_q_1d)),
+      q_weight_(mf.face_metric(quad).q_weight.data())
   {
     n_q_points = nq_ * nq_;
     dofs_per_component = n_ * n_ * n_;
@@ -51,6 +59,27 @@ public:
     DGFLOW_DEBUG_ASSERT(interior_ || b.interior,
                         "exterior evaluator on a boundary face");
     metric_offset_ = std::size_t(face_batch) * n_q_points;
+
+    const auto &metric = mf_.face_metric(quad_);
+    geom_type_ = metric.type[face_batch];
+    const std::size_t slot = metric.data_index[face_batch];
+    if (geom_type_ == GeometryType::general)
+    {
+      normal_q_ = metric.normal.data() + slot * n_q_points;
+      jxw_q_ = metric.JxW.data() + slot * n_q_points;
+      jac_q_ = (interior_ ? metric.inv_jac_t_m : metric.inv_jac_t_p).data() +
+               slot * n_q_points;
+    }
+    else
+    {
+      normal_const_ = metric.batch_normal[slot];
+      jxw_scale_const_ = metric.batch_jxw_scale[slot];
+      jit_const_ = interior_ ? metric.batch_inv_jac_t_m[slot]
+                             : metric.batch_inv_jac_t_p[slot];
+      normal_q_ = nullptr;
+      jxw_q_ = nullptr;
+      jac_q_ = nullptr;
+    }
 
     face_no_ = interior_ ? b.face_no_m : b.face_no_p;
     normal_dir_ = face_no_ / 2;
@@ -116,11 +145,22 @@ public:
       const VA *dofs = values_dofs_.data() + c * dofs_per_component;
       VA *pv = plane_v_.data() + c * plane_stride();
       VA *pdn = plane_dn_.data() + c * plane_stride();
-      contract_to_face<false>(shape_.face_value[side_].data(), n_, dofs, pv,
-                              normal_dir_, cell_e);
-      if (gradients)
-        contract_to_face<false>(shape_.face_grad[side_].data(), n_, dofs, pdn,
+      if (kernels_)
+      {
+        kernels_->contract_to_face[normal_dir_](
+          shape_.face_value[side_].data(), dofs, pv);
+        if (gradients)
+          kernels_->contract_to_face[normal_dir_](
+            shape_.face_grad[side_].data(), dofs, pdn);
+      }
+      else
+      {
+        contract_to_face<false>(shape_.face_value[side_].data(), n_, dofs, pv,
                                 normal_dir_, cell_e);
+        if (gradients)
+          contract_to_face<false>(shape_.face_grad[side_].data(), n_, dofs,
+                                  pdn, normal_dir_, cell_e);
+      }
 
       // 2D interpolation to quadrature points in this side's own ordering
       VA *vq = values_quad_.data() + c * n_q_points;
@@ -194,12 +234,24 @@ public:
                                       value_matrix(0), value_matrix(1));
         have_pv = true;
       }
-      if (have_pv)
-        expand_from_face<true>(shape_.face_value[side_].data(), n_, pv, dofs,
-                               normal_dir_, cell_e);
-      if (gradients)
-        expand_from_face<true>(shape_.face_grad[side_].data(), n_, pdn, dofs,
-                               normal_dir_, cell_e);
+      if (kernels_)
+      {
+        if (have_pv)
+          kernels_->expand_from_face_add[normal_dir_](
+            shape_.face_value[side_].data(), pv, dofs);
+        if (gradients)
+          kernels_->expand_from_face_add[normal_dir_](
+            shape_.face_grad[side_].data(), pdn, dofs);
+      }
+      else
+      {
+        if (have_pv)
+          expand_from_face<true>(shape_.face_value[side_].data(), n_, pv,
+                                 dofs, normal_dir_, cell_e);
+        if (gradients)
+          expand_from_face<true>(shape_.face_grad[side_].data(), n_, pdn,
+                                 dofs, normal_dir_, cell_e);
+      }
     }
   }
 
@@ -220,10 +272,8 @@ public:
 
   gradient_type get_gradient(const unsigned int q) const
   {
-    const auto &metric = mf_.face_metric(quad_);
-    const Tensor2<VA> &jit = interior_
-                               ? metric.inv_jac_t_m[metric_offset_ + q]
-                               : metric.inv_jac_t_p[metric_offset_ + q];
+    const Tensor2<VA> &jit =
+      geom_type_ == GeometryType::general ? jac_q_[q] : jit_const_;
     if constexpr (n_components == 1)
     {
       Tensor1<VA> g;
@@ -250,7 +300,8 @@ public:
   /// Unit normal, outward with respect to this evaluator's cell.
   Tensor1<VA> get_normal_vector(const unsigned int q) const
   {
-    Tensor1<VA> n = mf_.face_metric(quad_).normal[metric_offset_ + q];
+    Tensor1<VA> n =
+      geom_type_ == GeometryType::general ? normal_q_[q] : normal_const_;
     if (!interior_)
       n = -n;
     return n;
@@ -275,7 +326,7 @@ public:
 
   void submit_value(const value_type &v, const unsigned int q)
   {
-    const VA jxw = mf_.face_metric(quad_).JxW[metric_offset_ + q];
+    const VA jxw = JxW(q);
     if constexpr (n_components == 1)
       values_quad_[q] = v * jxw;
     else
@@ -285,11 +336,9 @@ public:
 
   void submit_gradient(const gradient_type &g, const unsigned int q)
   {
-    const auto &metric = mf_.face_metric(quad_);
-    const Tensor2<VA> &jit = interior_
-                               ? metric.inv_jac_t_m[metric_offset_ + q]
-                               : metric.inv_jac_t_p[metric_offset_ + q];
-    const VA jxw = metric.JxW[metric_offset_ + q];
+    const Tensor2<VA> &jit =
+      geom_type_ == GeometryType::general ? jac_q_[q] : jit_const_;
+    const VA jxw = JxW(q);
     if constexpr (n_components == 1)
     {
       const Tensor1<VA> t = apply_transpose(jit, g);
@@ -340,8 +389,12 @@ public:
 
   VA JxW(const unsigned int q) const
   {
-    return mf_.face_metric(quad_).JxW[metric_offset_ + q];
+    if (geom_type_ == GeometryType::general)
+      return jxw_q_[q];
+    return jxw_scale_const_ * q_weight_[q];
   }
+
+  GeometryType geometry_type() const { return geom_type_; }
 
   /// Interior-penalty coefficient sigma = c * (k+1)^2 * max(A_f/V) of this
   /// batch. The safety factor c (MatrixFree::AdditionalData::penalty_safety)
@@ -399,6 +452,11 @@ private:
         out[i] = in[i];
       return;
     }
+    if (kernels_)
+    {
+      kernels_->interp_plane(M0, M1, in, out, tmp_.data());
+      return;
+    }
     apply_matrix_2d<false, false>(M0, nq_, n_, in, tmp_.data(), 0,
                                   {{n_, n_}});
     apply_matrix_2d<false, false>(M1, nq_, n_, tmp_.data(), out, 1,
@@ -419,6 +477,14 @@ private:
       else
         for (unsigned int i = 0; i < n_q_points; ++i)
           out[i] = in[i];
+      return;
+    }
+    if (kernels_)
+    {
+      if constexpr (add)
+        kernels_->interp_plane_transpose_add(M0, M1, in, out, tmp_.data());
+      else
+        kernels_->interp_plane_transpose(M0, M1, in, out, tmp_.data());
       return;
     }
     apply_matrix_2d<true, false>(M1, nq_, n_, in, tmp_.data(), 1,
@@ -447,9 +513,22 @@ private:
   bool interior_;
   const ShapeInfo<Number> &shape_;
   unsigned int n_, nq_;
+  /// Specialized kernel table for (degree, n_q_1d), nullptr -> generic path.
+  const FaceKernels<Number> *kernels_ = nullptr;
+  /// Tensorized 2D reference weights (for compressed-metric JxW).
+  const Number *q_weight_ = nullptr;
 
   unsigned int batch_index_ = 0;
   std::size_t metric_offset_ = 0;
+
+  // Per-batch metric state cached by reinit().
+  GeometryType geom_type_ = GeometryType::general;
+  const Tensor1<VA> *normal_q_ = nullptr; ///< per-q normal (general)
+  const VA *jxw_q_ = nullptr;             ///< per-q JxW (general)
+  const Tensor2<VA> *jac_q_ = nullptr;    ///< per-q J^{-T}, this side (general)
+  Tensor1<VA> normal_const_;              ///< batch normal (compressed)
+  VA jxw_scale_const_;                    ///< batch surface Jacobian
+  Tensor2<VA> jit_const_;                 ///< batch J^{-T}, this side
   unsigned int face_no_ = 0, normal_dir_ = 0, side_ = 0;
   std::array<unsigned int, 2> tangential_{{1, 2}};
   bool hanging_ = false;

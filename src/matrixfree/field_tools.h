@@ -161,7 +161,7 @@ double domain_volume(const MatrixFree<Number> &mf, const unsigned int quad = 0)
     const auto &batch = mf.cell_batch(b);
     for (unsigned int q = 0; q < metric.n_q; ++q)
       for (unsigned int l = 0; l < batch.n_filled; ++l)
-        vol += double(metric.JxW[std::size_t(b) * metric.n_q + q][l]);
+        vol += double(metric.jxw(b, q)[l]);
   }
   return vol;
 }

@@ -24,12 +24,28 @@
 #include "common/vector.h"
 #include "fem/shape_info.h"
 #include "fem/tensor_kernels.h"
+#include "instrumentation/profiler.h"
 #include "mapping/geometry.h"
 #include "mesh/mesh.h"
 #include "simd/vectorized_array.h"
 
 namespace dgflow
 {
+/// Geometry class of a cell (and by extension a batch or face batch),
+/// established during MatrixFree::reinit by evaluating the geometry
+/// polynomial's Jacobian on the (geo_degree+1)^3 tensor Gauss lattice. The
+/// test is exact for the polynomial mapping: each Jacobian entry is a
+/// polynomial of per-direction degree <= geo_degree, so constancy on
+/// geo_degree+1 Gauss points per direction pins it down everywhere.
+/// Ordered from most to least structure; batches take the weakest class
+/// over their lanes.
+enum class GeometryType : unsigned char
+{
+  cartesian = 0, ///< constant diagonal Jacobian (axis-aligned box cell)
+  affine = 1,    ///< constant full Jacobian (parallelepiped cell)
+  general = 2    ///< curved/deformed cell, per-q metric required
+};
+
 template <typename Number>
 class MatrixFree
 {
@@ -56,6 +72,10 @@ public:
     /// the multigrid hierarchy uses it to let coarser polynomial levels
     /// inherit the finest level's penalty scale
     std::vector<double> penalty_scaling;
+    /// store one J^{-T} + det per batch instead of per-q tensors on batches
+    /// classified Cartesian/affine (off = every batch stores the full per-q
+    /// metric, the layout the compression benchmarks compare against)
+    bool compress_geometry = true;
   };
 
   struct CellBatch
@@ -78,26 +98,148 @@ public:
     bool is_hanging() const { return subface0 != 255; }
   };
 
-  /// Metric data at cell quadrature points, one entry per (batch, q).
+  /// Metric data at cell quadrature points. Batches classified Cartesian or
+  /// affine store one J^{-T} and det(J) per batch instead of per-q tensors
+  /// (JxW reconstructs as det * reference weight) - on the octree lung
+  /// meshes, where nearly all cells are Cartesian, this removes the
+  /// dominant metric stream from the vmult roofline. General batches keep
+  /// the per-q layout; data_index maps a batch into whichever storage its
+  /// class uses. q_points stay per-q for every batch: they are off the
+  /// vmult hot path (rhs assembly, error norms).
   struct CellMetric
   {
-    AlignedVector<Tensor2<VA>> inv_jac_t; ///< J^{-T}
-    AlignedVector<VA> JxW;
-    AlignedVector<Tensor1<VA>> q_points;
+    std::vector<GeometryType> type;       ///< per batch (weakest lane)
+    std::vector<unsigned int> data_index; ///< slot into the class' arrays
+    AlignedVector<Tensor2<VA>> inv_jac_t; ///< general batches: J^{-T} per q
+    AlignedVector<VA> JxW;                ///< general batches, per q
+    AlignedVector<Tensor2<VA>> batch_inv_jac_t; ///< compressed batches
+    AlignedVector<VA> batch_det;                ///< compressed batches
+    AlignedVector<Number> q_weight; ///< reference quadrature weights [n_q]
+    AlignedVector<Tensor1<VA>> q_points; ///< all batches, per q
     unsigned int n_q = 0; ///< points per cell (n_q_1d^3)
+
+    GeometryType geometry_type(const unsigned int b) const { return type[b]; }
+
+    /// J^{-T} at (batch, q) regardless of storage class.
+    Tensor2<VA> inv_jacobian_t(const unsigned int b,
+                               const unsigned int q) const
+    {
+      const std::size_t slot = data_index[b];
+      if (type[b] == GeometryType::general)
+        return inv_jac_t[slot * n_q + q];
+      return batch_inv_jac_t[slot];
+    }
+
+    /// JxW at (batch, q) regardless of storage class.
+    VA jxw(const unsigned int b, const unsigned int q) const
+    {
+      const std::size_t slot = data_index[b];
+      if (type[b] == GeometryType::general)
+        return JxW[slot * n_q + q];
+      return batch_det[slot] * q_weight[q];
+    }
+
+    /// Bytes of metric data streamed on the vmult hot path (J^{-T} and JxW;
+    /// q_points excluded - both layouts store those identically - and the
+    /// tiny shared q_weight table excluded, so an uncompressed metric has
+    /// ratio exactly 1).
+    std::size_t hot_bytes_stored() const
+    {
+      return inv_jac_t.size() * sizeof(Tensor2<VA>) +
+             JxW.size() * sizeof(VA) +
+             batch_inv_jac_t.size() * sizeof(Tensor2<VA>) +
+             batch_det.size() * sizeof(VA);
+    }
+
+    /// Hot-path bytes of the uncompressed per-q layout (the denominator of
+    /// the compression ratio).
+    std::size_t hot_bytes_full() const
+    {
+      return std::size_t(type.size()) * n_q *
+             (sizeof(Tensor2<VA>) + sizeof(VA));
+    }
   };
 
   /// Metric data at face quadrature points in the minus side's ordering.
+  /// Same two-class storage as CellMetric: a face batch is compressed when
+  /// every adjacent cell in every lane is Cartesian/affine (then the normal
+  /// and the surface Jacobian are constant over the face), general
+  /// otherwise.
   struct FaceMetric
   {
-    AlignedVector<Tensor1<VA>> normal; ///< unit outward normal of minus side
-    AlignedVector<VA> JxW;
-    AlignedVector<Tensor2<VA>> inv_jac_t_m;
-    AlignedVector<Tensor2<VA>> inv_jac_t_p;
-    AlignedVector<Tensor1<VA>> q_points;
+    std::vector<GeometryType> type;       ///< per batch (weakest lane)
+    std::vector<unsigned int> data_index; ///< slot into the class' arrays
+    AlignedVector<Tensor1<VA>> normal; ///< general: minus unit normal per q
+    AlignedVector<VA> JxW;             ///< general, per q
+    AlignedVector<Tensor2<VA>> inv_jac_t_m; ///< general, per q
+    AlignedVector<Tensor2<VA>> inv_jac_t_p; ///< general, per q
+    AlignedVector<Tensor1<VA>> batch_normal;      ///< compressed batches
+    AlignedVector<VA> batch_jxw_scale; ///< surface Jacobian |cof(J) n_ref|
+    AlignedVector<Tensor2<VA>> batch_inv_jac_t_m; ///< compressed batches
+    AlignedVector<Tensor2<VA>> batch_inv_jac_t_p; ///< compressed batches
+    AlignedVector<Number> q_weight; ///< tensorized 2D weights [n_q]
+    AlignedVector<Tensor1<VA>> q_points; ///< all batches, per q
     /// Hillewaert penalty geometry factor max(A_f/V_m, A_f/V_p), per batch.
     AlignedVector<VA> penalty_factor;
     unsigned int n_q = 0; ///< points per face (n_q_1d^2)
+
+    GeometryType geometry_type(const unsigned int b) const { return type[b]; }
+
+    /// Unit outward normal of the minus side at (batch, q).
+    Tensor1<VA> normal_at(const unsigned int b, const unsigned int q) const
+    {
+      const std::size_t slot = data_index[b];
+      if (type[b] == GeometryType::general)
+        return normal[slot * n_q + q];
+      return batch_normal[slot];
+    }
+
+    /// Surface JxW at (batch, q) regardless of storage class.
+    VA jxw(const unsigned int b, const unsigned int q) const
+    {
+      const std::size_t slot = data_index[b];
+      if (type[b] == GeometryType::general)
+        return JxW[slot * n_q + q];
+      return batch_jxw_scale[slot] * q_weight[q];
+    }
+
+    /// Minus-side J^{-T} at (batch, q) regardless of storage class.
+    Tensor2<VA> inv_jacobian_t_m(const unsigned int b,
+                                 const unsigned int q) const
+    {
+      const std::size_t slot = data_index[b];
+      if (type[b] == GeometryType::general)
+        return inv_jac_t_m[slot * n_q + q];
+      return batch_inv_jac_t_m[slot];
+    }
+
+    /// Plus-side J^{-T} at (batch, q) regardless of storage class.
+    Tensor2<VA> inv_jacobian_t_p(const unsigned int b,
+                                 const unsigned int q) const
+    {
+      const std::size_t slot = data_index[b];
+      if (type[b] == GeometryType::general)
+        return inv_jac_t_p[slot * n_q + q];
+      return batch_inv_jac_t_p[slot];
+    }
+
+    std::size_t hot_bytes_stored() const
+    {
+      return normal.size() * sizeof(Tensor1<VA>) + JxW.size() * sizeof(VA) +
+             (inv_jac_t_m.size() + inv_jac_t_p.size()) * sizeof(Tensor2<VA>) +
+             batch_normal.size() * sizeof(Tensor1<VA>) +
+             batch_jxw_scale.size() * sizeof(VA) +
+             (batch_inv_jac_t_m.size() + batch_inv_jac_t_p.size()) *
+               sizeof(Tensor2<VA>) +
+             penalty_factor.size() * sizeof(VA);
+    }
+
+    std::size_t hot_bytes_full() const
+    {
+      return std::size_t(type.size()) * n_q *
+               (sizeof(Tensor1<VA>) + sizeof(VA) + 2 * sizeof(Tensor2<VA>)) +
+             penalty_factor.size() * sizeof(VA);
+    }
   };
 
   void reinit(const Mesh &mesh, const Geometry &geometry,
@@ -164,6 +306,59 @@ public:
   /// unstructured/adaptive meshes, cf. paper Section 5.2).
   double face_lane_fill_fraction() const;
 
+  /// Geometry class of an active cell (see GeometryType). All cells are
+  /// general when AdditionalData::compress_geometry was off.
+  GeometryType cell_geometry_type(const index_t cell) const
+  {
+    return cell_geometry_type_[cell];
+  }
+
+  /// Metric bytes actually stored on the vmult hot path, summed over all
+  /// quadratures (cells + faces).
+  std::size_t metric_bytes_stored() const
+  {
+    std::size_t s = 0;
+    for (const auto &m : cell_metric_)
+      s += m.hot_bytes_stored();
+    for (const auto &m : face_metric_)
+      s += m.hot_bytes_stored();
+    return s;
+  }
+
+  /// Hot-path metric bytes of the uncompressed per-q layout.
+  std::size_t metric_bytes_full() const
+  {
+    std::size_t s = 0;
+    for (const auto &m : cell_metric_)
+      s += m.hot_bytes_full();
+    for (const auto &m : face_metric_)
+      s += m.hot_bytes_full();
+    return s;
+  }
+
+  /// stored / full hot-path metric bytes (1 = no compression).
+  double metric_compression_ratio() const
+  {
+    const std::size_t full = metric_bytes_full();
+    return full == 0 ? 1. : double(metric_bytes_stored()) / double(full);
+  }
+
+  /// Roofline estimate of main-memory traffic per scalar DoF for one
+  /// operator vmult on (space, quad): the solution vectors are streamed a
+  /// handful of times (cell loop reads src and writes dst; the face loops
+  /// re-read src on both sides and accumulate into dst) and each stored
+  /// metric array once.
+  double estimated_vmult_bytes_per_dof(const unsigned int space,
+                                       const unsigned int quad) const
+  {
+    const double n = double(n_dofs(space));
+    const double vector_bytes = 6. * sizeof(Number) * n;
+    const double metric_bytes =
+      double(cell_metric_[quad].hot_bytes_stored()) +
+      double(face_metric_[quad].hot_bytes_stored());
+    return (vector_bytes + metric_bytes) / n;
+  }
+
   double penalty_safety() const { return penalty_safety_; }
 
   double penalty_scaling(const unsigned int space) const
@@ -175,6 +370,7 @@ private:
   void build_cell_batches();
   void build_face_batches();
   void compute_geometry_lattices(const Geometry &geometry);
+  void classify_cell_geometry();
   void compute_cell_metric(const unsigned int quad);
   void compute_face_metric(const unsigned int quad);
 
@@ -189,6 +385,8 @@ private:
   unsigned int geo_degree_ = 2;
   double penalty_safety_ = 2.;
   std::vector<double> penalty_scaling_;
+  bool compress_geometry_ = true;
+  std::vector<GeometryType> cell_geometry_type_;
 
   std::vector<CellBatch> cell_batches_;
   std::vector<FaceBatch> face_batches_;
@@ -234,9 +432,12 @@ void MatrixFree<Number>::reinit(const Mesh &mesh, const Geometry &geometry,
       shape_info_.emplace_back(degrees_[s], nq, basis);
   }
 
+  compress_geometry_ = data.compress_geometry;
+
   build_cell_batches();
   build_face_batches();
   compute_geometry_lattices(geometry);
+  classify_cell_geometry();
 
   cell_metric_.assign(n_q_1d_.size(), CellMetric());
   face_metric_.assign(n_q_1d_.size(), FaceMetric());
@@ -245,6 +446,13 @@ void MatrixFree<Number>::reinit(const Mesh &mesh, const Geometry &geometry,
     compute_cell_metric(q);
     compute_face_metric(q);
   }
+
+  DGFLOW_PROF_COUNT("mf_metric_bytes_stored",
+                    static_cast<long long>(metric_bytes_stored()));
+  DGFLOW_PROF_COUNT("mf_metric_bytes_full",
+                    static_cast<long long>(metric_bytes_full()));
+  DGFLOW_PROF_GAUGE("mf_metric_compression", metric_compression_ratio());
+  DGFLOW_PROF_GAUGE("mf_face_lane_fill", face_lane_fill_fraction());
 }
 
 template <typename Number>
@@ -395,6 +603,65 @@ void MatrixFree<Number>::evaluate_cell_geometry(const index_t cell,
 }
 
 template <typename Number>
+void MatrixFree<Number>::classify_cell_geometry()
+{
+  cell_geometry_type_.assign(n_cells(), GeometryType::general);
+  if (!compress_geometry_)
+    return;
+
+  // sample the Jacobian on the (geo_degree+1)^3 tensor Gauss lattice; each
+  // entry of J is a polynomial of per-direction degree <= geo_degree, so
+  // constancy on the lattice implies constancy everywhere
+  const unsigned int n = geo_degree_ + 1;
+  const Quadrature1D qg = gauss_quadrature(n);
+
+  for (index_t c = 0; c < n_cells(); ++c)
+  {
+    Point x;
+    Tensor2<double> J0;
+    evaluate_cell_geometry(c, Point(qg.points[0], qg.points[0], qg.points[0]),
+                           x, J0);
+    double scale = 0.;
+    for (unsigned int r = 0; r < dim; ++r)
+      for (unsigned int s = 0; s < dim; ++s)
+        scale = std::max(scale, std::abs(J0[r][s]));
+    const double tol = 1e-12 * scale;
+
+    bool constant = true;
+    for (unsigned int k = 0; k < n && constant; ++k)
+      for (unsigned int j = 0; j < n && constant; ++j)
+        for (unsigned int i = 0; i < n && constant; ++i)
+        {
+          if (i == 0 && j == 0 && k == 0)
+            continue;
+          Tensor2<double> J;
+          evaluate_cell_geometry(
+            c, Point(qg.points[i], qg.points[j], qg.points[k]), x, J);
+          for (unsigned int r = 0; r < dim && constant; ++r)
+            for (unsigned int s = 0; s < dim; ++s)
+              if (std::abs(J[r][s] - J0[r][s]) > tol)
+              {
+                constant = false;
+                break;
+              }
+        }
+    if (!constant)
+      continue;
+
+    bool diagonal = true;
+    for (unsigned int r = 0; r < dim && diagonal; ++r)
+      for (unsigned int s = 0; s < dim; ++s)
+        if (r != s && std::abs(J0[r][s]) > tol)
+        {
+          diagonal = false;
+          break;
+        }
+    cell_geometry_type_[c] =
+      diagonal ? GeometryType::cartesian : GeometryType::affine;
+  }
+}
+
+template <typename Number>
 void MatrixFree<Number>::compute_cell_metric(const unsigned int quad)
 {
   const unsigned int nq1 = n_q_1d_[quad];
@@ -403,20 +670,44 @@ void MatrixFree<Number>::compute_cell_metric(const unsigned int quad)
 
   CellMetric &metric = cell_metric_[quad];
   metric.n_q = nq;
-  metric.inv_jac_t.resize_without_init(std::size_t(n_cell_batches()) * nq);
-  metric.JxW.resize_without_init(std::size_t(n_cell_batches()) * nq);
   metric.q_points.resize_without_init(std::size_t(n_cell_batches()) * nq);
+  metric.q_weight.resize_without_init(nq);
+  for (unsigned int k = 0; k < nq1; ++k)
+    for (unsigned int j = 0; j < nq1; ++j)
+      for (unsigned int i = 0; i < nq1; ++i)
+        metric.q_weight[(k * nq1 + j) * nq1 + i] =
+          Number(q1.weights[i] * q1.weights[j] * q1.weights[k]);
+
+  // classify batches (weakest lane wins) and assign storage slots
+  metric.type.assign(n_cell_batches(), GeometryType::general);
+  metric.data_index.assign(n_cell_batches(), 0u);
+  unsigned int n_general = 0, n_compressed = 0;
+  for (unsigned int b = 0; b < n_cell_batches(); ++b)
+  {
+    GeometryType t = GeometryType::cartesian;
+    for (unsigned int l = 0; l < n_lanes; ++l)
+      t = std::max(t, cell_geometry_type_[cell_batches_[b].cells[l]]);
+    metric.type[b] = t;
+    metric.data_index[b] =
+      t == GeometryType::general ? n_general++ : n_compressed++;
+  }
+  metric.inv_jac_t.resize_without_init(std::size_t(n_general) * nq);
+  metric.JxW.resize_without_init(std::size_t(n_general) * nq);
+  metric.batch_inv_jac_t.resize_without_init(n_compressed);
+  metric.batch_det.resize_without_init(n_compressed);
 
   const bool first_quad = (quad == 0);
   if (first_quad)
   {
-    cell_width_.resize(n_cell_batches(), VA(1e300));
+    cell_width_.assign(n_cell_batches(), VA(1e300));
     cell_volumes_.assign(n_cells(), 0.);
   }
 
   for (unsigned int b = 0; b < n_cell_batches(); ++b)
   {
     const CellBatch &batch = cell_batches_[b];
+    const bool general = metric.type[b] == GeometryType::general;
+    const std::size_t slot = metric.data_index[b];
     for (unsigned int l = 0; l < n_lanes; ++l)
     {
       const index_t cell = batch.cells[l];
@@ -432,17 +723,19 @@ void MatrixFree<Number>::compute_cell_metric(const unsigned int quad)
               cell, Point(q1.points[i], q1.points[j], q1.points[k]), x, J);
             const double det = determinant(J);
             DGFLOW_ASSERT(det > 0, "negative Jacobian in cell " << cell);
-            const Tensor2<double> inv_t = transpose(invert(J));
             const double jxw =
               det * q1.weights[i] * q1.weights[j] * q1.weights[k];
-            const std::size_t idx = std::size_t(b) * nq + q;
             for (unsigned int r = 0; r < dim; ++r)
+              metric.q_points[std::size_t(b) * nq + q][r][l] = x[r];
+            if (general)
             {
-              metric.q_points[idx][r][l] = x[r];
-              for (unsigned int s = 0; s < dim; ++s)
-                metric.inv_jac_t[idx][r][s][l] = Number(inv_t[r][s]);
+              const Tensor2<double> inv_t = transpose(invert(J));
+              const std::size_t idx = slot * nq + q;
+              for (unsigned int r = 0; r < dim; ++r)
+                for (unsigned int s = 0; s < dim; ++s)
+                  metric.inv_jac_t[idx][r][s][l] = Number(inv_t[r][s]);
+              metric.JxW[idx][l] = Number(jxw);
             }
-            metric.JxW[idx][l] = Number(jxw);
             volume += jxw;
             for (unsigned int d = 0; d < dim; ++d)
             {
@@ -452,6 +745,20 @@ void MatrixFree<Number>::compute_cell_metric(const unsigned int quad)
               h_min = std::min(h_min, len);
             }
           }
+      if (!general)
+      {
+        // constant Jacobian: one evaluation (cell center) covers the batch
+        Point x;
+        Tensor2<double> J;
+        evaluate_cell_geometry(cell, Point(0.5, 0.5, 0.5), x, J);
+        const double det = determinant(J);
+        DGFLOW_ASSERT(det > 0, "negative Jacobian in cell " << cell);
+        const Tensor2<double> inv_t = transpose(invert(J));
+        for (unsigned int r = 0; r < dim; ++r)
+          for (unsigned int s = 0; s < dim; ++s)
+            metric.batch_inv_jac_t[slot][r][s][l] = Number(inv_t[r][s]);
+        metric.batch_det[slot][l] = Number(det);
+      }
       if (first_quad)
       {
         cell_width_[b][l] = Number(h_min);
@@ -471,17 +778,49 @@ void MatrixFree<Number>::compute_face_metric(const unsigned int quad)
 
   FaceMetric &metric = face_metric_[quad];
   metric.n_q = nq;
-  const std::size_t total = std::size_t(face_batches_.size()) * nq;
+  metric.q_points.resize_without_init(std::size_t(face_batches_.size()) * nq);
+  metric.q_weight.resize_without_init(nq);
+  for (unsigned int q1i = 0; q1i < nq1; ++q1i)
+    for (unsigned int q0i = 0; q0i < nq1; ++q0i)
+      metric.q_weight[q1i * nq1 + q0i] =
+        Number(q1.weights[q0i] * q1.weights[q1i]);
+
+  // classify batches: compressed only when every adjacent cell of every
+  // lane has a constant Jacobian (then normal and surface JxW are constant
+  // too, including on hanging subfaces of affine cells)
+  metric.type.assign(face_batches_.size(), GeometryType::general);
+  metric.data_index.assign(face_batches_.size(), 0u);
+  unsigned int n_general = 0, n_compressed = 0;
+  for (unsigned int b = 0; b < face_batches_.size(); ++b)
+  {
+    const FaceBatch &batch = face_batches_[b];
+    GeometryType t = GeometryType::cartesian;
+    for (unsigned int l = 0; l < n_lanes; ++l)
+    {
+      t = std::max(t, cell_geometry_type_[batch.cells_m[l]]);
+      if (batch.interior)
+        t = std::max(t, cell_geometry_type_[batch.cells_p[l]]);
+    }
+    metric.type[b] = t;
+    metric.data_index[b] =
+      t == GeometryType::general ? n_general++ : n_compressed++;
+  }
+  const std::size_t total = std::size_t(n_general) * nq;
   metric.normal.resize_without_init(total);
   metric.JxW.resize_without_init(total);
   metric.inv_jac_t_m.resize_without_init(total);
   metric.inv_jac_t_p.resize_without_init(total);
-  metric.q_points.resize_without_init(total);
-  metric.penalty_factor.resize(face_batches_.size(), VA(0.));
+  metric.batch_normal.resize_without_init(n_compressed);
+  metric.batch_jxw_scale.resize_without_init(n_compressed);
+  metric.batch_inv_jac_t_m.resize_without_init(n_compressed);
+  metric.batch_inv_jac_t_p.resize_without_init(n_compressed);
+  metric.penalty_factor.assign(face_batches_.size(), VA(0.));
 
   for (unsigned int b = 0; b < face_batches_.size(); ++b)
   {
     const FaceBatch &batch = face_batches_[b];
+    const bool general = metric.type[b] == GeometryType::general;
+    const std::size_t slot = metric.data_index[b];
     const unsigned int dm = batch.face_no_m / 2, sm = batch.face_no_m % 2;
     const auto tm = face_tangential_dims(dm);
 
@@ -508,15 +847,31 @@ void MatrixFree<Number>::compute_face_metric(const unsigned int quad)
             nrm[r] = (sm == 1 ? 1. : -1.) * inv_t[r][dm];
           const double mag = std::sqrt(dot(nrm, nrm));
           const double sjxw = mag * det * q1.weights[q0i] * q1.weights[q1i];
-          const std::size_t idx = std::size_t(b) * nq + q1i * nq1 + q0i;
+          const std::size_t idx_q = std::size_t(b) * nq + q1i * nq1 + q0i;
           for (unsigned int r = 0; r < dim; ++r)
+            metric.q_points[idx_q][r][l] = x[r];
+          if (general)
           {
-            metric.normal[idx][r][l] = Number(nrm[r] / mag);
-            metric.q_points[idx][r][l] = x[r];
-            for (unsigned int s = 0; s < dim; ++s)
-              metric.inv_jac_t_m[idx][r][s][l] = Number(inv_t[r][s]);
+            const std::size_t idx = slot * nq + q1i * nq1 + q0i;
+            for (unsigned int r = 0; r < dim; ++r)
+            {
+              metric.normal[idx][r][l] = Number(nrm[r] / mag);
+              for (unsigned int s = 0; s < dim; ++s)
+                metric.inv_jac_t_m[idx][r][s][l] = Number(inv_t[r][s]);
+            }
+            metric.JxW[idx][l] = Number(sjxw);
           }
-          metric.JxW[idx][l] = Number(sjxw);
+          else if (q0i == 0 && q1i == 0)
+          {
+            // constant surface metric: the first point covers the face
+            for (unsigned int r = 0; r < dim; ++r)
+            {
+              metric.batch_normal[slot][r][l] = Number(nrm[r] / mag);
+              for (unsigned int s = 0; s < dim; ++s)
+                metric.batch_inv_jac_t_m[slot][r][s][l] = Number(inv_t[r][s]);
+            }
+            metric.batch_jxw_scale[slot][l] = Number(mag * det);
+          }
           area += sjxw;
         }
 
@@ -558,13 +913,13 @@ void MatrixFree<Number>::compute_face_metric(const unsigned int quad)
             Tensor2<double> J;
             evaluate_cell_geometry(cp, ref, x, J);
             const Tensor2<double> inv_t = transpose(invert(J));
-            const std::size_t idx = std::size_t(b) * nq + q1i * nq1 + q0i;
+            const std::size_t idx_q = std::size_t(b) * nq + q1i * nq1 + q0i;
             if (l < batch.n_filled)
             {
               // consistency: the two sides must see the same physical point
               Point xm;
               for (unsigned int r = 0; r < dim; ++r)
-                xm[r] = metric.q_points[idx][r][l];
+                xm[r] = metric.q_points[idx_q][r][l];
               const double tol =
                 1e3 * std::numeric_limits<Number>::epsilon();
               DGFLOW_ASSERT(norm(xm - x) < tol * (1. + norm(x)),
@@ -572,9 +927,18 @@ void MatrixFree<Number>::compute_face_metric(const unsigned int quad)
                               << b << " lane " << l << ": |dx|="
                               << norm(xm - x));
             }
-            for (unsigned int r = 0; r < dim; ++r)
-              for (unsigned int s = 0; s < dim; ++s)
-                metric.inv_jac_t_p[idx][r][s][l] = Number(inv_t[r][s]);
+            if (general)
+            {
+              const std::size_t idx = slot * nq + q1i * nq1 + q0i;
+              for (unsigned int r = 0; r < dim; ++r)
+                for (unsigned int s = 0; s < dim; ++s)
+                  metric.inv_jac_t_p[idx][r][s][l] = Number(inv_t[r][s]);
+            }
+            else if (r0i == 0 && r1i == 0)
+              for (unsigned int r = 0; r < dim; ++r)
+                for (unsigned int s = 0; s < dim; ++s)
+                  metric.batch_inv_jac_t_p[slot][r][s][l] =
+                    Number(inv_t[r][s]);
           }
       }
 

@@ -53,6 +53,7 @@ public:
     DGFLOW_PROF_SCOPE("cfe_laplace");
     DGFLOW_PROF_COUNT("mf_cell_batches", mf_->n_cell_batches());
     DGFLOW_PROF_COUNT("mf_dofs", src.size() + dst.size());
+    DGFLOW_PROF_THROUGHPUT("cfe_laplace", src.size());
 
     FEEvaluation<Number, 1> phi(*mf_, space_, quad_);
     const unsigned int npc = phi.dofs_per_component;

@@ -91,6 +91,7 @@ public:
     DGFLOW_PROF_COUNT("mf_cell_batches", mf_->n_cell_batches());
     DGFLOW_PROF_COUNT("mf_face_batches", mf_->n_face_batches());
     DGFLOW_PROF_COUNT("mf_dofs", src.size() + dst.size());
+    DGFLOW_PROF_THROUGHPUT("convective", src.size());
     dst.reinit(mf_->n_dofs(space_, 3), true);
     dst = Number(0);
 

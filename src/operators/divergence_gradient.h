@@ -65,6 +65,7 @@ private:
     DGFLOW_PROF_COUNT("mf_cell_batches", mf_->n_cell_batches());
     DGFLOW_PROF_COUNT("mf_face_batches", mf_->n_face_batches());
     DGFLOW_PROF_COUNT("mf_dofs", src.size() + dst.size());
+    DGFLOW_PROF_THROUGHPUT("divergence", src.size());
 
     FEEvaluation<Number, 3> u(*mf_, u_space_, quad_);
     FEEvaluation<Number, 1> q_test(*mf_, p_space_, quad_);
@@ -189,6 +190,7 @@ private:
     DGFLOW_PROF_COUNT("mf_cell_batches", mf_->n_cell_batches());
     DGFLOW_PROF_COUNT("mf_face_batches", mf_->n_face_batches());
     DGFLOW_PROF_COUNT("mf_dofs", src.size() + dst.size());
+    DGFLOW_PROF_THROUGHPUT("gradient", src.size());
 
     FEEvaluation<Number, 1> p(*mf_, p_space_, quad_);
     FEEvaluation<Number, 3> v_test(*mf_, u_space_, quad_);

@@ -56,6 +56,9 @@ public:
     DGFLOW_PROF_COUNT("mf_cell_batches", mf_->n_cell_batches());
     DGFLOW_PROF_COUNT("mf_face_batches", mf_->n_face_batches());
     DGFLOW_PROF_COUNT("mf_dofs", src.size() + dst.size());
+    DGFLOW_PROF_THROUGHPUT("laplace", n_dofs());
+    DGFLOW_PROF_GAUGE("laplace_bytes_per_dof",
+                      mf_->estimated_vmult_bytes_per_dof(space_, quad_));
     FEEvaluation<Number, 1> phi(*mf_, space_, quad_);
     for (unsigned int b = 0; b < mf_->n_cell_batches(); ++b)
     {

@@ -59,6 +59,8 @@ private:
     DGFLOW_PROF_SCOPE(inverse ? "mass_inverse" : "mass");
     DGFLOW_PROF_COUNT("mf_cell_batches", mf_->n_cell_batches());
     DGFLOW_PROF_COUNT("mf_dofs", src.size() + dst.size());
+    DGFLOW_PROF_THROUGHPUT(inverse ? "mass_inverse" : "mass",
+                           src.size());
     const auto &metric = mf_->cell_metric(quad_);
     const unsigned int nq = metric.n_q;
     for (unsigned int b = 0; b < mf_->n_cell_batches(); ++b)
@@ -71,7 +73,7 @@ private:
         for (int c = 0; c < n_components; ++c)
           for (unsigned int q = 0; q < nq; ++q)
           {
-            const Number jxw = metric.JxW[std::size_t(b) * nq + q][l];
+            const Number jxw = metric.jxw(b, q)[l];
             const std::size_t idx = base + c * nq + q;
             const Number v = inverse ? src[idx] / jxw : src[idx] * jxw;
             if (add)

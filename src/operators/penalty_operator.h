@@ -103,6 +103,7 @@ public:
     DGFLOW_PROF_COUNT("mf_cell_batches", mf_->n_cell_batches());
     DGFLOW_PROF_COUNT("mf_face_batches", mf_->n_face_batches());
     DGFLOW_PROF_COUNT("mf_dofs", src.size() + dst.size());
+    DGFLOW_PROF_THROUGHPUT("penalty_op", src.size());
 
     FEEvaluation<Number, 3> phi(*mf_, space_, quad_);
     for (unsigned int b = 0; b < mf_->n_cell_batches(); ++b)

@@ -312,3 +312,141 @@ TEST(CGSolver, SolvesDiagonalSystemExactly)
   for (std::size_t i = 0; i < 50; ++i)
     EXPECT_NEAR(x[i], b[i] / A.d[i], 1e-10);
 }
+
+// ---------------------------------------------------------------------------
+// Fast-path equivalence: the SIP Laplacian must produce the same action with
+// and without metric compression, and with and without the specialized
+// fixed-size kernels, on Cartesian, affine, and deformed meshes. Also checks
+// that the geometry classifier assigns the expected GeometryType.
+// ---------------------------------------------------------------------------
+
+#include <memory>
+
+#include "fem/kernel_dispatch.h"
+
+namespace
+{
+/// Applies the SIP Laplacian to a fixed random vector with the given
+/// compression / specialization settings.
+Vector<double> laplace_action(const Mesh &mesh, const Geometry &geom,
+                              const unsigned int degree,
+                              const unsigned int n_q_1d,
+                              const bool compress, const bool specialized,
+                              GeometryType *observed_type = nullptr)
+{
+  set_specialized_kernels_enabled(specialized);
+  MatrixFree<double> mf;
+  MatrixFree<double>::AdditionalData data;
+  data.degrees = {degree};
+  data.n_q_points_1d = {n_q_1d};
+  data.compress_geometry = compress;
+  mf.reinit(mesh, geom, data);
+  if (observed_type)
+    *observed_type = mf.cell_geometry_type(0);
+
+  LaplaceOperator<double> laplace;
+  laplace.reinit(mf, 0, 0, all_dirichlet());
+  const auto u = random_vec(laplace.n_dofs(), 99);
+  Vector<double> au(u.size());
+  laplace.vmult(au, u);
+  set_specialized_kernels_enabled(true);
+  return au;
+}
+
+void expect_vectors_near(const Vector<double> &a, const Vector<double> &b,
+                         const double tol)
+{
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i)
+    ASSERT_NEAR(a[i], b[i], tol * (1. + std::abs(b[i]))) << "entry " << i;
+}
+
+struct FastPathMesh
+{
+  const char *name;
+  Mesh mesh;
+  std::unique_ptr<Geometry> geom;
+  GeometryType expected_type;
+};
+
+std::vector<FastPathMesh> fast_path_meshes()
+{
+  std::vector<FastPathMesh> meshes;
+  meshes.reserve(3); // geometries reference the stored meshes: no realloc
+
+  meshes.push_back(
+    {"cartesian", Mesh(subdivided_box(Point(0, 0, 0), Point(1, 1, 1),
+                                      {{2, 2, 2}})),
+     nullptr, GeometryType::cartesian});
+  meshes.back().geom =
+    std::make_unique<TrilinearGeometry>(meshes.back().mesh.coarse());
+
+  // sheared parallelepiped cells: constant but non-diagonal Jacobian
+  Mesh affine(unit_cube());
+  affine.refine_uniform(1);
+  meshes.push_back(
+    {"affine", affine,
+     std::make_unique<AnalyticGeometry>([](index_t, const Point &p) {
+       return Point(p[0] + 0.2 * p[1], p[1] + 0.1 * p[2], p[2]);
+     }),
+     GeometryType::affine});
+
+  Mesh deformed(unit_cube());
+  deformed.refine_uniform(1);
+  meshes.push_back(
+    {"deformed", deformed,
+     std::make_unique<AnalyticGeometry>([](index_t, const Point &p) {
+       return Point(p[0] + 0.06 * std::sin(M_PI * p[1]),
+                    p[1] + 0.05 * p[0] * p[2], p[2] - 0.04 * p[0] * p[0]);
+     }),
+     GeometryType::general});
+
+  return meshes;
+}
+} // namespace
+
+TEST(LaplaceFastPath, CompressedMetricMatchesFullMetric)
+{
+  for (auto &m : fast_path_meshes())
+    for (const unsigned int degree : {2u, 3u})
+      for (const unsigned int n_q_1d : {degree + 1, (3 * (degree + 1)) / 2})
+      {
+        SCOPED_TRACE(std::string(m.name) + " degree " +
+                     std::to_string(degree) + " n_q " + std::to_string(n_q_1d));
+        GeometryType type;
+        const auto compressed = laplace_action(m.mesh, *m.geom, degree,
+                                               n_q_1d, true, true, &type);
+        EXPECT_EQ(type, m.expected_type);
+        const auto full =
+          laplace_action(m.mesh, *m.geom, degree, n_q_1d, false, true);
+        expect_vectors_near(compressed, full, 1e-12);
+      }
+}
+
+TEST(LaplaceFastPath, SpecializedKernelsMatchGeneric)
+{
+  for (auto &m : fast_path_meshes())
+    for (const unsigned int degree : {2u, 3u, 5u})
+      for (const unsigned int n_q_1d : {degree + 1, (3 * (degree + 1)) / 2})
+      {
+        SCOPED_TRACE(std::string(m.name) + " degree " +
+                     std::to_string(degree) + " n_q " + std::to_string(n_q_1d));
+        const auto specialized =
+          laplace_action(m.mesh, *m.geom, degree, n_q_1d, true, true);
+        const auto generic =
+          laplace_action(m.mesh, *m.geom, degree, n_q_1d, true, false);
+        expect_vectors_near(specialized, generic, 1e-12);
+      }
+}
+
+TEST(LaplaceFastPath, FullyGenericPathMatchesFullFastPath)
+{
+  // both levers off vs both on - the strongest end-to-end equivalence
+  for (auto &m : fast_path_meshes())
+  {
+    SCOPED_TRACE(m.name);
+    const auto fast = laplace_action(m.mesh, *m.geom, 3, 5, true, true);
+    const auto slow = laplace_action(m.mesh, *m.geom, 3, 5, false, false);
+    expect_vectors_near(fast, slow, 1e-12);
+  }
+}

@@ -245,12 +245,14 @@ TEST(MatrixFreeGeometry, DivergenceTheoremOnDeformedMesh)
     for (unsigned int q = 0; q < metric.n_q; ++q)
     {
       const std::size_t idx = std::size_t(b) * metric.n_q + q;
+      const Tensor1<VectorizedArray<double>> normal = metric.normal_at(b, q);
+      const VectorizedArray<double> jxw = metric.jxw(b, q);
       for (unsigned int l = 0; l < batch.n_filled; ++l)
       {
         double xn = 0;
         for (unsigned int d = 0; d < dim; ++d)
-          xn += metric.q_points[idx][d][l] * metric.normal[idx][d][l];
-        surface_integral += xn * metric.JxW[idx][l];
+          xn += metric.q_points[idx][d][l] * normal[d][l];
+        surface_integral += xn * jxw[l];
       }
     }
   }
@@ -278,7 +280,7 @@ TEST(MatrixFreeGeometry, HangingFaceAreasAreConsistent)
       continue;
     for (unsigned int q = 0; q < metric.n_q; ++q)
       for (unsigned int l = 0; l < batch.n_filled; ++l)
-        hanging_area += metric.JxW[std::size_t(b) * metric.n_q + q][l];
+        hanging_area += metric.jxw(b, q)[l];
   }
   // 12 hanging subfaces of area (1/4)^2 each
   EXPECT_NEAR(hanging_area, 12. / 16., 1e-12);
@@ -319,8 +321,7 @@ TEST(MatrixFreeOperations, MassWithCollocationIsDiagonal)
       {
         const std::size_t dof =
           std::size_t(batch.cells[l]) * metric.n_q + q;
-        const double expected =
-          u[dof] * metric.JxW[std::size_t(b) * metric.n_q + q][l];
+        const double expected = u[dof] * metric.jxw(b, q)[l];
         EXPECT_NEAR(mass_u[dof], expected, 1e-13);
       }
   }
@@ -372,4 +373,66 @@ TEST(MatrixFreeDiagnostics, FaceLaneFillFraction)
   const double fill = mf.face_lane_fill_fraction();
   EXPECT_GT(fill, 0.5);
   EXPECT_LE(fill, 1.0);
+}
+
+TEST(MatrixFreeReinit, CellWidthsRefreshOnReReinit)
+{
+  // regression: cell_width_ was resized (not reassigned) on reinit, so a
+  // second reinit with the same batch count kept stale minima from the
+  // previous geometry
+  Mesh mesh(unit_cube());
+  mesh.refine_uniform(1);
+  TrilinearGeometry geom(mesh.coarse());
+  MatrixFree<double> mf;
+  setup(mf, mesh, geom, 2);
+  const unsigned int n_batches_first = mf.n_cell_batches();
+  EXPECT_NEAR(double(mf.cell_width()[0][0]), 0.5, 1e-12);
+
+  // same cell count, cells twice as large: every stored width must grow
+  Mesh mesh2(subdivided_box(Point(0, 0, 0), Point(2, 2, 2), {{2, 2, 2}}));
+  TrilinearGeometry geom2(mesh2.coarse());
+  setup(mf, mesh2, geom2, 2);
+  ASSERT_EQ(mf.n_cell_batches(), n_batches_first);
+  for (unsigned int b = 0; b < mf.n_cell_batches(); ++b)
+    for (unsigned int l = 0; l < mf.cell_batch(b).n_filled; ++l)
+      EXPECT_NEAR(double(mf.cell_width()[b][l]), 1.0, 1e-12)
+        << "batch " << b << " lane " << l;
+}
+
+TEST(MatrixFreeCompression, ClassifiesAndCompressesCartesianMesh)
+{
+  Mesh mesh(subdivided_box(Point(0, 0, 0), Point(1, 1, 1), {{2, 2, 2}}));
+  TrilinearGeometry geom(mesh.coarse());
+  MatrixFree<double> mf;
+  setup(mf, mesh, geom, 2);
+
+  for (index_t c = 0; c < mf.n_cells(); ++c)
+    EXPECT_EQ(mf.cell_geometry_type(c), GeometryType::cartesian);
+  EXPECT_LT(mf.metric_compression_ratio(), 0.2);
+  EXPECT_LT(mf.metric_bytes_stored(), mf.metric_bytes_full());
+
+  // compression off: everything stored per-q
+  MatrixFree<double>::AdditionalData data;
+  data.degrees = {2};
+  data.n_q_points_1d = {3};
+  data.compress_geometry = false;
+  MatrixFree<double> mf_full;
+  mf_full.reinit(mesh, geom, data);
+  EXPECT_EQ(mf_full.cell_geometry_type(0), GeometryType::general);
+  EXPECT_NEAR(mf_full.metric_compression_ratio(), 1.0, 1e-12);
+}
+
+TEST(MatrixFreeCompression, DeformedMeshStaysGeneral)
+{
+  Mesh mesh(unit_cube());
+  mesh.refine_uniform(1);
+  AnalyticGeometry geom([](index_t, const Point &p) {
+    return Point(p[0] + 0.05 * p[1] * p[2], p[1], p[2] + 0.04 * p[0] * p[1]);
+  });
+  MatrixFree<double> mf;
+  setup(mf, mesh, geom, 2);
+  for (index_t c = 0; c < mf.n_cells(); ++c)
+    EXPECT_EQ(mf.cell_geometry_type(c), GeometryType::general);
+  EXPECT_NEAR(mf.metric_compression_ratio(), 1.0, 1e-12);
+  EXPECT_GT(mf.estimated_vmult_bytes_per_dof(0, 0), 0.);
 }

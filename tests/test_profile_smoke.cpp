@@ -67,6 +67,22 @@ TEST(ProfileSmoke, QuickstartEmitsValidProfileJson)
   EXPECT_GT(report.counters.at("mf_cell_batches"), 0ll);
   EXPECT_GT(report.counters.at("mf_dofs"), 0ll);
 
+  // roofline counters from MatrixFree::reinit (the quickstart mesh is
+  // deformed, so the metric stays uncompressed - assert presence and sane
+  // ranges, not a ratio below 1)
+  EXPECT_GT(report.counters.at("mf_metric_bytes_stored"), 0ll);
+  EXPECT_GE(report.counters.at("mf_metric_bytes_full"),
+            report.counters.at("mf_metric_bytes_stored"));
+
+  // gauges: compression ratio, face lane fill, and per-operator throughput
+  EXPECT_GT(report.gauges.at("mf_metric_compression"), 0.);
+  EXPECT_LE(report.gauges.at("mf_metric_compression"), 1.0 + 1e-12);
+  EXPECT_GT(report.gauges.at("mf_face_lane_fill"), 0.);
+  EXPECT_LE(report.gauges.at("mf_face_lane_fill"), 1.0 + 1e-12);
+  EXPECT_GT(report.gauges.at("laplace_dofs_per_s"), 0.);
+  EXPECT_GT(report.gauges.at("laplace_bytes_per_dof"), 0.);
+  EXPECT_NE(console.find("profile: gauges"), std::string::npos);
+
   std::remove(json_path.c_str());
   std::remove(stdout_path.c_str());
 #endif

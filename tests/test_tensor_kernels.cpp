@@ -322,3 +322,230 @@ TEST(EvenOddFEEvaluation, MatchesGenericPath)
   for (std::size_t i = 0; i < src.size(); ++i)
     ASSERT_NEAR(dst_eo[i], dst_gen[i], 1e-12 * (1. + std::abs(dst_gen[i])));
 }
+
+// ---------------------------------------------------------------------------
+// Specialized (compile-time-extent) kernel dispatch vs the generic
+// runtime-extent kernels: every (degree, n_q_1d) pair published through
+// DGFLOW_KERNEL_DISPATCH_SIZES must reproduce the generic results to a few
+// ULPs (identical operation order; only FMA contraction may differ).
+// ---------------------------------------------------------------------------
+
+#include "fem/kernel_dispatch.h"
+#include "fem/kernel_dispatch_sizes.h"
+
+namespace
+{
+using VAd = VectorizedArray<double>;
+
+AlignedVector<VAd> random_batch(const std::size_t n)
+{
+  std::uniform_real_distribution<double> dist(-1., 1.);
+  AlignedVector<VAd> v(n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (unsigned int l = 0; l < VAd::width; ++l)
+      v[i][l] = dist(rng);
+  return v;
+}
+
+void expect_batches_near(const AlignedVector<VAd> &a,
+                         const AlignedVector<VAd> &b, const double tol,
+                         const char *what)
+{
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i)
+    for (unsigned int l = 0; l < VAd::width; ++l)
+      ASSERT_NEAR(a[i][l], b[i][l], tol * (1. + std::abs(b[i][l])))
+        << what << " entry " << i << " lane " << l;
+}
+
+std::vector<std::pair<unsigned int, unsigned int>> dispatch_sizes()
+{
+  std::vector<std::pair<unsigned int, unsigned int>> sizes;
+#define DGFLOW_COLLECT_SIZE(deg, nq) sizes.emplace_back(deg, nq);
+  DGFLOW_KERNEL_DISPATCH_SIZES(DGFLOW_COLLECT_SIZE)
+#undef DGFLOW_COLLECT_SIZE
+  return sizes;
+}
+} // namespace
+
+TEST(KernelDispatch, CoversAllListedSizesAndOnlyThose)
+{
+  for (const auto &[deg, nq] : dispatch_sizes())
+  {
+    EXPECT_NE(lookup_cell_kernels<double>(deg, nq), nullptr)
+      << "degree " << deg << " n_q " << nq;
+    EXPECT_NE(lookup_face_kernels<double>(deg, nq), nullptr);
+    EXPECT_NE(lookup_cell_kernels<float>(deg, nq), nullptr);
+    EXPECT_NE(lookup_face_kernels<float>(deg, nq), nullptr);
+  }
+  // uncovered sizes fall back to the generic path
+  EXPECT_EQ(lookup_cell_kernels<double>(10, 11), nullptr);
+  EXPECT_EQ(lookup_face_kernels<double>(3, 9), nullptr);
+}
+
+TEST(KernelDispatch, DisableSwitchForcesGenericPath)
+{
+  ASSERT_TRUE(specialized_kernels_enabled());
+  set_specialized_kernels_enabled(false);
+  EXPECT_EQ(lookup_cell_kernels<double>(3, 4), nullptr);
+  EXPECT_EQ(lookup_face_kernels<double>(3, 4), nullptr);
+  set_specialized_kernels_enabled(true);
+  EXPECT_NE(lookup_cell_kernels<double>(3, 4), nullptr);
+}
+
+TEST(KernelDispatch, CellKernelsMatchGeneric)
+{
+  for (const auto &[deg, nq] : dispatch_sizes())
+  {
+    SCOPED_TRACE("degree " + std::to_string(deg) + " n_q " +
+                 std::to_string(nq));
+    const ShapeInfo<double> shape(deg, nq);
+    const auto *k = lookup_cell_kernels<double>(deg, nq);
+    ASSERT_NE(k, nullptr);
+
+    const unsigned int n = deg + 1;
+    const unsigned int n3 = n * n * n, nq3 = nq * nq * nq;
+    const unsigned int scratch = std::max(n, nq) * std::max(n, nq) *
+                                 std::max(n, nq);
+    AlignedVector<VAd> tmp1(scratch), tmp2(scratch);
+
+    // interpolate_to_quad
+    const auto dofs = random_batch(n3);
+    AlignedVector<VAd> vq(nq3), vq_ref(nq3);
+    k->interpolate_to_quad(shape, dofs.data(), vq.data(), tmp1.data(),
+                           tmp2.data());
+    apply_matrix_1d_evenodd<false, false>(
+      shape.values_eo_e.data(), shape.values_eo_o.data(), nq, n, 1,
+      dofs.data(), tmp1.data(), 0, {{n, n, n}});
+    apply_matrix_1d_evenodd<false, false>(
+      shape.values_eo_e.data(), shape.values_eo_o.data(), nq, n, 1,
+      tmp1.data(), tmp2.data(), 1, {{nq, n, n}});
+    apply_matrix_1d_evenodd<false, false>(
+      shape.values_eo_e.data(), shape.values_eo_o.data(), nq, n, 1,
+      tmp2.data(), vq_ref.data(), 2, {{nq, nq, n}});
+    expect_batches_near(vq, vq_ref, 1e-14, "interpolate_to_quad");
+
+    // collocation_gradients
+    AlignedVector<VAd> gq(3 * nq3), gq_ref(3 * nq3);
+    k->collocation_gradients(shape, vq_ref.data(), gq.data());
+    for (unsigned int d = 0; d < 3; ++d)
+      apply_matrix_1d_evenodd<false, false>(
+        shape.grad_colloc_eo_e.data(), shape.grad_colloc_eo_o.data(), nq, nq,
+        -1, vq_ref.data(), gq_ref.data() + d * nq3, d, {{nq, nq, nq}});
+    expect_batches_near(gq, gq_ref, 1e-14, "collocation_gradients");
+
+    // collocation_gradients_transpose, both overwrite modes
+    for (const bool overwrite : {true, false})
+    {
+      AlignedVector<VAd> acc = random_batch(nq3);
+      AlignedVector<VAd> acc_ref = acc;
+      k->collocation_gradients_transpose(shape, gq_ref.data(), acc.data(),
+                                         overwrite);
+      for (unsigned int d = 0; d < 3; ++d)
+      {
+        if (overwrite && d == 0)
+          apply_matrix_1d_evenodd<true, false>(
+            shape.grad_colloc_eo_e.data(), shape.grad_colloc_eo_o.data(), nq,
+            nq, -1, gq_ref.data() + d * nq3, acc_ref.data(), d,
+            {{nq, nq, nq}});
+        else
+          apply_matrix_1d_evenodd<true, true>(
+            shape.grad_colloc_eo_e.data(), shape.grad_colloc_eo_o.data(), nq,
+            nq, -1, gq_ref.data() + d * nq3, acc_ref.data(), d,
+            {{nq, nq, nq}});
+      }
+      expect_batches_near(acc, acc_ref, 1e-13,
+                          "collocation_gradients_transpose");
+    }
+
+    // integrate_from_quad
+    AlignedVector<VAd> out(n3), out_ref(n3);
+    k->integrate_from_quad(shape, vq_ref.data(), out.data(), tmp1.data(),
+                           tmp2.data());
+    apply_matrix_1d_evenodd<true, false>(
+      shape.values_eo_e.data(), shape.values_eo_o.data(), nq, n, 1,
+      vq_ref.data(), tmp1.data(), 2, {{nq, nq, nq}});
+    apply_matrix_1d_evenodd<true, false>(
+      shape.values_eo_e.data(), shape.values_eo_o.data(), nq, n, 1,
+      tmp1.data(), tmp2.data(), 1, {{nq, nq, n}});
+    apply_matrix_1d_evenodd<true, false>(
+      shape.values_eo_e.data(), shape.values_eo_o.data(), nq, n, 1,
+      tmp2.data(), out_ref.data(), 0, {{nq, n, n}});
+    expect_batches_near(out, out_ref, 1e-14, "integrate_from_quad");
+  }
+}
+
+TEST(KernelDispatch, FaceKernelsMatchGeneric)
+{
+  for (const auto &[deg, nq] : dispatch_sizes())
+  {
+    SCOPED_TRACE("degree " + std::to_string(deg) + " n_q " +
+                 std::to_string(nq));
+    const ShapeInfo<double> shape(deg, nq);
+    const auto *k = lookup_face_kernels<double>(deg, nq);
+    ASSERT_NE(k, nullptr);
+
+    const unsigned int n = deg + 1;
+    const unsigned int n3 = n * n * n;
+    const unsigned int plane = std::max(n, nq) * std::max(n, nq);
+    AlignedVector<VAd> tmp(plane);
+    const std::array<unsigned int, 3> cell_e{{n, n, n}};
+
+    const auto dofs = random_batch(n3);
+    for (unsigned int dir = 0; dir < 3; ++dir)
+    {
+      AlignedVector<VAd> p(plane), p_ref(plane);
+      k->contract_to_face[dir](shape.face_value[1].data(), dofs.data(),
+                               p.data());
+      contract_to_face<false>(shape.face_value[1].data(), n, dofs.data(),
+                              p_ref.data(), dir, cell_e);
+      for (unsigned int i = 0; i < n * n; ++i)
+        for (unsigned int l = 0; l < VAd::width; ++l)
+          ASSERT_NEAR(p[i][l], p_ref[i][l], 1e-14) << "contract dir " << dir;
+
+      AlignedVector<VAd> acc = random_batch(n3);
+      AlignedVector<VAd> acc_ref = acc;
+      k->expand_from_face_add[dir](shape.face_grad[0].data(), p_ref.data(),
+                                   acc.data());
+      expand_from_face<true>(shape.face_grad[0].data(), n, p_ref.data(),
+                             acc_ref.data(), dir, cell_e);
+      expect_batches_near(acc, acc_ref, 1e-13, "expand_from_face_add");
+    }
+
+    // 2D plane interpolation with the regular and subface matrices
+    for (const double *M0 : {shape.values.data(), shape.subface_values[0].data()})
+      for (const double *M1 :
+           {shape.gradients.data(), shape.subface_values[1].data()})
+      {
+        const auto in = random_batch(n * n);
+        AlignedVector<VAd> out(nq * nq), out_ref(nq * nq);
+        k->interp_plane(M0, M1, in.data(), out.data(), tmp.data());
+        apply_matrix_2d<false, false>(M0, nq, n, in.data(), tmp.data(), 0,
+                                      {{n, n}});
+        apply_matrix_2d<false, false>(M1, nq, n, tmp.data(), out_ref.data(),
+                                      1, {{nq, n}});
+        expect_batches_near(out, out_ref, 1e-14, "interp_plane");
+
+        const auto qin = random_batch(nq * nq);
+        AlignedVector<VAd> back(n * n), back_ref(n * n);
+        k->interp_plane_transpose(M0, M1, qin.data(), back.data(),
+                                  tmp.data());
+        apply_matrix_2d<true, false>(M1, nq, n, qin.data(), tmp.data(), 1,
+                                     {{nq, nq}});
+        apply_matrix_2d<true, false>(M0, nq, n, tmp.data(), back_ref.data(),
+                                     0, {{nq, n}});
+        expect_batches_near(back, back_ref, 1e-14, "interp_plane_transpose");
+
+        AlignedVector<VAd> acc = random_batch(n * n);
+        AlignedVector<VAd> acc_ref = acc;
+        k->interp_plane_transpose_add(M0, M1, qin.data(), acc.data(),
+                                      tmp.data());
+        apply_matrix_2d<true, false>(M1, nq, n, qin.data(), tmp.data(), 1,
+                                     {{nq, nq}});
+        apply_matrix_2d<true, true>(M0, nq, n, tmp.data(), acc_ref.data(), 0,
+                                    {{nq, n}});
+        expect_batches_near(acc, acc_ref, 1e-13,
+                            "interp_plane_transpose_add");
+      }
+  }
+}
