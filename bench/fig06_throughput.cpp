@@ -100,7 +100,7 @@ int main()
     laplace_f.reinit(mff, 0, 0, lung_bc(lung));
     Vector<float> diag_f;
     laplace_f.compute_diagonal(diag_f);
-    ChebyshevSmoother<LaplaceOperator<float>, float> smoother;
+    ChebyshevSmoother<LaplaceOperator<float>, Vector<float>> smoother;
     ChebyshevData sm_data;
     sm_data.degree = 1; // one mat-vec + vector updates = one iteration
     smoother.reinit(laplace_f, diag_f, sm_data);
@@ -124,7 +124,7 @@ int main()
     cfe_op.reinit(mff, 1, 1, cfe);
     Vector<float> diag_c;
     cfe_op.compute_diagonal(diag_c);
-    ChebyshevSmoother<CFELaplaceOperator<float>, float> smoother_c;
+    ChebyshevSmoother<CFELaplaceOperator<float>, Vector<float>> smoother_c;
     smoother_c.reinit(cfe_op, diag_c, sm_data);
     Vector<float> src_c(cfe_op.n_dofs()), dst_c(cfe_op.n_dofs());
     for (std::size_t i = 0; i < src_c.size(); ++i)

@@ -18,6 +18,9 @@ for b in build/bench/*; do
     # comparison the acceptance criteria read)
     bench_json="bench_results/BENCH_${name}.json"
     [ "$name" = kernels_microbench ] && bench_json="bench_results/BENCH_kernels.json"
+    # distributed_microbench -> BENCH_distributed.json: the ghost-exchange
+    # traffic validation on 1/2/4/8 logical ranks
+    [ "$name" = distributed_microbench ] && bench_json="bench_results/BENCH_distributed.json"
     DGFLOW_PROFILE=1 \
       DGFLOW_PROFILE_JSON="bench_results/PROFILE_${name}.json" \
       DGFLOW_BENCH_JSON="$bench_json" \

@@ -7,6 +7,8 @@
 // precisions.
 
 #include <cmath>
+#include <type_traits>
+#include <utility>
 
 #include "common/aligned_vector.h"
 #include "common/exceptions.h"
@@ -33,7 +35,21 @@ public:
       data_.fill(Number(0));
   }
 
+  /// Mirror another vector's layout (part of the vector-space concept the
+  /// solvers are templated on: the distributed counterpart copies partition
+  /// and ghost layout, a serial vector just the size).
+  void reinit_like(const Vector &other, const bool fast = false)
+  {
+    reinit(other.size(), fast);
+  }
+
   std::size_t size() const { return data_.size(); }
+
+  /// Global index of local element 0 — always 0 for a serial vector; the
+  /// distributed counterpart returns its owned-range offset. Lets code that
+  /// needs globally reproducible index-dependent data (the Chebyshev
+  /// eigenvalue seed) behave identically on both vector types.
+  std::size_t first_local_index() const { return 0; }
 
   Number &operator()(const std::size_t i) { return data_[i]; }
   Number operator()(const std::size_t i) const { return data_[i]; }
@@ -150,5 +166,27 @@ public:
 private:
   AlignedVector<Number> data_;
 };
+
+/// Detects vectors with distributed-memory ghost machinery (the vmpi
+/// DistributedVector) without this header knowing the type: any vector
+/// exposing update_ghost_values_start() qualifies. Solvers and operators
+/// branch on it with if constexpr, which keeps vmpi out of the serial
+/// build's dependencies.
+template <typename VectorType, typename = void>
+struct is_distributed_vector : std::false_type
+{
+};
+
+template <typename VectorType>
+struct is_distributed_vector<
+  VectorType,
+  std::void_t<decltype(std::declval<VectorType &>().update_ghost_values_start())>>
+  : std::true_type
+{
+};
+
+template <typename VectorType>
+inline constexpr bool is_distributed_vector_v =
+  is_distributed_vector<VectorType>::value;
 
 } // namespace dgflow

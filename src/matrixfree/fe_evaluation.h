@@ -111,6 +111,41 @@ public:
   /// Overwrites the global values (projections, inverse mass application).
   void set_dof_values(Vector<Number> &dst) const { write_results<false>(dst); }
 
+  /// Gathers dof values from any vector exposing the distributed layout
+  /// hooks (vmpi::DistributedVector): cell blocks resolve through
+  /// local_dof_offset(), so owned and ghost cells read alike. Ghost reads
+  /// debug-assert an up-to-date ghost section.
+  template <typename VectorLike>
+  void read_dof_values(const VectorLike &src)
+  {
+    const auto &batch = mf_.cell_batch(batch_);
+    const unsigned int n_cell_dofs = n_components * dofs_per_component;
+    std::size_t offsets[n_lanes];
+    for (unsigned int l = 0; l < n_lanes; ++l)
+      offsets[l] = src.local_dof_offset(batch.cells[l], n_cell_dofs);
+    vectorized_load_and_transpose(n_cell_dofs, src.data(), offsets,
+                                  values_dofs_.data());
+  }
+
+  /// Distributed accumulate: writes only lanes whose cell the vector owns
+  /// (both-sides-evaluate scheme — no compress() needed afterwards, dst
+  /// stays owned-only).
+  template <typename VectorLike>
+  void distribute_local_to_global(VectorLike &dst) const
+  {
+    const auto &batch = mf_.cell_batch(batch_);
+    const unsigned int n_cell_dofs = n_components * dofs_per_component;
+    for (unsigned int l = 0; l < batch.n_filled; ++l)
+    {
+      if (!dst.is_owned_element(batch.cells[l]))
+        continue;
+      Number *DGFLOW_RESTRICT out =
+        dst.data() + dst.local_dof_offset(batch.cells[l], n_cell_dofs);
+      for (unsigned int i = 0; i < n_cell_dofs; ++i)
+        out[i] += values_dofs_[i][l];
+    }
+  }
+
   void evaluate(const bool values, const bool gradients)
   {
     for (int c = 0; c < n_components; ++c)

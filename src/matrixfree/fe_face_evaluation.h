@@ -136,6 +136,42 @@ public:
     }
   }
 
+  /// Distributed gather: this side's cell blocks resolve through
+  /// local_dof_offset(), so reading the off-rank side of a cut face pulls
+  /// from the ghost section (debug-asserts an up-to-date ghost state).
+  template <typename VectorLike>
+  void read_dof_values(const VectorLike &src)
+  {
+    const auto &b = mf_.face_batch(batch_index_);
+    const auto &cells = interior_ ? b.cells_m : b.cells_p;
+    const unsigned int n_cell_dofs = n_components * dofs_per_component;
+    std::size_t offsets[n_lanes];
+    for (unsigned int l = 0; l < n_lanes; ++l)
+      offsets[l] = src.local_dof_offset(cells[l], n_cell_dofs);
+    vectorized_load_and_transpose(n_cell_dofs, src.data(), offsets,
+                                  values_dofs_.data());
+  }
+
+  /// Distributed accumulate: writes only lanes whose cell the vector owns.
+  /// On a cut face each rank evaluates the full flux but keeps its own
+  /// side's contribution (both-sides-evaluate — dst needs no compress()).
+  template <typename VectorLike>
+  void distribute_local_to_global(VectorLike &dst) const
+  {
+    const auto &b = mf_.face_batch(batch_index_);
+    const auto &cells = interior_ ? b.cells_m : b.cells_p;
+    const unsigned int n_cell_dofs = n_components * dofs_per_component;
+    for (unsigned int l = 0; l < b.n_filled; ++l)
+    {
+      if (!dst.is_owned_element(cells[l]))
+        continue;
+      Number *DGFLOW_RESTRICT out =
+        dst.data() + dst.local_dof_offset(cells[l], n_cell_dofs);
+      for (unsigned int i = 0; i < n_cell_dofs; ++i)
+        out[i] += values_dofs_[i][l];
+    }
+  }
+
   void evaluate(const bool values, const bool gradients)
   {
     (void)values;

@@ -76,6 +76,15 @@ public:
     /// classified Cartesian/affine (off = every batch stores the full per-q
     /// metric, the layout the compression benchmarks compare against)
     bool compress_geometry = true;
+    /// rank of each active cell (partition_cells() output; ownership must be
+    /// contiguous along the SFC order). Empty = unpartitioned: one rank owns
+    /// everything and the per-rank batch ranges cover all batches. When set,
+    /// cell batches never mix ranks and face batches never mix rank pairs,
+    /// so every rank evaluates a well-defined sub-range of the shared batch
+    /// layout (vmpi ranks share the replicated MatrixFree description).
+    std::vector<int> rank_of_cell;
+    /// number of ranks rank_of_cell refers to
+    int n_ranks = 1;
   };
 
   struct CellBatch
@@ -94,8 +103,13 @@ public:
     unsigned char subface0, subface1; ///< 255 when conforming
     unsigned int boundary_id;         ///< boundary batches only
     bool interior;
+    /// owning ranks of the minus/plus side cells (equal on rank-interior and
+    /// boundary batches; a cut face has rank_m != rank_p). All lanes of a
+    /// batch share the same rank pair by construction.
+    int rank_m = 0, rank_p = 0;
 
     bool is_hanging() const { return subface0 != 255; }
+    bool is_cut() const { return rank_m != rank_p; }
   };
 
   /// Metric data at cell quadrature points. Batches classified Cartesian or
@@ -252,6 +266,32 @@ public:
   unsigned int n_inner_face_batches() const { return n_inner_batches_; }
   unsigned int n_face_batches() const { return face_batches_.size(); }
 
+  /// Number of ranks of the cell partition (1 when unpartitioned).
+  int n_ranks() const { return n_ranks_; }
+
+  /// Owning rank of an active cell (0 when unpartitioned).
+  int rank_of_cell(const index_t cell) const
+  {
+    return rank_of_cell_.empty() ? 0 : rank_of_cell_[cell];
+  }
+
+  /// Half-open range of cell batches whose cells the given rank owns.
+  std::pair<unsigned int, unsigned int>
+  cell_batch_range(const int rank) const
+  {
+    return cell_batch_ranges_[rank];
+  }
+
+  /// Ascending indices of the face batches a rank evaluates: every batch
+  /// with at least one side owned by the rank (rank-interior, cut and
+  /// boundary faces; branch on face_batch(b).interior). The ascending order
+  /// interleaves interior and boundary batches exactly as the serial loops
+  /// traverse them, which keeps accumulation order comparable.
+  const std::vector<unsigned int> &face_batches_of_rank(const int rank) const
+  {
+    return rank_face_batches_[rank];
+  }
+
   const CellBatch &cell_batch(const unsigned int b) const
   {
     return cell_batches_[b];
@@ -392,6 +432,11 @@ private:
   std::vector<FaceBatch> face_batches_;
   unsigned int n_inner_batches_ = 0;
 
+  std::vector<int> rank_of_cell_;
+  int n_ranks_ = 1;
+  std::vector<std::pair<unsigned int, unsigned int>> cell_batch_ranges_;
+  std::vector<std::vector<unsigned int>> rank_face_batches_;
+
   std::vector<ShapeInfo<Number>> shape_info_;
   std::vector<CellMetric> cell_metric_;
   std::vector<FaceMetric> face_metric_;
@@ -434,6 +479,13 @@ void MatrixFree<Number>::reinit(const Mesh &mesh, const Geometry &geometry,
 
   compress_geometry_ = data.compress_geometry;
 
+  rank_of_cell_ = data.rank_of_cell;
+  n_ranks_ = data.n_ranks;
+  DGFLOW_ASSERT(n_ranks_ >= 1, "need at least one rank");
+  DGFLOW_ASSERT(rank_of_cell_.empty() ||
+                  rank_of_cell_.size() == std::size_t(mesh.n_active_cells()),
+                "rank_of_cell size mismatch");
+
   build_cell_batches();
   build_face_batches();
   compute_geometry_lattices(geometry);
@@ -461,15 +513,35 @@ void MatrixFree<Number>::build_cell_batches()
   const index_t n = mesh_->n_active_cells();
   cell_batches_.clear();
   cell_batches_.reserve((n + n_lanes - 1) / n_lanes);
-  for (index_t start = 0; start < n; start += n_lanes)
+  cell_batch_ranges_.assign(n_ranks_, {0u, 0u});
+
+  // batches never cross a rank boundary, so each rank's cells form a
+  // contiguous batch range (rank ownership is contiguous in SFC order)
+  index_t rank_begin = 0;
+  for (int r = 0; r < n_ranks_; ++r)
   {
-    CellBatch b;
-    b.n_filled = static_cast<unsigned char>(
-      std::min<index_t>(n_lanes, n - start));
-    for (unsigned int l = 0; l < n_lanes; ++l)
-      b.cells[l] = start + std::min<index_t>(l, b.n_filled - 1);
-    cell_batches_.push_back(b);
+    index_t rank_end = rank_begin;
+    while (rank_end < n &&
+           (rank_of_cell_.empty() ? 0 : rank_of_cell_[rank_end]) == r)
+      ++rank_end;
+    DGFLOW_ASSERT(rank_end == n || rank_of_cell_.empty() ||
+                    rank_of_cell_[rank_end] > r,
+                  "cell ownership must be contiguous in SFC order");
+    const unsigned int first_batch = cell_batches_.size();
+    for (index_t start = rank_begin; start < rank_end; start += n_lanes)
+    {
+      CellBatch b;
+      b.n_filled = static_cast<unsigned char>(
+        std::min<index_t>(n_lanes, rank_end - start));
+      for (unsigned int l = 0; l < n_lanes; ++l)
+        b.cells[l] = start + std::min<index_t>(l, b.n_filled - 1);
+      cell_batches_.push_back(b);
+    }
+    cell_batch_ranges_[r] = {first_batch,
+                             static_cast<unsigned int>(cell_batches_.size())};
+    rank_begin = rank_end;
   }
+  DGFLOW_ASSERT(rank_begin == n, "rank_of_cell does not cover all cells");
 }
 
 template <typename Number>
@@ -477,27 +549,33 @@ void MatrixFree<Number>::build_face_batches()
 {
   const auto faces = mesh_->build_face_list();
 
-  // group by the face-pipeline key so a batch shares one code path
+  // group by the face-pipeline key so a batch shares one code path; the
+  // rank pair comes last so an unpartitioned layout (all ranks 0) groups
+  // and orders exactly as before partitioning existed
   struct Key
   {
     bool interior;
     unsigned char face_no_m, face_no_p, orientation, subface0, subface1;
     unsigned int boundary_id;
+    int rank_m, rank_p;
     bool operator<(const Key &o) const
     {
       return std::tie(interior, face_no_m, face_no_p, orientation, subface0,
-                      subface1, boundary_id) <
+                      subface1, boundary_id, rank_m, rank_p) <
              std::tie(o.interior, o.face_no_m, o.face_no_p, o.orientation,
-                      o.subface0, o.subface1, o.boundary_id);
+                      o.subface0, o.subface1, o.boundary_id, o.rank_m,
+                      o.rank_p);
     }
   };
   std::map<Key, std::vector<const Mesh::Face *>> groups;
   for (const auto &f : faces)
   {
+    const int rm = rank_of_cell(f.cell_m);
+    const int rp = f.is_boundary() ? rm : rank_of_cell(f.cell_p);
     Key key{!f.is_boundary(), f.face_no_m,
             f.is_boundary() ? static_cast<unsigned char>(0) : f.face_no_p,
             f.orientation, f.subface0, f.subface1,
-            f.is_boundary() ? f.boundary_id : 0u};
+            f.is_boundary() ? f.boundary_id : 0u, rm, rp};
     groups[key].push_back(&f);
   }
 
@@ -522,6 +600,8 @@ void MatrixFree<Number>::build_face_batches()
       b.subface1 = key.subface1;
       b.boundary_id = key.boundary_id;
       b.interior = key.interior;
+      b.rank_m = key.rank_m;
+      b.rank_p = key.rank_p;
       face_batches_.push_back(b);
     }
   };
@@ -534,6 +614,16 @@ void MatrixFree<Number>::build_face_batches()
   for (const auto &[key, list] : groups)
     if (!key.interior)
       emit(key, list);
+
+  // per-rank face work lists: every batch with at least one owned side
+  rank_face_batches_.assign(n_ranks_, {});
+  for (unsigned int b = 0; b < face_batches_.size(); ++b)
+  {
+    const FaceBatch &fb = face_batches_[b];
+    rank_face_batches_[fb.rank_m].push_back(b);
+    if (fb.rank_p != fb.rank_m)
+      rank_face_batches_[fb.rank_p].push_back(b);
+  }
 }
 
 template <typename Number>

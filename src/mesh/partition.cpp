@@ -29,7 +29,13 @@ PartitionStats compute_partition_stats(const Mesh &mesh,
   for (index_t i = 0; i < mesh.n_active_cells(); ++i)
     ++stats.cells_per_rank[rank_of_cell[i]];
 
+  stats.send_cells_per_rank.assign(n_ranks, 0);
+  stats.ghost_cells_per_rank.assign(n_ranks, 0);
+
   std::vector<std::set<int>> neighbor_sets(n_ranks);
+  // (neighbor, cell) pairs: one cell going to two neighbors is two entries
+  std::vector<std::set<std::pair<int, index_t>>> send_pairs(n_ranks),
+    ghost_pairs(n_ranks);
   for (const Mesh::Face &f : mesh.build_face_list())
   {
     if (f.is_boundary())
@@ -41,11 +47,17 @@ PartitionStats compute_partition_stats(const Mesh &mesh,
       ++stats.cut_faces_per_rank[rp];
       neighbor_sets[rm].insert(rp);
       neighbor_sets[rp].insert(rm);
+      send_pairs[rm].insert({rp, f.cell_m});
+      send_pairs[rp].insert({rm, f.cell_p});
+      ghost_pairs[rm].insert({rp, f.cell_p});
+      ghost_pairs[rp].insert({rm, f.cell_m});
     }
   }
   for (int r = 0; r < n_ranks; ++r)
   {
     stats.neighbors_per_rank[r] = neighbor_sets[r].size();
+    stats.send_cells_per_rank[r] = send_pairs[r].size();
+    stats.ghost_cells_per_rank[r] = ghost_pairs[r].size();
     stats.max_cells = std::max(stats.max_cells, stats.cells_per_rank[r]);
     stats.max_cut_faces =
       std::max(stats.max_cut_faces, stats.cut_faces_per_rank[r]);
@@ -53,6 +65,25 @@ PartitionStats compute_partition_stats(const Mesh &mesh,
       std::max(stats.max_neighbors, stats.neighbors_per_rank[r]);
   }
   return stats;
+}
+
+ExchangeTraffic predict_exchange_traffic(const PartitionStats &stats,
+                                         const std::size_t dofs_per_cell,
+                                         const std::size_t bytes_per_scalar)
+{
+  ExchangeTraffic traffic;
+  const std::size_t n_ranks = stats.cells_per_rank.size();
+  traffic.messages_per_rank.resize(n_ranks);
+  traffic.bytes_per_rank.resize(n_ranks);
+  for (std::size_t r = 0; r < n_ranks; ++r)
+  {
+    traffic.messages_per_rank[r] = stats.neighbors_per_rank[r];
+    traffic.bytes_per_rank[r] =
+      stats.send_cells_per_rank[r] * dofs_per_cell * bytes_per_scalar;
+    traffic.total_messages += traffic.messages_per_rank[r];
+    traffic.total_bytes += traffic.bytes_per_rank[r];
+  }
+  return traffic;
 }
 
 } // namespace dgflow

@@ -20,6 +20,12 @@ struct PartitionStats
   std::vector<std::size_t> cells_per_rank;
   std::vector<std::size_t> cut_faces_per_rank; ///< faces with off-rank neighbor
   std::vector<std::size_t> neighbors_per_rank; ///< distinct ranks to talk to
+  /// unique (cell, neighbor) pairs this rank sends in one ghost exchange (a
+  /// cell adjacent to two neighbor ranks counts twice: two messages carry it)
+  std::vector<std::size_t> send_cells_per_rank;
+  /// unique (cell, neighbor) pairs this rank receives (its ghost cells,
+  /// counted per owning neighbor)
+  std::vector<std::size_t> ghost_cells_per_rank;
   std::size_t max_cells = 0;
   std::size_t max_cut_faces = 0;
   std::size_t max_neighbors = 0;
@@ -28,5 +34,21 @@ struct PartitionStats
 PartitionStats compute_partition_stats(const Mesh &mesh,
                                        const std::vector<int> &rank_of_cell,
                                        const int n_ranks);
+
+/// Predicted vmpi traffic of one ghost exchange (one DistributedVector
+/// update_ghost_values), counted on the send side like
+/// Communicator::Traffic: one message per neighbor, whose payload is the
+/// cell dof blocks that neighbor needs.
+struct ExchangeTraffic
+{
+  std::vector<std::size_t> messages_per_rank;
+  std::vector<std::size_t> bytes_per_rank;
+  std::size_t total_messages = 0;
+  std::size_t total_bytes = 0;
+};
+
+ExchangeTraffic predict_exchange_traffic(const PartitionStats &stats,
+                                         const std::size_t dofs_per_cell,
+                                         const std::size_t bytes_per_scalar);
 
 } // namespace dgflow

@@ -22,6 +22,7 @@
 #include "operators/cfe_laplace_operator.h"
 #include "operators/laplace_operator.h"
 #include "solvers/chebyshev.h"
+#include "vmpi/distributed_vector.h"
 
 namespace dgflow
 {
@@ -30,6 +31,7 @@ class HybridMultigrid
 {
 public:
   using LVec = Vector<LevelNumber>;
+  using DVec = vmpi::DistributedVector<LevelNumber>;
 
   /// Type-erased level operator handed to the Chebyshev smoother.
   struct AnyOperator
@@ -38,12 +40,18 @@ public:
     void vmult(LVec &dst, const LVec &src) const { apply(dst, src); }
   };
 
+  /// Distributed counterpart for the DG levels of a distributed V-cycle.
+  struct AnyDistOperator
+  {
+    std::function<void(DVec &, const DVec &)> apply;
+    void vmult(DVec &dst, const DVec &src) const { apply(dst, src); }
+  };
+
   struct Options
   {
     bool h_coarsening = true; ///< build globally coarsened Q1 levels
     unsigned int amg_cycles = 2;
-    typename ChebyshevSmoother<AnyOperator, LevelNumber>::AdditionalData
-      smoother;
+    ChebyshevData smoother;
     AMG::Options amg;
     unsigned int geometry_degree = 2;
     double penalty_safety = 2.;
@@ -51,6 +59,12 @@ public:
     /// (k_top+1)^2 instead of their own (k+1)^2: the level operators then
     /// match the Galerkin-restricted fine operator on jump modes
     bool inherit_fine_penalty = true;
+    /// cell partition for distributed solves (forwarded to the fine
+    /// MatrixFree so batches split at rank boundaries); empty = serial.
+    /// Pass the same values to every rank's instance — the hierarchy is
+    /// replicated, only the V-cycle work is partitioned.
+    std::vector<int> rank_of_cell;
+    int n_ranks = 1;
   };
 
   /// Sets up the full hierarchy for the DG(degree) Laplacian on @p mesh.
@@ -98,6 +112,8 @@ public:
     mf_data.n_q_points_1d = quads;
     mf_data.geometry_degree = options.geometry_degree;
     mf_data.penalty_safety = options.penalty_safety;
+    mf_data.rank_of_cell = options.rank_of_cell;
+    mf_data.n_ranks = options.n_ranks;
     if (options.inherit_fine_penalty)
     {
       const double top = double(dg_degrees_.front() + 1);
@@ -191,6 +207,63 @@ public:
     vcycle(levels_.size() - 1, x, b);
   }
 
+  /// Builds the distributed DG-level scratch, operators and smoothers on top
+  /// of an existing setup() that was given Options::rank_of_cell/n_ranks.
+  /// Every rank constructs the same (replicated) hierarchy; the Chebyshev
+  /// bounds are adopted from the serial smoothers so serial and distributed
+  /// V-cycles apply the identical polynomial on every level.
+  void setup_distributed(vmpi::Communicator &comm,
+                         const vmpi::Partitioner &part)
+  {
+    DGFLOW_PROF_SCOPE("mg_setup_distributed");
+    DGFLOW_ASSERT(part.n_global() == mf_fine_.mesh().n_active_cells(),
+                  "partitioner must index the fine-mesh cells");
+    DGFLOW_ASSERT(part.n_ranks() == mf_fine_.n_ranks(),
+                  "partitioner/matrix-free rank count mismatch");
+    comm_ = &comm;
+    part_ = &part;
+    q1_level_ = static_cast<unsigned int>(coarse_ops_.size());
+    std::vector<DistLevel> fresh(levels_.size());
+    dist_levels_.swap(fresh);
+    for (unsigned int lev = q1_level_ + 1; lev < levels_.size(); ++lev)
+    {
+      const unsigned int s = static_cast<unsigned int>(
+        dg_degrees_.size() - 1 - (lev - q1_level_ - 1));
+      const LaplaceOperator<LevelNumber> *op = &dg_ops_[s];
+      DistLevel &dl = dist_levels_[lev];
+      dl.op.apply = [op](DVec &d, const DVec &v) { op->vmult(d, v); };
+      const unsigned int block = mf_fine_.dofs_per_cell(s);
+      dl.x.reinit(part, comm, block);
+      dl.b.reinit(part, comm, block);
+      dl.r.reinit(part, comm, block);
+      DVec ddiag;
+      ddiag.reinit(part, comm, block);
+      ddiag.copy_owned_from(compute_level_diagonal(lev));
+      dl.smoother.reinit_with_bounds(dl.op, ddiag,
+                                     levels_[lev].smoother.max_eigenvalue(),
+                                     options_.smoother);
+    }
+  }
+
+  /// Distributed preconditioner interface: one V-cycle where the DG levels
+  /// traverse only this rank's cells (with overlapped ghost exchange inside
+  /// the operators) and the Q1/AMG sub-hierarchy is solved replicated on
+  /// every rank after a sum-allreduce of the restricted residual. Requires
+  /// setup_distributed().
+  void vmult(vmpi::DistributedVector<double> &dst,
+             const vmpi::DistributedVector<double> &src) const
+  {
+    DGFLOW_PROF_SCOPE("mg_vcycle");
+    DGFLOW_PROF_COUNT("mg_vcycles", 1);
+    DGFLOW_ASSERT(part_ != nullptr, "setup_distributed() has not run");
+    dist_src_f_.copy_and_convert(src);
+    DistLevel &top = dist_levels_.back();
+    top.x.reinit_like(dist_src_f_, true);
+    vcycle_dist(static_cast<unsigned int>(levels_.size() - 1), top.x,
+                dist_src_f_);
+    dst.copy_and_convert(top.x);
+  }
+
   const MatrixFree<LevelNumber> &fine_matrix_free() const { return mf_fine_; }
 
   /// Accumulated smoothing/transfer seconds per level and in the AMG coarse
@@ -207,11 +280,19 @@ private:
   struct Level
   {
     AnyOperator op;
-    ChebyshevSmoother<AnyOperator, LevelNumber> smoother;
+    ChebyshevSmoother<AnyOperator, LVec> smoother;
     std::unique_ptr<TransferBase<LevelNumber>> to_coarser; ///< null at l=0
     std::size_t n_dofs = 0;
     bool is_amg = false;
     mutable LVec x, b, r;
+  };
+
+  /// Distributed shadow of a DG Level (the Q1/AMG levels stay serial).
+  struct DistLevel
+  {
+    AnyDistOperator op;
+    ChebyshevSmoother<AnyDistOperator, DVec> smoother;
+    mutable DVec x, b, r;
   };
 
   void build_levels()
@@ -380,6 +461,93 @@ private:
     level_seconds_[l] += t2.seconds();
   }
 
+  /// Distributed V-cycle over the DG levels. Pre/post-smoothing and the
+  /// residual use only this rank's owned cell blocks (p-transfers are
+  /// cell-local); at the DG(1) level the residual is restricted onto the
+  /// replicated Q1 space through this rank's contiguous row range followed
+  /// by a sum-allreduce, after which the serial vcycle() handles the whole
+  /// Q1/AMG sub-hierarchy identically on every rank.
+  void vcycle_dist(const unsigned int l, DVec &x, const DVec &b) const
+  {
+    if (level_seconds_.size() != levels_.size())
+      level_seconds_.assign(levels_.size(), 0.);
+    DGFLOW_PROF_SCOPE(level_names_[l]);
+    const DistLevel &level = dist_levels_[l];
+
+    Timer t1;
+    {
+      DGFLOW_PROF_SCOPE("smoother");
+      level.smoother.smooth(x, b, true);
+    }
+    level.op.vmult(level.r, x);
+    level.r.sadd(LevelNumber(-1), LevelNumber(1), b);
+    level_seconds_[l] += t1.seconds();
+
+    if (l == q1_level_ + 1)
+    {
+      const auto *c = static_cast<const SparseTransfer<LevelNumber> *>(
+        levels_[l].to_coarser.get());
+      const std::size_t row_begin = level.r.first_local_index();
+      const std::size_t row_end = row_begin + level.r.size();
+      const Level &coarse = levels_[l - 1];
+      Timer t2;
+      {
+        DGFLOW_PROF_SCOPE("transfer");
+        coarse.b = LevelNumber(0);
+        c->restrict_down_rows(coarse.b, level.r.data(), row_begin, row_end);
+        c_allreduce_buf_.resize(coarse.b.size());
+        for (std::size_t i = 0; i < coarse.b.size(); ++i)
+          c_allreduce_buf_[i] = double(coarse.b.data()[i]);
+        comm_->allreduce(c_allreduce_buf_,
+                         vmpi::Communicator::Op::sum);
+        for (std::size_t i = 0; i < coarse.b.size(); ++i)
+          coarse.b.data()[i] = LevelNumber(c_allreduce_buf_[i]);
+      }
+      coarse.x.reinit(coarse.b.size(), true);
+      level_seconds_[l] += t2.seconds();
+
+      vcycle(l - 1, coarse.x, coarse.b);
+
+      Timer t3;
+      {
+        DGFLOW_PROF_SCOPE("transfer");
+        c->prolongate_rows(level.r.data(), coarse.x, row_begin, row_end);
+      }
+      level_seconds_[l] += t3.seconds();
+    }
+    else
+    {
+      const auto *p = static_cast<const DGPTransfer<LevelNumber> *>(
+        levels_[l].to_coarser.get());
+      const DistLevel &coarse = dist_levels_[l - 1];
+      const index_t n_owned_cells = static_cast<index_t>(part_->n_owned());
+      Timer t2;
+      {
+        DGFLOW_PROF_SCOPE("transfer");
+        p->restrict_cells(coarse.b.data(), level.r.data(), n_owned_cells);
+      }
+      coarse.x.reinit_like(coarse.b, true);
+      level_seconds_[l] += t2.seconds();
+
+      vcycle_dist(l - 1, coarse.x, coarse.b);
+
+      Timer t3;
+      {
+        DGFLOW_PROF_SCOPE("transfer");
+        p->prolongate_cells(level.r.data(), coarse.x.data(), n_owned_cells);
+      }
+      level_seconds_[l] += t3.seconds();
+    }
+
+    Timer t4;
+    x.add(LevelNumber(1), level.r);
+    {
+      DGFLOW_PROF_SCOPE("smoother");
+      level.smoother.smooth(x, b, false);
+    }
+    level_seconds_[l] += t4.seconds();
+  }
+
   Options options_;
   BoundaryMap bc_;
 
@@ -405,6 +573,14 @@ private:
   mutable Vector<double> amg_x_, amg_b_;
   mutable std::vector<double> level_seconds_;
   mutable double amg_seconds_ = 0.;
+
+  // distributed mode (setup_distributed)
+  vmpi::Communicator *comm_ = nullptr;
+  const vmpi::Partitioner *part_ = nullptr;
+  unsigned int q1_level_ = 0;
+  mutable std::vector<DistLevel> dist_levels_;
+  mutable DVec dist_src_f_;
+  mutable std::vector<double> c_allreduce_buf_;
 };
 
 } // namespace dgflow

@@ -53,14 +53,30 @@ public:
   void prolongate(Vector<Number> &fine,
                   const Vector<Number> &coarse) const override
   {
-    const std::size_t npc_f = nf_ * nf_ * nf_, npc_c = nc_ * nc_ * nc_;
     fine.reinit(mf_.n_dofs(space_f_, 1), true);
+    prolongate_cells(fine.data(), coarse.data(), mf_.n_cells());
+  }
+
+  void restrict_down(Vector<Number> &coarse,
+                     const Vector<Number> &fine) const override
+  {
+    coarse.reinit(mf_.n_dofs(space_c_, 1), true);
+    restrict_cells(coarse.data(), fine.data(), mf_.n_cells());
+  }
+
+  /// Cell-range variant for distributed levels: fine/coarse point at dense
+  /// per-cell dof blocks of n_cells consecutive cells (the owned range of a
+  /// DistributedVector). The transfer is cell-local — no communication.
+  void prolongate_cells(Number *fine, const Number *coarse,
+                        const index_t n_cells) const
+  {
+    const std::size_t npc_f = nf_ * nf_ * nf_, npc_c = nc_ * nc_ * nc_;
     const unsigned int mx = std::max(nf_, nc_);
     std::vector<Number> t1(mx * mx * mx), t2(mx * mx * mx);
-    for (index_t c = 0; c < mf_.n_cells(); ++c)
+    for (index_t c = 0; c < n_cells; ++c)
     {
-      const Number *src = coarse.data() + c * npc_c;
-      Number *dst = fine.data() + c * npc_f;
+      const Number *src = coarse + c * npc_c;
+      Number *dst = fine + c * npc_f;
       apply_matrix_1d<false, false>(P1d_.data(), nf_, nc_, src, t1.data(), 0,
                                     {{nc_, nc_, nc_}});
       apply_matrix_1d<false, false>(P1d_.data(), nf_, nc_, t1.data(),
@@ -70,17 +86,16 @@ public:
     }
   }
 
-  void restrict_down(Vector<Number> &coarse,
-                     const Vector<Number> &fine) const override
+  void restrict_cells(Number *coarse, const Number *fine,
+                      const index_t n_cells) const
   {
     const std::size_t npc_f = nf_ * nf_ * nf_, npc_c = nc_ * nc_ * nc_;
-    coarse.reinit(mf_.n_dofs(space_c_, 1), true);
     const unsigned int mx = std::max(nf_, nc_);
     std::vector<Number> t1(mx * mx * mx), t2(mx * mx * mx);
-    for (index_t c = 0; c < mf_.n_cells(); ++c)
+    for (index_t c = 0; c < n_cells; ++c)
     {
-      const Number *src = fine.data() + c * npc_f;
-      Number *dst = coarse.data() + c * npc_c;
+      const Number *src = fine + c * npc_f;
+      Number *dst = coarse + c * npc_c;
       apply_matrix_1d<true, false>(P1d_.data(), nf_, nc_, src, t1.data(), 2,
                                    {{nf_, nf_, nf_}});
       apply_matrix_1d<true, false>(P1d_.data(), nf_, nc_, t1.data(), t2.data(),
@@ -135,6 +150,43 @@ public:
     for (std::size_t r = 0; r < n_rows_; ++r)
     {
       const Number v = fine[r];
+      if (v == Number(0))
+        continue;
+      for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k)
+        coarse[col_idx_[k]] += values_[k] * v;
+    }
+  }
+
+  std::size_t n_rows() const { return n_rows_; }
+  std::size_t n_cols() const { return n_cols_; }
+
+  /// Row-range variants for distributed levels where the fine side is
+  /// row-partitioned (the DG side of the c-transfer: rows are cell-local
+  /// DoFs, so a rank's owned cells are the contiguous row range
+  /// [row_begin, row_end)) and the coarse side is a replicated full vector.
+  /// fine_rows points at local row row_begin.
+  void prolongate_rows(Number *fine_rows, const Vector<Number> &coarse,
+                       const std::size_t row_begin,
+                       const std::size_t row_end) const
+  {
+    for (std::size_t r = row_begin; r < row_end; ++r)
+    {
+      Number sum = 0;
+      for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k)
+        sum += values_[k] * coarse[col_idx_[k]];
+      fine_rows[r - row_begin] = sum;
+    }
+  }
+
+  /// Accumulates the owned rows' contributions into the (caller-zeroed)
+  /// replicated coarse vector; the caller allreduce-sums across ranks.
+  void restrict_down_rows(Vector<Number> &coarse, const Number *fine_rows,
+                          const std::size_t row_begin,
+                          const std::size_t row_end) const
+  {
+    for (std::size_t r = row_begin; r < row_end; ++r)
+    {
+      const Number v = fine_rows[r - row_begin];
       if (v == Number(0))
         continue;
       for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k)

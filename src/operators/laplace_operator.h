@@ -43,25 +43,35 @@ public:
 
   void initialize_vector(VectorType &v) const { v.reinit(n_dofs()); }
 
-  void vmult(VectorType &dst, const VectorType &src) const
+  /// Templated on the vector type (vector-space concept): a serial Vector
+  /// runs the classic cell/inner-face/boundary-face loops; a
+  /// vmpi::DistributedVector runs this rank's batch ranges with the ghost
+  /// exchange overlapped behind the owned-cell loop. dst comes back
+  /// owned-only (both sides of a cut face evaluate the full flux and keep
+  /// their own side, so no compress is needed); src is left ghosted.
+  template <typename VectorType2>
+  void vmult(VectorType2 &dst, const VectorType2 &src) const
   {
-    dst.reinit(n_dofs(), true);
+    if constexpr (is_distributed_vector_v<VectorType2>)
+      dst.reinit_like(src, true);
+    else
+      dst.reinit(n_dofs(), true);
     dst = Number(0);
     vmult_add(dst, src);
   }
 
-  void vmult_add(VectorType &dst, const VectorType &src) const
+  template <typename VectorType2>
+  void vmult_add(VectorType2 &dst, const VectorType2 &src) const
   {
+    constexpr bool distributed = is_distributed_vector_v<VectorType2>;
     DGFLOW_PROF_SCOPE("laplace");
-    DGFLOW_PROF_COUNT("mf_cell_batches", mf_->n_cell_batches());
-    DGFLOW_PROF_COUNT("mf_face_batches", mf_->n_face_batches());
     DGFLOW_PROF_COUNT("mf_dofs", src.size() + dst.size());
     DGFLOW_PROF_THROUGHPUT("laplace", n_dofs());
     DGFLOW_PROF_GAUGE("laplace_bytes_per_dof",
                       mf_->estimated_vmult_bytes_per_dof(space_, quad_));
+
     FEEvaluation<Number, 1> phi(*mf_, space_, quad_);
-    for (unsigned int b = 0; b < mf_->n_cell_batches(); ++b)
-    {
+    const auto process_cell = [&](const unsigned int b) {
       phi.reinit(b);
       phi.read_dof_values(src);
       phi.evaluate(false, true);
@@ -69,12 +79,11 @@ public:
         phi.submit_gradient(phi.get_gradient(q), q);
       phi.integrate(false, true);
       phi.distribute_local_to_global(dst);
-    }
+    };
 
     FEFaceEvaluation<Number, 1> phi_m(*mf_, space_, quad_, true);
     FEFaceEvaluation<Number, 1> phi_p(*mf_, space_, quad_, false);
-    for (unsigned int b = 0; b < mf_->n_inner_face_batches(); ++b)
-    {
+    const auto process_inner = [&](const unsigned int b) {
       phi_m.reinit(b);
       phi_p.reinit(b);
       phi_m.read_dof_values(src);
@@ -100,15 +109,13 @@ public:
       phi_p.integrate(true, true);
       phi_m.distribute_local_to_global(dst);
       phi_p.distribute_local_to_global(dst);
-    }
+    };
 
-    for (unsigned int b = mf_->n_inner_face_batches();
-         b < mf_->n_face_batches(); ++b)
-    {
+    const auto process_boundary = [&](const unsigned int b) {
       phi_m.reinit(b);
       const BoundaryType type = bc_.type_of(phi_m.boundary_id());
       if (type == BoundaryType::neumann)
-        continue; // homogeneous operator: no contribution
+        return; // homogeneous operator: no contribution
       phi_m.read_dof_values(src);
       phi_m.evaluate(true, true);
       const VA sigma = phi_m.penalty_parameter();
@@ -122,6 +129,40 @@ public:
       }
       phi_m.integrate(true, true);
       phi_m.distribute_local_to_global(dst);
+    };
+
+    if constexpr (distributed)
+    {
+      const int rank = src.rank();
+      // overlap: post the ghost exchange, evaluate owned cells, wait, then
+      // evaluate this rank's faces (ghost reads only happen on cut faces)
+      src.update_ghost_values_start();
+      const auto [cell_begin, cell_end] = mf_->cell_batch_range(rank);
+      for (unsigned int b = cell_begin; b < cell_end; ++b)
+        process_cell(b);
+      src.update_ghost_values_finish();
+      const auto &face_list = mf_->face_batches_of_rank(rank);
+      for (const unsigned int b : face_list)
+      {
+        if (mf_->face_batch(b).interior)
+          process_inner(b);
+        else
+          process_boundary(b);
+      }
+      DGFLOW_PROF_COUNT("mf_cell_batches", cell_end - cell_begin);
+      DGFLOW_PROF_COUNT("mf_face_batches", face_list.size());
+    }
+    else
+    {
+      for (unsigned int b = 0; b < mf_->n_cell_batches(); ++b)
+        process_cell(b);
+      for (unsigned int b = 0; b < mf_->n_inner_face_batches(); ++b)
+        process_inner(b);
+      for (unsigned int b = mf_->n_inner_face_batches();
+           b < mf_->n_face_batches(); ++b)
+        process_boundary(b);
+      DGFLOW_PROF_COUNT("mf_cell_batches", mf_->n_cell_batches());
+      DGFLOW_PROF_COUNT("mf_face_batches", mf_->n_face_batches());
     }
   }
 

@@ -32,7 +32,11 @@ struct ScalingModel
   /// efficiency penalty of unstructured/adaptive meshes (partially filled
   /// SIMD lanes, differing face orientations; Fig. 8 lung vs bifurcation)
   double mesh_efficiency = 1.0;
-  /// messages each rank exchanges per operator evaluation
+  /// messages each rank exchanges per operator evaluation; for a concrete
+  /// mesh partition this is neighbors_per_rank (one message per neighbor
+  /// per ghost exchange, validated against vmpi traffic counters — see
+  /// predict_exchange_traffic in mesh/partition.h), the default models the
+  /// paper's large-node-count runs
   double neighbor_messages = 20.;
   /// fraction of communication latency hidden behind computation
   double overlap_fraction = 0.4;

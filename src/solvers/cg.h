@@ -51,7 +51,10 @@ template <typename Number>
 class PreconditionJacobi
 {
 public:
-  void reinit(const Vector<Number> &diagonal)
+  /// Accepts any vector over the local range (serial Vector or the owned
+  /// range of a DistributedVector); the inverse diagonal is stored locally.
+  template <typename VectorType>
+  void reinit(const VectorType &diagonal)
   {
     inv_diag_.reinit(diagonal.size(), true);
     for (std::size_t i = 0; i < diagonal.size(); ++i)
@@ -67,9 +70,11 @@ public:
     }
   }
 
-  void vmult(Vector<Number> &dst, const Vector<Number> &src) const
+  template <typename VectorType>
+  void vmult(VectorType &dst, const VectorType &src) const
   {
-    dst.reinit(src.size(), true);
+    DGFLOW_DEBUG_ASSERT(src.size() == inv_diag_.size(), "size mismatch");
+    dst.reinit_like(src, true);
     for (std::size_t i = 0; i < src.size(); ++i)
       dst[i] = inv_diag_[i] * src[i];
   }
@@ -81,16 +86,35 @@ private:
 };
 
 /// Solves A x = b with initial guess x; returns the solve statistics.
-template <typename Operator, typename Preconditioner, typename Number>
-SolveStats solve_cg(const Operator &A, Vector<Number> &x,
-                    const Vector<Number> &b, Preconditioner &P,
-                    const SolverControl &control)
+///
+/// Templated on the vector type: works unchanged for the serial Vector and
+/// for vmpi::DistributedVector, where every dot/norm is one allreduce and
+/// the operator vmult performs the ghost exchange. For distributed solves
+/// the per-solve vmpi traffic (messages/bytes/allreduces) is published as
+/// cg_vmpi_* gauges.
+template <typename Operator, typename Preconditioner, typename VectorType>
+SolveStats solve_cg(const Operator &A, VectorType &x, const VectorType &b,
+                    Preconditioner &P, const SolverControl &control)
 {
+  using Number = typename VectorType::value_type;
+  constexpr bool distributed = is_distributed_vector_v<VectorType>;
   DGFLOW_PROF_SCOPE("cg");
   Timer solve_timer;
   SolveStats result;
-  const std::size_t n = b.size();
-  Vector<Number> r(n), z(n), p(n), Ap(n);
+  VectorType r, z, p, Ap;
+  r.reinit_like(b);
+  z.reinit_like(b);
+  p.reinit_like(b);
+  Ap.reinit_like(b);
+
+  unsigned long long messages0 = 0, bytes0 = 0, allreduces0 = 0;
+  if constexpr (distributed)
+  {
+    const auto &t = b.communicator().traffic();
+    messages0 = t.messages;
+    bytes0 = t.bytes;
+    allreduces0 = t.allreduces;
+  }
 
   const auto finish = [&](SolveStats &stats) -> SolveStats & {
     stats.seconds = solve_timer.seconds();
@@ -98,6 +122,14 @@ SolveStats solve_cg(const Operator &A, Vector<Number> &x,
     DGFLOW_PROF_COUNT("cg_iterations", stats.iterations);
     if (stats.failed())
       DGFLOW_PROF_COUNT("cg_failures", 1);
+    if constexpr (distributed)
+    {
+      const auto &t = b.communicator().traffic();
+      DGFLOW_PROF_GAUGE("cg_vmpi_messages", double(t.messages - messages0));
+      DGFLOW_PROF_GAUGE("cg_vmpi_bytes", double(t.bytes - bytes0));
+      DGFLOW_PROF_GAUGE("cg_vmpi_allreduces",
+                        double(t.allreduces - allreduces0));
+    }
     return stats;
   };
 

@@ -7,6 +7,13 @@
 // smoothing range targets the upper part of the spectrum as usual for
 // multigrid smoothers.
 //
+// Templated on the vector type (vector-space concept): the same smoother
+// runs on the serial Vector and on vmpi::DistributedVector, where the
+// operator vmult performs the ghost exchange and every dot is an allreduce.
+// The eigenvalue-estimation seed vector is filled from a hash of the global
+// element index, so serial and distributed runs of the same operator
+// estimate identical spectra regardless of the partition.
+//
 // Failure handling: eigenvalue-estimation breakdown or non-finite input no
 // longer aborts. reinit() records a failed SolveStats (setup_stats()) and
 // falls back to conservative eigenvalue bounds so the V-cycle stays usable;
@@ -14,7 +21,7 @@
 // the outer CG then surfaces as a non_finite solve failure.
 
 #include <cmath>
-#include <random>
+#include <cstdint>
 
 #include "common/vector.h"
 #include "solvers/cg.h"
@@ -30,31 +37,54 @@ struct ChebyshevData
   unsigned int power_iterations = 20;
 };
 
-template <typename Operator, typename Number>
+namespace internal
+{
+/// Deterministic pseudo-random value in [-1, 1) from a global index
+/// (splitmix64 finalizer). Used to seed the Lanczos eigenvalue estimation
+/// identically on every rank layout.
+inline double hash_to_unit_interval(std::uint64_t x)
+{
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  x = x ^ (x >> 31);
+  return 2. * (double(x >> 11) * 0x1.0p-53) - 1.;
+}
+} // namespace internal
+
+template <typename Operator, typename VectorType>
 class ChebyshevSmoother
 {
 public:
+  using Number = typename VectorType::value_type;
   using AdditionalData = ChebyshevData;
 
-  void reinit(const Operator &op, const Vector<Number> &diagonal,
+  void reinit(const Operator &op, const VectorType &diagonal,
               const AdditionalData &data = AdditionalData())
   {
-    op_ = &op;
-    data_ = data;
-    setup_stats_ = SolveStats();
-    inv_diag_.reinit(diagonal.size(), true);
-    for (std::size_t i = 0; i < diagonal.size(); ++i)
-    {
-      const bool usable =
-        std::isfinite(double(diagonal[i])) && diagonal[i] != Number(0);
-      if (!usable)
-        setup_stats_.failure = SolveFailure::non_finite;
-      inv_diag_[i] = usable ? Number(1) / diagonal[i] : Number(1);
-    }
+    initialize(op, diagonal, data);
     if (setup_stats_.failure == SolveFailure::none)
       estimate_eigenvalues();
     else
       use_fallback_eigenvalues();
+  }
+
+  /// reinit() with externally supplied eigenvalue bounds instead of the
+  /// Lanczos estimation: lambda_max must already include any safety factor
+  /// (it is used verbatim; lambda_min = lambda_max / smoothing_range).
+  /// Distributed multigrid levels use this to adopt the bounds estimated by
+  /// the replicated serial setup, which makes the distributed V-cycle
+  /// iterate identically to the serial one.
+  void reinit_with_bounds(const Operator &op, const VectorType &diagonal,
+                          const double lambda_max,
+                          const AdditionalData &data = AdditionalData())
+  {
+    initialize(op, diagonal, data);
+    DGFLOW_ASSERT(std::isfinite(lambda_max) && lambda_max > 0,
+                  "invalid eigenvalue bound " << lambda_max);
+    lambda_max_ = lambda_max;
+    lambda_min_ = lambda_max_ / data_.smoothing_range;
+    setup_stats_.converged = true;
   }
 
   double max_eigenvalue() const { return lambda_max_; }
@@ -66,7 +96,7 @@ public:
 
   /// One smoothing sweep: improves x for A x = b, starting from the given x
   /// (pass x = 0 for the pre-smoother on the residual equation).
-  void smooth(Vector<Number> &x, const Vector<Number> &b,
+  void smooth(VectorType &x, const VectorType &b,
               const bool zero_initial_guess) const
   {
     DGFLOW_PROF_COUNT("chebyshev_sweeps", 1);
@@ -74,8 +104,8 @@ public:
     const double theta = 0.5 * (lambda_max_ + lambda_min_);
     const double delta = 0.5 * (lambda_max_ - lambda_min_);
 
-    r_.reinit(x.size(), true);
-    d_.reinit(x.size(), true);
+    r_.reinit_like(x, true);
+    d_.reinit_like(x, true);
 
     // r = D^{-1} (b - A x)
     if (zero_initial_guess)
@@ -112,7 +142,7 @@ public:
   /// smooth() plus a finiteness check of the result, reported as a
   /// SolveStats (failure = non_finite when the sweep produced NaN/Inf).
   /// Off the V-cycle hot path; used by diagnostics and recovery logic.
-  SolveStats smooth_checked(Vector<Number> &x, const Vector<Number> &b,
+  SolveStats smooth_checked(VectorType &x, const VectorType &b,
                             const bool zero_initial_guess) const
   {
     SolveStats stats;
@@ -131,13 +161,30 @@ public:
   }
 
   /// Preconditioner interface (zero initial guess).
-  void vmult(Vector<Number> &dst, const Vector<Number> &src) const
+  void vmult(VectorType &dst, const VectorType &src) const
   {
-    dst.reinit(src.size(), true);
+    dst.reinit_like(src, true);
     smooth(dst, src, true);
   }
 
 private:
+  void initialize(const Operator &op, const VectorType &diagonal,
+                  const AdditionalData &data)
+  {
+    op_ = &op;
+    data_ = data;
+    setup_stats_ = SolveStats();
+    inv_diag_.reinit_like(diagonal, true);
+    for (std::size_t i = 0; i < diagonal.size(); ++i)
+    {
+      const bool usable =
+        std::isfinite(double(diagonal[i])) && diagonal[i] != Number(0);
+      if (!usable)
+        setup_stats_.failure = SolveFailure::non_finite;
+      inv_diag_[i] = usable ? Number(1) / diagonal[i] : Number(1);
+    }
+  }
+
   /// Estimates the largest eigenvalue of D^{-1} A by the Lanczos process
   /// embedded in a Jacobi-preconditioned CG run (the deal.II approach): the
   /// CG coefficients alpha_k, beta_k form a tridiagonal matrix whose Ritz
@@ -149,11 +196,14 @@ private:
   void estimate_eigenvalues()
   {
     const std::size_t n = inv_diag_.size();
-    Vector<Number> r(n), z(n), p(n), Ap(n);
-    std::mt19937 rng(42);
-    std::uniform_real_distribution<double> dist(-1., 1.);
+    VectorType r, z, p, Ap;
+    r.reinit_like(inv_diag_);
+    z.reinit_like(inv_diag_);
+    p.reinit_like(inv_diag_);
+    Ap.reinit_like(inv_diag_);
+    const std::size_t offset = inv_diag_.first_local_index();
     for (std::size_t i = 0; i < n; ++i)
-      r[i] = Number(dist(rng));
+      r[i] = Number(internal::hash_to_unit_interval(offset + i));
 
     z = r;
     z.scale_pointwise(inv_diag_);
@@ -225,10 +275,10 @@ private:
 
   const Operator *op_ = nullptr;
   AdditionalData data_;
-  Vector<Number> inv_diag_;
+  VectorType inv_diag_;
   double lambda_max_ = 1., lambda_min_ = 0.05;
   SolveStats setup_stats_;
-  mutable Vector<Number> r_, d_;
+  mutable VectorType r_, d_;
 };
 
 } // namespace dgflow

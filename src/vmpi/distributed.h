@@ -1,22 +1,26 @@
 #pragma once
 
 // Distributed sparse linear algebra over the virtual-MPI layer: a
-// row-partitioned CSR matrix with precomputed ghost-exchange lists and a
-// distributed conjugate gradient solver (dot products via allreduce). This
-// exercises the same partition / nearest-neighbor-exchange / global-
-// reduction pattern the paper's MPI solver uses, with logical ranks in one
-// process (see DESIGN.md substitution table).
+// row-partitioned CSR matrix whose ghost bookkeeping lives in the shared
+// Partitioner / DistributedVector machinery (vmpi/partitioner.h). The
+// matrix only applies its owned rows; ghost columns resolve through the
+// vector's ghost section, and solves use the generic solve_cg on
+// DistributedVector (dot products via allreduce). This exercises the same
+// partition / nearest-neighbor-exchange / global-reduction pattern the
+// paper's MPI solver uses, with logical ranks in one process (see DESIGN.md
+// substitution table).
 
-#include <map>
+#include <vector>
 
 #include "amg/sparse_matrix.h"
-#include "vmpi/communicator.h"
+#include "vmpi/distributed_vector.h"
+#include "vmpi/partitioner.h"
 
 namespace dgflow::vmpi
 {
 /// One rank's share of a row-partitioned CSR matrix. Constructed from the
 /// replicated global matrix (setup convenience; the *solve* communicates
-/// only boundary data).
+/// only boundary data through DistributedVector ghost exchange).
 class DistributedCSR
 {
 public:
@@ -25,172 +29,76 @@ public:
   {
     const std::size_t n = global.n_rows();
     const int size = comm.size(), rank = comm.rank();
-    row_begin_ = n * rank / size;
-    row_end_ = n * (rank + 1) / size;
-    n_global_ = n;
+    const std::size_t row_begin = n * rank / size;
+    const std::size_t row_end = n * std::size_t(rank + 1) / size;
 
-    auto owner = [&](const std::size_t row) {
-      // inverse of the contiguous partition above
-      int r = static_cast<int>(row * size / n);
-      while (n * r / size > row)
-        --r;
-      while (n * (r + 1) / size <= row)
-        ++r;
-      return r;
-    };
-
-    // local rows, with columns remapped: owned columns -> [0, n_local),
-    // off-rank columns -> ghost slots appended after the owned range
-    std::map<std::size_t, std::size_t> ghost_slot;
-    row_ptr_.push_back(0);
-    for (std::size_t r = row_begin_; r < row_end_; ++r)
-    {
+    // the off-rank columns of the owned rows are exactly the ghosts
+    std::vector<std::size_t> ghosts;
+    for (std::size_t r = row_begin; r < row_end; ++r)
       for (std::size_t k = global.row_ptr()[r]; k < global.row_ptr()[r + 1];
            ++k)
       {
         const std::size_t c = global.col_idx()[k];
-        std::size_t local_c;
-        if (c >= row_begin_ && c < row_end_)
-          local_c = c - row_begin_;
-        else
-        {
-          const auto [it, inserted] =
-            ghost_slot.emplace(c, n_local() + ghost_slot.size());
-          local_c = it->second;
-        }
+        if (c < row_begin || c >= row_end)
+          ghosts.push_back(c);
+      }
+    part_ =
+      Partitioner::from_ghost_indices(comm, n, row_begin, row_end, ghosts);
+
+    // local rows with columns remapped to the partitioner's local indexing:
+    // owned columns -> [0, n_owned), ghosts -> n_owned + sorted position
+    row_ptr_.push_back(0);
+    for (std::size_t r = row_begin; r < row_end; ++r)
+    {
+      for (std::size_t k = global.row_ptr()[r]; k < global.row_ptr()[r + 1];
+           ++k)
+      {
+        const std::size_t local_c =
+          part_.local_index(global.col_idx()[k]);
+        DGFLOW_ASSERT(local_c != Partitioner::invalid_local,
+                      "column neither owned nor ghosted");
         col_idx_.push_back(local_c);
         values_.push_back(global.values()[k]);
       }
       row_ptr_.push_back(col_idx_.size());
     }
-
-    // group the needed ghosts by owner
-    for (const auto &[global_col, slot] : ghost_slot)
-      recv_lists_[owner(global_col)].push_back(global_col);
-
-    // tell every rank which of its entries we need (empty request = none)
-    for (int other = 0; other < size; ++other)
-    {
-      if (other == rank)
-        continue;
-      const auto it = recv_lists_.find(other);
-      static const std::vector<std::size_t> empty;
-      comm.send_vector(other, tag_request,
-                       it == recv_lists_.end() ? empty : it->second);
-    }
-    for (int other = 0; other < size; ++other)
-    {
-      if (other == rank)
-        continue;
-      auto wanted = comm.recv_vector<std::size_t>(other, tag_request, n);
-      if (!wanted.empty())
-        send_lists_[other] = std::move(wanted);
-    }
-
-    // ghost slots in deterministic order for unpacking
-    ghost_order_.resize(ghost_slot.size());
-    for (const auto &[global_col, slot] : ghost_slot)
-      ghost_order_[slot - n_local()] = global_col;
   }
 
-  std::size_t n_local() const { return row_end_ - row_begin_; }
-  std::size_t row_begin() const { return row_begin_; }
+  const Partitioner &partitioner() const { return part_; }
+  std::size_t n_local() const { return part_.n_owned(); }
+  std::size_t row_begin() const { return part_.owned_begin(); }
 
-  /// Distributed mat-vec on owned vectors: exchanges ghost values, then
-  /// applies the local rows.
-  void vmult(Vector<double> &dst, const Vector<double> &src) const
+  /// Sizes @p v for this matrix's row partition (block size 1).
+  void initialize_vector(DistributedVector<double> &v) const
   {
-    // post boundary data to every neighbor that asked for it
-    for (const auto &[other, wanted] : send_lists_)
-    {
-      std::vector<double> payload(wanted.size());
-      for (std::size_t i = 0; i < wanted.size(); ++i)
-        payload[i] = src[wanted[i] - row_begin_];
-      comm_.send_vector(other, tag_data, payload);
-    }
-    // receive ghosts
-    std::vector<double> ghosts(ghost_order_.size());
-    {
-      std::map<std::size_t, double> by_global;
-      for (const auto &[other, cols] : recv_lists_)
-      {
-        const auto payload =
-          comm_.recv_vector<double>(other, tag_data, cols.size());
-        for (std::size_t i = 0; i < cols.size(); ++i)
-          by_global[cols[i]] = payload[i];
-      }
-      for (std::size_t g = 0; g < ghost_order_.size(); ++g)
-        ghosts[g] = by_global.at(ghost_order_[g]);
-    }
+    v.reinit(part_, comm_, 1);
+  }
 
-    dst.reinit(n_local(), true);
+  /// Distributed mat-vec: refreshes the ghost section of @p src, then
+  /// applies the owned rows. @p dst is owned-only on return.
+  void vmult(DistributedVector<double> &dst,
+             const DistributedVector<double> &src) const
+  {
+    src.update_ghost_values_start();
+    src.update_ghost_values_finish();
+    dst.reinit_like(src, true);
+    const double *in = src.data();
+    double *out = dst.data();
     const std::size_t nl = n_local();
     for (std::size_t r = 0; r < nl; ++r)
     {
       double sum = 0;
       for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k)
-      {
-        const std::size_t c = col_idx_[k];
-        sum += values_[k] * (c < nl ? src[c] : ghosts[c - nl]);
-      }
-      dst[r] = sum;
+        sum += values_[k] * in[col_idx_[k]];
+      out[r] = sum;
     }
-  }
-
-  double dot(const Vector<double> &a, const Vector<double> &b) const
-  {
-    double local = 0;
-    for (std::size_t i = 0; i < n_local(); ++i)
-      local += a[i] * b[i];
-    return comm_.allreduce(local, Communicator::Op::sum);
   }
 
 private:
-  static constexpr int tag_request = 900;
-  static constexpr int tag_data = 901;
-
   Communicator &comm_;
-  std::size_t row_begin_ = 0, row_end_ = 0, n_global_ = 0;
+  Partitioner part_;
   std::vector<std::size_t> row_ptr_, col_idx_;
   std::vector<double> values_;
-  std::map<int, std::vector<std::size_t>> send_lists_, recv_lists_;
-  std::vector<std::size_t> ghost_order_;
 };
-
-/// Distributed unpreconditioned CG on the owned rows; returns iterations.
-inline unsigned int distributed_cg(const DistributedCSR &A, Vector<double> &x,
-                                   const Vector<double> &b,
-                                   const double rel_tol,
-                                   const unsigned int max_iterations)
-{
-  const std::size_t n = A.n_local();
-  Vector<double> r(n), p(n), Ap(n);
-  A.vmult(Ap, x);
-  for (std::size_t i = 0; i < n; ++i)
-    r[i] = b[i] - Ap[i];
-  p = r;
-  double rr = A.dot(r, r);
-  const double b_norm = std::sqrt(A.dot(b, b));
-  const double tol = rel_tol * (b_norm > 0 ? b_norm : 1.);
-
-  for (unsigned int it = 1; it <= max_iterations; ++it)
-  {
-    A.vmult(Ap, p);
-    const double alpha = rr / A.dot(p, Ap);
-    for (std::size_t i = 0; i < n; ++i)
-    {
-      x[i] += alpha * p[i];
-      r[i] -= alpha * Ap[i];
-    }
-    const double rr_new = A.dot(r, r);
-    if (std::sqrt(rr_new) <= tol)
-      return it;
-    const double beta = rr_new / rr;
-    rr = rr_new;
-    for (std::size_t i = 0; i < n; ++i)
-      p[i] = r[i] + beta * p[i];
-  }
-  return max_iterations;
-}
 
 } // namespace dgflow::vmpi

@@ -1,0 +1,281 @@
+#pragma once
+
+// Element partition description for distributed vectors (paper Section 3.3:
+// SFC-partitioned cells with nearest-neighbor ghost exchange). A Partitioner
+// describes, for one rank, which contiguous global range of elements it owns,
+// which off-rank elements it needs as ghosts, and the precomputed
+// per-neighbor exchange lists a DistributedVector uses for
+// update_ghost_values()/compress(). "Element" is deliberately abstract: for
+// the matrix-free solver stack an element is an active cell (each cell owns
+// one contiguous block of DoFs), for DistributedCSR it is a matrix row.
+//
+// Two factories:
+//  * cell_partitioner() builds the exchange lists symmetrically from the
+//    face list, with no communication (every rank sees the replicated mesh
+//    and the same rank_of_cell vector, so the lists agree by construction).
+//  * from_ghost_indices() performs a request handshake over the Communicator
+//    for the generic case where only the local ghost set is known.
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "common/exceptions.h"
+#include "mesh/mesh.h"
+#include "vmpi/communicator.h"
+
+namespace dgflow
+{
+namespace vmpi
+{
+class Partitioner
+{
+public:
+  /// One neighbor's exchange list: global element indices, sorted.
+  using ExchangeLists = std::map<int, std::vector<std::size_t>>;
+
+  static constexpr std::size_t invalid_local = ~std::size_t(0);
+
+  Partitioner() = default;
+
+  /// Builds the partition of the mesh's active cells for rank my_rank out of
+  /// rank_of_cell (as produced by partition_cells(): ownership must be
+  /// contiguous along the SFC cell order). Ghosts are the off-rank cells
+  /// sharing a face with an owned cell; the send list towards a neighbor
+  /// mirrors that neighbor's ghost list. No communication.
+  static Partitioner cell_partitioner(const Mesh &mesh,
+                                      const std::vector<int> &rank_of_cell,
+                                      const int my_rank, const int n_ranks)
+  {
+    const std::size_t n = mesh.n_active_cells();
+    DGFLOW_ASSERT(rank_of_cell.size() == n, "rank_of_cell size mismatch");
+
+    Partitioner p;
+    p.rank_ = my_rank;
+    p.n_ranks_ = n_ranks;
+    p.n_global_ = n;
+    p.owned_begin_ = n;
+    p.owned_end_ = 0;
+    for (std::size_t i = 0; i < n; ++i)
+      if (rank_of_cell[i] == my_rank)
+      {
+        p.owned_begin_ = std::min(p.owned_begin_, i);
+        p.owned_end_ = std::max(p.owned_end_, i + 1);
+      }
+    if (p.owned_begin_ >= p.owned_end_)
+      p.owned_begin_ = p.owned_end_ = 0; // empty rank
+    for (std::size_t i = p.owned_begin_; i < p.owned_end_; ++i)
+      DGFLOW_ASSERT(rank_of_cell[i] == my_rank,
+                    "cell ownership must be contiguous in SFC order");
+
+    // Ghosts and exchange lists from the face list. Each cut face
+    // contributes the off-rank cell to the ghost (recv) side and the owned
+    // cell to the send side of the same neighbor.
+    std::map<int, std::set<std::size_t>> send_sets, recv_sets;
+    for (const Mesh::Face &f : mesh.build_face_list())
+    {
+      if (f.is_boundary())
+        continue;
+      const int rm = rank_of_cell[f.cell_m], rp = rank_of_cell[f.cell_p];
+      if (rm == rp)
+        continue;
+      if (rm == my_rank)
+      {
+        send_sets[rp].insert(f.cell_m);
+        recv_sets[rp].insert(f.cell_p);
+      }
+      else if (rp == my_rank)
+      {
+        send_sets[rm].insert(f.cell_p);
+        recv_sets[rm].insert(f.cell_m);
+      }
+    }
+    for (const auto &[neighbor, cells] : send_sets)
+      p.send_lists_[neighbor].assign(cells.begin(), cells.end());
+    for (const auto &[neighbor, cells] : recv_sets)
+    {
+      p.recv_lists_[neighbor].assign(cells.begin(), cells.end());
+      p.ghost_indices_.insert(p.ghost_indices_.end(), cells.begin(),
+                              cells.end());
+    }
+    std::sort(p.ghost_indices_.begin(), p.ghost_indices_.end());
+    p.finalize();
+    return p;
+  }
+
+  /// Builds a partition from the locally known pieces: the global size, this
+  /// rank's owned range and the set of off-rank elements it needs as ghosts.
+  /// A request handshake over comm tells every owner which of its elements
+  /// the others want (the send lists); every rank must call this
+  /// collectively.
+  static Partitioner from_ghost_indices(Communicator &comm,
+                                        const std::size_t n_global,
+                                        const std::size_t owned_begin,
+                                        const std::size_t owned_end,
+                                        std::vector<std::size_t> ghost_indices)
+  {
+    Partitioner p;
+    p.rank_ = comm.rank();
+    p.n_ranks_ = comm.size();
+    p.n_global_ = n_global;
+    p.owned_begin_ = owned_begin;
+    p.owned_end_ = owned_end;
+    std::sort(ghost_indices.begin(), ghost_indices.end());
+    ghost_indices.erase(
+      std::unique(ghost_indices.begin(), ghost_indices.end()),
+      ghost_indices.end());
+    p.ghost_indices_ = std::move(ghost_indices);
+
+    // 1) every rank publishes its owned range so ghost owners can be found
+    std::vector<std::size_t> ranges(2 * p.n_ranks_, 0);
+    for (int r = 0; r < p.n_ranks_; ++r)
+      if (r != p.rank_)
+        comm.send_vector(r, tag_range,
+                         std::vector<std::size_t>{owned_begin, owned_end});
+    ranges[2 * p.rank_] = owned_begin;
+    ranges[2 * p.rank_ + 1] = owned_end;
+    for (int r = 0; r < p.n_ranks_; ++r)
+      if (r != p.rank_)
+      {
+        const auto range = comm.recv_vector<std::size_t>(r, tag_range, 2);
+        DGFLOW_ASSERT(range.size() == 2, "malformed range message");
+        ranges[2 * r] = range[0];
+        ranges[2 * r + 1] = range[1];
+      }
+    const auto owner_of = [&](const std::size_t g) {
+      for (int r = 0; r < p.n_ranks_; ++r)
+        if (g >= ranges[2 * r] && g < ranges[2 * r + 1])
+          return r;
+      DGFLOW_ASSERT(false, "ghost index owned by no rank");
+      return -1;
+    };
+
+    // 2) request handshake: tell each owner which elements we want; what the
+    //    others request from us becomes our send lists
+    for (const std::size_t g : p.ghost_indices_)
+      p.recv_lists_[owner_of(g)].push_back(g);
+    for (int r = 0; r < p.n_ranks_; ++r)
+    {
+      if (r == p.rank_)
+        continue;
+      auto it = p.recv_lists_.find(r);
+      comm.send_vector(r, tag_request,
+                       it == p.recv_lists_.end()
+                         ? std::vector<std::size_t>{}
+                         : it->second);
+    }
+    for (int r = 0; r < p.n_ranks_; ++r)
+    {
+      if (r == p.rank_)
+        continue;
+      auto wanted = comm.recv_vector<std::size_t>(r, tag_request, n_global);
+      if (!wanted.empty())
+        p.send_lists_[r] = std::move(wanted);
+    }
+    // recv_lists_ may hold empty entries for neighbors we sent nothing to
+    for (auto it = p.recv_lists_.begin(); it != p.recv_lists_.end();)
+      it = it->second.empty() ? p.recv_lists_.erase(it) : std::next(it);
+    p.finalize();
+    return p;
+  }
+
+  int rank() const { return rank_; }
+  int n_ranks() const { return n_ranks_; }
+  std::size_t n_global() const { return n_global_; }
+  std::size_t owned_begin() const { return owned_begin_; }
+  std::size_t owned_end() const { return owned_end_; }
+  std::size_t n_owned() const { return owned_end_ - owned_begin_; }
+  std::size_t n_ghosts() const { return ghost_indices_.size(); }
+  std::size_t n_local() const { return n_owned() + n_ghosts(); }
+
+  bool is_owned(const std::size_t global) const
+  {
+    return global >= owned_begin_ && global < owned_end_;
+  }
+
+  /// Local index of a global element: owned elements map to
+  /// [0, n_owned()), ghosts to [n_owned(), n_local()) in ascending global
+  /// order. Returns invalid_local for elements this rank does not know.
+  std::size_t local_index(const std::size_t global) const
+  {
+    if (is_owned(global))
+      return global - owned_begin_;
+    const auto it =
+      std::lower_bound(ghost_indices_.begin(), ghost_indices_.end(), global);
+    if (it == ghost_indices_.end() || *it != global)
+      return invalid_local;
+    return n_owned() + std::size_t(it - ghost_indices_.begin());
+  }
+
+  /// Sorted global indices of the ghost elements.
+  const std::vector<std::size_t> &ghost_indices() const
+  {
+    return ghost_indices_;
+  }
+
+  /// Owned elements to pack for each neighbor rank (sorted global indices).
+  const ExchangeLists &send_lists() const { return send_lists_; }
+
+  /// Ghost elements received from each neighbor rank (sorted global
+  /// indices); the union over neighbors is ghost_indices().
+  const ExchangeLists &recv_lists() const { return recv_lists_; }
+
+  /// Number of neighbor ranks this rank exchanges with (symmetric for the
+  /// face-based cell partitioner).
+  std::size_t n_neighbors() const
+  {
+    std::set<int> neighbors;
+    for (const auto &[r, list] : send_lists_)
+      neighbors.insert(r);
+    for (const auto &[r, list] : recv_lists_)
+      neighbors.insert(r);
+    return neighbors.size();
+  }
+
+  /// Total number of owned elements sent per exchange (an element sent to
+  /// two neighbors counts twice — it travels in two messages).
+  std::size_t n_send_elements() const
+  {
+    std::size_t n = 0;
+    for (const auto &[r, list] : send_lists_)
+      n += list.size();
+    return n;
+  }
+
+  bool operator==(const Partitioner &other) const
+  {
+    return rank_ == other.rank_ && n_ranks_ == other.n_ranks_ &&
+           n_global_ == other.n_global_ &&
+           owned_begin_ == other.owned_begin_ &&
+           owned_end_ == other.owned_end_ &&
+           ghost_indices_ == other.ghost_indices_;
+  }
+
+private:
+  static constexpr int tag_range = 920;
+  static constexpr int tag_request = 921;
+
+  void finalize()
+  {
+    for (auto &[r, list] : send_lists_)
+    {
+      std::sort(list.begin(), list.end());
+      for (const std::size_t g : list)
+        DGFLOW_ASSERT(is_owned(g), "send list entry not owned");
+    }
+    for (auto &[r, list] : recv_lists_)
+      std::sort(list.begin(), list.end());
+  }
+
+  int rank_ = 0;
+  int n_ranks_ = 1;
+  std::size_t n_global_ = 0;
+  std::size_t owned_begin_ = 0;
+  std::size_t owned_end_ = 0;
+  std::vector<std::size_t> ghost_indices_;
+  ExchangeLists send_lists_, recv_lists_;
+};
+
+} // namespace vmpi
+} // namespace dgflow

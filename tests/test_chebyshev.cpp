@@ -29,7 +29,7 @@ TEST(ChebyshevSmootherTest, EstimatesLargestEigenvalue)
     A.d[i] = 1. + 99. * double(i) / (n - 1); // spectrum [1, 100]
   Vector<double> diag(n);
   diag = 1.; // Jacobi = identity here
-  ChebyshevSmoother<DiagOp, double> smoother;
+  ChebyshevSmoother<DiagOp, Vector<double>> smoother;
   smoother.reinit(A, diag);
   // estimate includes the 1.2 safety factor
   EXPECT_GT(smoother.max_eigenvalue(), 95.);
@@ -45,7 +45,7 @@ TEST(ChebyshevSmootherTest, DampsHighFrequenciesStrongly)
     A.d[i] = 1. + 999. * double(i) / (n - 1);
   Vector<double> diag(n);
   diag = 1.;
-  ChebyshevSmoother<DiagOp, double> smoother;
+  ChebyshevSmoother<DiagOp, Vector<double>> smoother;
   smoother.reinit(A, diag);
 
   // solve A x = 0 from a random guess: "high" eigencomponents (upper part
@@ -77,7 +77,7 @@ TEST(ChebyshevSmootherTest, ActsAsConvergentIterationOnSPD)
   for (std::size_t i = 0; i < n; ++i)
     A.d[i] = 2. + double(i % 13);
   Vector<double> diag = A.d;
-  ChebyshevSmoother<DiagOp, double> smoother;
+  ChebyshevSmoother<DiagOp, Vector<double>> smoother;
   smoother.reinit(A, diag);
 
   Vector<double> b(n), x(n), r(n);
@@ -105,7 +105,7 @@ TEST(ChebyshevSmootherTest, VmultIsLinearInSource)
   for (std::size_t i = 0; i < n; ++i)
     A.d[i] = 1. + double(i);
   Vector<double> diag = A.d;
-  ChebyshevSmoother<DiagOp, double> smoother;
+  ChebyshevSmoother<DiagOp, Vector<double>> smoother;
   smoother.reinit(A, diag);
 
   Vector<double> b1(n), b2(n), y1, y2, ysum, bsum(n);

@@ -171,7 +171,7 @@ TEST(ChebyshevResilienceTest, EstimationBreakdownFallsBackToSafeBounds)
   const ZeroOperator op;
   Vector<double> diag(16);
   diag = 1.;
-  ChebyshevSmoother<ZeroOperator, double> cheb;
+  ChebyshevSmoother<ZeroOperator, Vector<double>> cheb;
   cheb.reinit(op, diag);
   EXPECT_FALSE(cheb.setup_stats().converged);
   EXPECT_EQ(cheb.setup_stats().failure, SolveFailure::breakdown);
@@ -190,7 +190,7 @@ TEST(ChebyshevResilienceTest, NonFiniteDiagonalAndSweepAreDetected)
   Vector<double> diag(8);
   diag = 1.;
   diag[3] = NaN;
-  ChebyshevSmoother<NaNOperator, double> cheb;
+  ChebyshevSmoother<NaNOperator, Vector<double>> cheb;
   cheb.reinit(op, diag);
   EXPECT_FALSE(cheb.setup_stats().converged);
   EXPECT_EQ(cheb.setup_stats().failure, SolveFailure::non_finite);

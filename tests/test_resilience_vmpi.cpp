@@ -188,14 +188,19 @@ TEST(ResilienceVmpiTest, DelayAndReorderPreserveDistributedCGBitwise)
       if (plan)
         comm.install_fault_handler(plan);
       vmpi::DistributedCSR dist(comm, A);
-      Vector<double> xl(dist.n_local()), bl(dist.n_local());
-      for (std::size_t i = 0; i < dist.n_local(); ++i)
-        bl[i] = b[dist.row_begin() + i];
-      const unsigned int r = vmpi::distributed_cg(dist, xl, bl, 1e-10, 500);
+      vmpi::DistributedVector<double> xl, bl;
+      dist.initialize_vector(xl);
+      dist.initialize_vector(bl);
+      bl.copy_owned_from(b);
+      PreconditionIdentity id;
+      SolverControl ctrl;
+      ctrl.rel_tol = 1e-10;
+      ctrl.max_iterations = 500;
+      const auto stats = solve_cg(dist, xl, bl, id, ctrl);
       if (comm.rank() == 0)
-        its = r;
+        its = stats.iterations;
       for (std::size_t i = 0; i < dist.n_local(); ++i)
-        x[dist.row_begin() + i] = xl[i]; // disjoint rows: no race
+        x[dist.row_begin() + i] = xl.data()[i]; // disjoint rows: no race
     });
     return std::make_pair(x, its);
   };

@@ -53,12 +53,12 @@ TEST(DistributedCSRTest, VmultMatchesSerial)
     Vector<double> y_dist(n);
     vmpi::run(n_ranks, [&](vmpi::Communicator &comm) {
       vmpi::DistributedCSR dist(comm, A);
-      Vector<double> x_local(dist.n_local()), y_local;
+      vmpi::DistributedVector<double> xl, yl;
+      dist.initialize_vector(xl);
+      xl.copy_owned_from(x);
+      dist.vmult(yl, xl);
       for (std::size_t i = 0; i < dist.n_local(); ++i)
-        x_local[i] = x[dist.row_begin() + i];
-      dist.vmult(y_local, x_local);
-      for (std::size_t i = 0; i < dist.n_local(); ++i)
-        y_dist[dist.row_begin() + i] = y_local[i]; // disjoint rows: no race
+        y_dist[dist.row_begin() + i] = yl.data()[i]; // disjoint rows: no race
     });
     for (std::size_t i = 0; i < n; ++i)
       ASSERT_NEAR(y_dist[i], y_serial[i], 1e-12)
@@ -80,13 +80,13 @@ TEST(DistributedCSRTest, DistributedDotMatchesSerial)
   }
   vmpi::run(3, [&](vmpi::Communicator &comm) {
     vmpi::DistributedCSR dist(comm, A);
-    Vector<double> al(dist.n_local()), bl(dist.n_local());
-    for (std::size_t i = 0; i < dist.n_local(); ++i)
-    {
-      al[i] = a[dist.row_begin() + i];
-      bl[i] = b[dist.row_begin() + i];
-    }
-    EXPECT_NEAR(dist.dot(al, bl), serial, 1e-12);
+    vmpi::DistributedVector<double> al, bl;
+    dist.initialize_vector(al);
+    dist.initialize_vector(bl);
+    al.copy_owned_from(a);
+    bl.copy_owned_from(b);
+    EXPECT_NEAR(al.dot(bl), serial, 1e-12);
+    EXPECT_NEAR(bl.l2_norm(), b.l2_norm(), 1e-12);
   });
 }
 
@@ -107,18 +107,23 @@ TEST(DistributedCGTest, SolutionAndIterationsMatchSerialCG)
   const auto serial = solve_cg(A, x_serial, b, id, ctrl);
   ASSERT_TRUE(serial.converged);
 
+  // the same generic solve_cg runs the distributed solve: dot products
+  // reduce over ranks, the operator exchanges ghosts internally
   Vector<double> x_dist(n);
   unsigned int dist_iterations = 0;
   vmpi::run(4, [&](vmpi::Communicator &comm) {
     vmpi::DistributedCSR dist(comm, A);
-    Vector<double> xl(dist.n_local()), bl(dist.n_local());
-    for (std::size_t i = 0; i < dist.n_local(); ++i)
-      bl[i] = b[dist.row_begin() + i];
-    const unsigned int its = vmpi::distributed_cg(dist, xl, bl, 1e-10, 500);
+    vmpi::DistributedVector<double> xl, bl;
+    dist.initialize_vector(xl);
+    dist.initialize_vector(bl);
+    bl.copy_owned_from(b);
+    PreconditionIdentity idl;
+    const auto stats = solve_cg(dist, xl, bl, idl, ctrl);
+    EXPECT_TRUE(stats.converged);
     if (comm.rank() == 0)
-      dist_iterations = its;
+      dist_iterations = stats.iterations;
     for (std::size_t i = 0; i < dist.n_local(); ++i)
-      x_dist[dist.row_begin() + i] = xl[i];
+      x_dist[dist.row_begin() + i] = xl.data()[i];
   });
 
   // same Krylov process in exact arithmetic: iteration counts within 1-2
