@@ -1,0 +1,362 @@
+// Recovery-path microbenchmark: the cost of the rank-failure tolerance
+// machinery added for distributed solves. Three measurements:
+//
+//  * agree-round latency on 2/4/8 logical ranks — one
+//    Communicator::agree() is the unit cost a solver pays at every probed
+//    iteration boundary (SolverControl::recovery with the default stride),
+//    so this latency bounds the steady-state overhead of failure detection;
+//  * shard-checkpoint write and read throughput — rankN.ckpt shards plus
+//    manifest for a distributed field, the state a shrinking recovery
+//    restores from;
+//  * end-to-end recovery overhead — wall time of a 4-rank Jacobi-CG Poisson
+//    solve that loses a rank mid-solve and completes by shrinking to 3,
+//    against the fault-free 4-rank solve.
+//
+// Machine-readable output: when DGFLOW_BENCH_JSON is set, the results are
+// archived as JSON (schema dgflow-bench-recovery-v1); run_benchmarks.sh
+// stores it as bench_results/BENCH_recovery.json. A fast smoke variant
+// (--smoke, also run under `ctest -L distributed_resilience`) shrinks the
+// problem and repetitions to verify the harness end to end.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "mesh/generators.h"
+#include "mesh/partition.h"
+#include "operators/laplace_operator.h"
+#include "resilience/distributed_recovery.h"
+#include "resilience/fault_injection.h"
+#include "resilience/shard_checkpoint.h"
+#include "solvers/cg.h"
+#include "vmpi/distributed_vector.h"
+#include "vmpi/partitioner.h"
+
+using namespace dgflow;
+using namespace dgflow::bench;
+
+namespace
+{
+struct AgreeResultRow
+{
+  int n_ranks;
+  unsigned int rounds;
+  double seconds_per_round;
+};
+
+struct CheckpointRow
+{
+  std::size_t n_dofs;
+  int n_shards;
+  double write_bytes_per_s;
+  double read_bytes_per_s;
+};
+
+struct RecoveryRow
+{
+  double faultfree_seconds;
+  double recovered_seconds;
+  int attempts;
+  int shrinks;
+};
+
+BoundaryMap all_dirichlet()
+{
+  BoundaryMap bc;
+  for (unsigned int id = 0; id < 6; ++id)
+    bc.set(id, BoundaryType::dirichlet);
+  return bc;
+}
+
+double forcing(const Point &p)
+{
+  return 3 * M_PI * M_PI * std::sin(M_PI * p[0]) * std::sin(M_PI * p[1]) *
+         std::sin(M_PI * p[2]);
+}
+
+double zero(const Point &) { return 0.; }
+
+AgreeResultRow time_agree_rounds(const int n_ranks, const unsigned int rounds)
+{
+  double seconds = 0;
+  vmpi::run(n_ranks, [&](vmpi::Communicator &comm) {
+    comm.agree(true); // warm-up
+    comm.barrier();
+    Timer t;
+    for (unsigned int i = 0; i < rounds; ++i)
+      comm.agree(true);
+    if (comm.rank() == 0)
+      seconds = t.seconds();
+  });
+  return {n_ranks, rounds, seconds / rounds};
+}
+
+CheckpointRow time_shard_checkpoint(const std::string &dir,
+                                    const std::size_t n_dofs,
+                                    const int n_shards,
+                                    const unsigned int repetitions)
+{
+  Vector<double> global(n_dofs);
+  for (std::size_t i = 0; i < n_dofs; ++i)
+    global[i] = std::sin(0.37 * double(i));
+  const double payload_bytes = double(n_dofs) * sizeof(double);
+
+  const double write_seconds = best_of(repetitions, [&]() {
+    std::vector<std::uint64_t> checksums(n_shards);
+    for (int r = 0; r < n_shards; ++r)
+    {
+      const std::size_t begin = (n_dofs * r) / n_shards;
+      const std::size_t end = (n_dofs * (r + 1)) / n_shards;
+      Vector<double> owned(end - begin);
+      for (std::size_t i = begin; i < end; ++i)
+        owned[i - begin] = global[i];
+      resilience::ShardCheckpointWriter writer(dir, r, n_shards);
+      writer.write_owned_slice(n_dofs, begin, owned);
+      checksums[r] = writer.close().checksum;
+    }
+    resilience::write_shard_manifest(dir, checksums);
+  });
+
+  const double read_seconds = best_of(repetitions, [&]() {
+    resilience::ShardCheckpointReader reader(dir);
+    Vector<double> restored;
+    reader.read_global(restored);
+    if (restored.size() != n_dofs)
+      std::abort();
+  });
+
+  return {n_dofs, n_shards, payload_bytes / write_seconds,
+          payload_bytes / read_seconds};
+}
+
+RecoveryRow time_recovered_solve(const Mesh &mesh, const unsigned int degree,
+                                 const std::string &dir)
+{
+  TrilinearGeometry geom(mesh.coarse());
+  const BoundaryMap bc = all_dirichlet();
+  const int n_ranks = 4;
+
+  // serial assembly shared by all attempts (rhs + reference diag)
+  MatrixFree<double>::AdditionalData ref_data;
+  ref_data.degrees = {degree};
+  ref_data.n_q_points_1d = {degree + 1};
+  MatrixFree<double> ref_mf;
+  ref_mf.reinit(mesh, geom, ref_data);
+  LaplaceOperator<double> ref_laplace;
+  ref_laplace.reinit(ref_mf, 0, 0, bc);
+  Vector<double> rhs;
+  ref_laplace.assemble_rhs(rhs, forcing, zero);
+  const std::size_t n_dofs = ref_laplace.n_dofs();
+
+  const auto solve_on = [&](vmpi::Communicator &comm,
+                            resilience::RecoveryContext *ctx,
+                            const bool restore) {
+    const int width = comm.size();
+    const std::vector<int> rank_of_cell = partition_cells(mesh, width);
+    const auto part = vmpi::Partitioner::cell_partitioner(
+      mesh, rank_of_cell, comm.rank(), width);
+
+    MatrixFree<double>::AdditionalData data;
+    data.degrees = {degree};
+    data.n_q_points_1d = {degree + 1};
+    data.rank_of_cell = rank_of_cell;
+    data.n_ranks = width;
+    MatrixFree<double> mf;
+    mf.reinit(mesh, geom, data);
+    LaplaceOperator<double> laplace;
+    laplace.reinit(mf, 0, 0, bc);
+    const unsigned int dofs_per_cell = mf.dofs_per_cell(0);
+
+    Vector<double> diag;
+    laplace.compute_diagonal(diag);
+
+    vmpi::DistributedVector<double> xd(part, comm, dofs_per_cell), bd, dd;
+    bd.reinit(part, comm, dofs_per_cell);
+    bd.copy_owned_from(rhs);
+    dd.reinit(part, comm, dofs_per_cell);
+    dd.copy_owned_from(diag);
+    PreconditionJacobi<double> jacobi;
+    jacobi.reinit(dd);
+
+    if (restore)
+    {
+      resilience::ShardCheckpointReader reader(dir);
+      Vector<double> xg;
+      reader.read_global(xg);
+      xd.copy_owned_from(xg);
+    }
+    else
+    {
+      resilience::ShardCheckpointWriter writer(dir, comm.rank(), width);
+      Vector<double> owned(xd.size());
+      for (std::size_t i = 0; i < xd.size(); ++i)
+        owned[i] = xd.data()[i];
+      writer.write_owned_slice(n_dofs, xd.first_local_index(), owned);
+      const auto shard = writer.close();
+      constexpr int tag_checksum = 941;
+      if (comm.rank() == 0)
+      {
+        std::vector<std::uint64_t> checksums(width);
+        checksums[0] = shard.checksum;
+        for (int r = 1; r < width; ++r)
+          checksums[r] = comm.recv_vector<std::uint64_t>(r, tag_checksum, 1)
+                           .at(0);
+        resilience::write_shard_manifest(dir, checksums);
+      }
+      else
+        comm.send_vector(0, tag_checksum,
+                         std::vector<std::uint64_t>{shard.checksum});
+      comm.barrier();
+    }
+
+    SolverControl control;
+    control.rel_tol = 1e-8;
+    control.max_iterations = 2000;
+    control.recovery = ctx;
+    try
+    {
+      solve_cg(laplace, xd, bd, jacobi, control);
+    }
+    catch (const vmpi::TimeoutError &)
+    {
+      if (ctx)
+        ctx->resolve_failure();
+      throw;
+    }
+  };
+
+  RecoveryRow row{};
+
+  { // fault-free 4-rank baseline
+    Timer t;
+    vmpi::run(n_ranks, [&](vmpi::Communicator &comm) {
+      solve_on(comm, nullptr, false);
+    });
+    row.faultfree_seconds = t.seconds();
+  }
+
+  { // kill rank 2 mid-solve; recover by shrinking to 3 ranks
+    resilience::FaultPlan::Config cfg;
+    cfg.kill_rank = 2;
+    cfg.kill_step = 12;
+    resilience::FaultPlan plan(cfg);
+    resilience::DistributedRecoveryOptions opts;
+    Timer t;
+    const auto report = resilience::run_resilient(
+      n_ranks, opts,
+      [&](vmpi::Communicator &comm, resilience::RecoveryContext &ctx,
+          const resilience::RecoveryAttempt &attempt) {
+        if (attempt.attempt == 0)
+          comm.install_fault_handler(&plan);
+        comm.set_timeout(1.0);
+        solve_on(comm, &ctx, attempt.restore);
+      });
+    row.recovered_seconds = t.seconds();
+    row.attempts = report.attempts;
+    row.shrinks = report.shrinks;
+  }
+  return row;
+}
+
+void write_json(const char *path, const std::vector<AgreeResultRow> &agree,
+                const std::vector<CheckpointRow> &ckpt,
+                const RecoveryRow &rec, const bool smoke)
+{
+  std::FILE *f = std::fopen(path, "w");
+  if (!f)
+  {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return;
+  }
+  std::fprintf(f, "{\n  \"schema\": \"dgflow-bench-recovery-v1\",\n");
+  std::fprintf(f, "  \"smoke\": %s,\n", smoke ? "true" : "false");
+  std::fprintf(f, "  \"benchmarks\": [\n");
+  for (const auto &r : agree)
+    std::fprintf(f,
+                 "    {\"name\": \"agree_round\", \"n_ranks\": %d, "
+                 "\"seconds\": %.6e},\n",
+                 r.n_ranks, r.seconds_per_round);
+  for (const auto &r : ckpt)
+    std::fprintf(f,
+                 "    {\"name\": \"shard_checkpoint\", \"n_dofs\": %zu, "
+                 "\"n_shards\": %d, \"write_bytes_per_s\": %.6e, "
+                 "\"read_bytes_per_s\": %.6e},\n",
+                 r.n_dofs, r.n_shards, r.write_bytes_per_s,
+                 r.read_bytes_per_s);
+  std::fprintf(f,
+               "    {\"name\": \"shrinking_recovery\", "
+               "\"faultfree_seconds\": %.6e, \"recovered_seconds\": %.6e, "
+               "\"attempts\": %d, \"shrinks\": %d}\n",
+               rec.faultfree_seconds, rec.recovered_seconds, rec.attempts,
+               rec.shrinks);
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("benchmark JSON archived to %s\n", path);
+}
+} // namespace
+
+int main(int argc, char **argv)
+{
+  dgflow::prof::EnvSession profile_session;
+  const bool smoke = (argc > 1 && std::strcmp(argv[1], "--smoke") == 0) ||
+                     std::getenv("DGFLOW_BENCH_SMOKE") != nullptr;
+
+  print_header(
+    "Recovery path: agreement latency, shard checkpoints, shrinking restart",
+    "failure detection and N->M restart for the distributed pressure "
+    "Poisson solve; agreement latency bounds the per-iteration overhead");
+
+  const std::string dir =
+    (std::filesystem::temp_directory_path() / "dgflow_recovery_bench")
+      .string();
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+
+  const unsigned int rounds = smoke ? 20 : 500;
+  std::vector<AgreeResultRow> agree;
+  Table agree_table({"ranks", "rounds", "t/agree [s]"});
+  for (const int n_ranks : {2, 4, 8})
+  {
+    agree.push_back(time_agree_rounds(n_ranks, rounds));
+    agree_table.add_row(agree.back().n_ranks, agree.back().rounds,
+                        Table::sci(agree.back().seconds_per_round, 3));
+  }
+  agree_table.print();
+
+  const std::size_t n_dofs = smoke ? (std::size_t)1 << 16
+                                   : (std::size_t)1 << 22;
+  const unsigned int repetitions = smoke ? 2 : 5;
+  std::vector<CheckpointRow> ckpt;
+  Table ckpt_table({"MDoF", "shards", "write GB/s", "read GB/s"});
+  for (const int n_shards : {4, 8})
+  {
+    ckpt.push_back(
+      time_shard_checkpoint(dir + "/ckpt", n_dofs, n_shards, repetitions));
+    ckpt_table.add_row(Table::format(double(n_dofs) / 1e6, 3), n_shards,
+                       Table::format(ckpt.back().write_bytes_per_s / 1e9, 3),
+                       Table::format(ckpt.back().read_bytes_per_s / 1e9, 3));
+  }
+  ckpt_table.print();
+
+  Mesh mesh(unit_cube());
+  mesh.refine_uniform(smoke ? 1 : 2);
+  const unsigned int degree = smoke ? 1 : 2;
+  const RecoveryRow rec = time_recovered_solve(mesh, degree, dir + "/solve");
+  std::printf("\nshrinking recovery: fault-free %.3fs, recovered %.3fs "
+              "(%d attempts, %d shrink)\n",
+              rec.faultfree_seconds, rec.recovered_seconds, rec.attempts,
+              rec.shrinks);
+
+  if (const char *path = std::getenv("DGFLOW_BENCH_JSON"))
+    write_json(path, agree, ckpt, rec, smoke);
+
+  const bool ok = rec.shrinks == 1;
+  std::printf("\nrecovery check: %s\n",
+              ok ? "solve completed after one shrink"
+                 : "MISSING the expected shrink rung");
+  return ok ? 0 : 1;
+}

@@ -10,6 +10,20 @@
 set -e
 cd "$(dirname "$0")"
 mkdir -p bench_results
+
+# Verify pass: before any timing is trusted, the rank-failure recovery tests
+# (ctest label distributed_resilience: agreement protocol, fault injection,
+# shard checkpoints, the end-to-end shrinking recovery) must pass under
+# ThreadSanitizer — a hang or race here invalidates every distributed
+# number below. Set DGFLOW_SKIP_VERIFY=1 to skip while iterating on a
+# single benchmark.
+if [ -z "$DGFLOW_SKIP_VERIFY" ]; then
+  echo "verify pass: distributed_resilience under DGFLOW_SANITIZE=thread"
+  cmake -B build-tsan -S . -DDGFLOW_SANITIZE=thread > /dev/null
+  cmake --build build-tsan -j \
+    --target test_distributed_resilience recovery_microbench > /dev/null
+  (cd build-tsan && ctest -L distributed_resilience --output-on-failure)
+fi
 for b in build/bench/*; do
   if [ -x "$b" ] && [ -f "$b" ]; then
     name=$(basename "$b")
@@ -21,6 +35,9 @@ for b in build/bench/*; do
     # distributed_microbench -> BENCH_distributed.json: the ghost-exchange
     # traffic validation on 1/2/4/8 logical ranks
     [ "$name" = distributed_microbench ] && bench_json="bench_results/BENCH_distributed.json"
+    # recovery_microbench -> BENCH_recovery.json: agreement latency, shard
+    # checkpoint throughput and the shrinking-recovery overhead
+    [ "$name" = recovery_microbench ] && bench_json="bench_results/BENCH_recovery.json"
     DGFLOW_PROFILE=1 \
       DGFLOW_PROFILE_JSON="bench_results/PROFILE_${name}.json" \
       DGFLOW_BENCH_JSON="$bench_json" \

@@ -1,0 +1,40 @@
+#pragma once
+
+// Low-level recovery hook interface. Iterative solvers (solvers/cg.h,
+// solvers/chebyshev.h, multigrid/hybrid_multigrid.h) call the hook at
+// iteration boundaries when one is attached; the distributed implementation
+// (resilience/distributed_recovery.h: RecoveryContext) runs a fault-tolerant
+// agreement collective there, so every rank of a distributed solve reaches
+// the same live-or-dead verdict at the same logical point instead of
+// deadlocking when a peer dies mid-iteration.
+//
+// The interface lives at the common layer so header-only solver code can
+// carry a RecoveryHooks* without depending on the resilience or vmpi
+// subsystems; serial solves simply leave it unset (the default) and pay
+// nothing.
+
+namespace dgflow
+{
+class RecoveryHooks
+{
+public:
+  virtual ~RecoveryHooks() = default;
+
+  /// Called at an iteration boundary (CG iteration, Chebyshev sweep batch,
+  /// multigrid V-cycle) with this rank's local health: true when the local
+  /// state is sound (finite residual, no timeout observed). Implementations
+  /// agree across ranks and return normally when all ranks are healthy;
+  /// when any rank is agreed dead or unsound they throw (vmpi::RankFailure)
+  /// so the solve unwinds to the recovery driver on every survivor at the
+  /// same iteration.
+  virtual void at_iteration_boundary(bool local_ok) = 0;
+
+  /// How often (in iterations) the solver should invoke
+  /// at_iteration_boundary; agreement is a collective, so probing every
+  /// iteration of a cheap smoother would dominate its cost. Solvers call
+  /// the hook when `iteration % stride() == 0` (and always on the first
+  /// iteration).
+  virtual int stride() const { return 1; }
+};
+
+} // namespace dgflow

@@ -77,6 +77,12 @@ public:
     /// after the convective step, exercising rejection/rollback end-to-end
     std::function<bool(unsigned long step, unsigned int attempt)>
       inject_substep_fault;
+    /// distributed failure detection: when set, advance() opens every time
+    /// step with an agreement boundary (resilience/distributed_recovery.h),
+    /// so a rank lost during the previous step unwinds all survivors at the
+    /// same step instead of hanging them in the next exchange; nullptr (the
+    /// default) keeps serial time stepping unchanged
+    RecoveryHooks *recovery = nullptr;
   };
 
   /// Per-step record: one SolveStats per implicit substep (produced by the
@@ -243,6 +249,8 @@ public:
   {
     DGFLOW_PROF_SCOPE("ins_step");
     DGFLOW_PROF_COUNT("ins_steps", 1);
+    if (prm_.recovery)
+      prm_.recovery->at_iteration_boundary(true);
     Timer total;
     double dt = compute_time_step();
     DGFLOW_ASSERT(dt > 0, "vanishing time step");

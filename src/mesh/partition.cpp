@@ -17,6 +17,13 @@ std::vector<int> partition_cells(const Mesh &mesh, const int n_ranks)
   return rank;
 }
 
+int morton_buddy_rank(const int rank, const int n_ranks)
+{
+  DGFLOW_ASSERT(n_ranks >= 1 && rank >= 0 && rank < n_ranks,
+                "invalid rank " << rank << " of " << n_ranks);
+  return (rank + 1) % n_ranks;
+}
+
 PartitionStats compute_partition_stats(const Mesh &mesh,
                                        const std::vector<int> &rank_of_cell,
                                        const int n_ranks)

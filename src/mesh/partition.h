@@ -14,6 +14,13 @@ namespace dgflow
 /// near-equal size. Returns the rank of each cell.
 std::vector<int> partition_cells(const Mesh &mesh, const int n_ranks);
 
+/// Buddy rank for checkpoint-shard replication: the Morton neighbour, i.e.
+/// the rank owning the next contiguous chunk of the space-filling curve
+/// (cyclic). Adjacent SFC chunks are spatially close, so on a real machine
+/// the buddy copy travels over links the ghost exchange already uses —
+/// while still living on different hardware than the primary shard.
+int morton_buddy_rank(const int rank, const int n_ranks);
+
 /// Communication statistics of a partition, the inputs to the scaling model.
 struct PartitionStats
 {

@@ -212,6 +212,12 @@ public:
   /// Every rank constructs the same (replicated) hierarchy; the Chebyshev
   /// bounds are adopted from the serial smoothers so serial and distributed
   /// V-cycles apply the identical polynomial on every level.
+  /// Distributed failure detection: the hook is consulted at every
+  /// distributed V-cycle boundary and handed down to the distributed level
+  /// smoothers. Call before setup_distributed() (the smoothers copy their
+  /// configuration at reinit); nullptr detaches.
+  void set_recovery(RecoveryHooks *recovery) { recovery_ = recovery; }
+
   void setup_distributed(vmpi::Communicator &comm,
                          const vmpi::Partitioner &part)
   {
@@ -225,6 +231,8 @@ public:
     q1_level_ = static_cast<unsigned int>(coarse_ops_.size());
     std::vector<DistLevel> fresh(levels_.size());
     dist_levels_.swap(fresh);
+    ChebyshevData dist_smoother = options_.smoother;
+    dist_smoother.recovery = recovery_;
     for (unsigned int lev = q1_level_ + 1; lev < levels_.size(); ++lev)
     {
       const unsigned int s = static_cast<unsigned int>(
@@ -241,7 +249,7 @@ public:
       ddiag.copy_owned_from(compute_level_diagonal(lev));
       dl.smoother.reinit_with_bounds(dl.op, ddiag,
                                      levels_[lev].smoother.max_eigenvalue(),
-                                     options_.smoother);
+                                     dist_smoother);
     }
   }
 
@@ -256,6 +264,10 @@ public:
     DGFLOW_PROF_SCOPE("mg_vcycle");
     DGFLOW_PROF_COUNT("mg_vcycles", 1);
     DGFLOW_ASSERT(part_ != nullptr, "setup_distributed() has not run");
+    // V-cycle boundary: agree on liveness before the cycle's first ghost
+    // exchange so a dead peer unwinds every rank here, not via timeout
+    if (recovery_)
+      recovery_->at_iteration_boundary(true);
     dist_src_f_.copy_and_convert(src);
     DistLevel &top = dist_levels_.back();
     top.x.reinit_like(dist_src_f_, true);
@@ -577,6 +589,7 @@ private:
   // distributed mode (setup_distributed)
   vmpi::Communicator *comm_ = nullptr;
   const vmpi::Partitioner *part_ = nullptr;
+  RecoveryHooks *recovery_ = nullptr;
   unsigned int q1_level_ = 0;
   mutable std::vector<DistLevel> dist_levels_;
   mutable DVec dist_src_f_;

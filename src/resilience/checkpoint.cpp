@@ -5,35 +5,51 @@
 
 namespace dgflow::resilience
 {
-void CheckpointWriter::close()
+std::vector<char> CheckpointWriter::encode() const
 {
-  DGFLOW_ASSERT(!closed_, "CheckpointWriter::close() called twice");
-  closed_ = true;
-
   const std::uint64_t payload_size = payload_.size();
   const std::uint64_t checksum =
     internal::fnv1a64(payload_.data(), payload_.size());
   const std::uint32_t reserved = 0;
+
+  std::vector<char> image;
+  image.reserve(sizeof(internal::magic) + 2 * sizeof(std::uint32_t) +
+                2 * sizeof(std::uint64_t) + payload_.size());
+  const auto append = [&image](const void *data, const std::size_t bytes) {
+    const char *c = static_cast<const char *>(data);
+    image.insert(image.end(), c, c + bytes);
+  };
+  append(internal::magic, sizeof(internal::magic));
+  append(&internal::format_version, sizeof(internal::format_version));
+  append(&reserved, sizeof(reserved));
+  append(&payload_size, sizeof(payload_size));
+  append(&checksum, sizeof(checksum));
+  append(payload_.data(), payload_.size());
+  return image;
+}
+
+std::uint64_t CheckpointWriter::close()
+{
+  DGFLOW_ASSERT(!closed_, "CheckpointWriter::close() called twice");
+  closed_ = true;
+
+  const std::uint64_t checksum =
+    internal::fnv1a64(payload_.data(), payload_.size());
+  const std::vector<char> image = encode();
 
   const std::string tmp = path_ + ".tmp";
   {
     std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
     if (!out)
       throw CheckpointError("cannot open '" + tmp + "' for writing");
-    out.write(internal::magic, sizeof(internal::magic));
-    out.write(reinterpret_cast<const char *>(&internal::format_version),
-              sizeof(internal::format_version));
-    out.write(reinterpret_cast<const char *>(&reserved), sizeof(reserved));
-    out.write(reinterpret_cast<const char *>(&payload_size),
-              sizeof(payload_size));
-    out.write(reinterpret_cast<const char *>(&checksum), sizeof(checksum));
-    out.write(payload_.data(), payload_.size());
+    out.write(image.data(), static_cast<std::streamsize>(image.size()));
     out.flush();
     if (!out)
       throw CheckpointError("short write to '" + tmp + "'");
   }
   if (std::rename(tmp.c_str(), path_.c_str()) != 0)
     throw CheckpointError("cannot publish '" + tmp + "' as '" + path_ + "'");
+  return checksum;
 }
 
 CheckpointReader::CheckpointReader(const std::string &path)
@@ -41,39 +57,60 @@ CheckpointReader::CheckpointReader(const std::string &path)
   std::ifstream in(path, std::ios::binary);
   if (!in)
     throw CheckpointError("cannot open '" + path + "'");
+  std::vector<char> image((std::istreambuf_iterator<char>(in)),
+                          std::istreambuf_iterator<char>());
+  parse(image.data(), image.size(), "'" + path + "'");
+}
 
+CheckpointReader::CheckpointReader(const std::vector<char> &image,
+                                   const std::string &label)
+{
+  parse(image.data(), image.size(), label);
+}
+
+void CheckpointReader::parse(const char *image, const std::size_t bytes,
+                             const std::string &label)
+{
+  const std::size_t header_bytes = sizeof(internal::magic) +
+                                   2 * sizeof(std::uint32_t) +
+                                   2 * sizeof(std::uint64_t);
+  if (bytes < header_bytes)
+    throw CheckpointError(label + " is too short for a header");
+
+  std::size_t pos = 0;
+  const auto extract = [&](void *data, const std::size_t n) {
+    std::memcpy(data, image + pos, n);
+    pos += n;
+  };
   char magic[sizeof(internal::magic)];
   std::uint32_t version = 0, reserved = 0;
   std::uint64_t payload_size = 0, checksum = 0;
-  in.read(magic, sizeof(magic));
-  in.read(reinterpret_cast<char *>(&version), sizeof(version));
-  in.read(reinterpret_cast<char *>(&reserved), sizeof(reserved));
-  in.read(reinterpret_cast<char *>(&payload_size), sizeof(payload_size));
-  in.read(reinterpret_cast<char *>(&checksum), sizeof(checksum));
-  if (!in)
-    throw CheckpointError("'" + path + "' is too short for a header");
+  extract(magic, sizeof(magic));
+  extract(&version, sizeof(version));
+  extract(&reserved, sizeof(reserved));
+  extract(&payload_size, sizeof(payload_size));
+  extract(&checksum, sizeof(checksum));
   if (std::memcmp(magic, internal::magic, sizeof(magic)) != 0)
-    throw CheckpointError("'" + path + "' has no DGFLOWCK magic");
+    throw CheckpointError(label + " has no DGFLOWCK magic");
   if (version != internal::format_version)
-    throw CheckpointError("'" + path + "' has format version " +
+    throw CheckpointError(label + " has format version " +
                           std::to_string(version) + ", reader supports " +
                           std::to_string(internal::format_version));
+  if (bytes - pos < payload_size)
+    throw CheckpointError(label + " payload truncated: header claims " +
+                          std::to_string(payload_size) + " bytes, " +
+                          std::to_string(bytes - pos) + " present");
 
-  payload_.resize(payload_size);
-  in.read(payload_.data(), static_cast<std::streamsize>(payload_size));
-  if (static_cast<std::uint64_t>(in.gcount()) != payload_size)
-    throw CheckpointError("'" + path + "' payload truncated: header claims " +
-                          std::to_string(payload_size) + " bytes, file has " +
-                          std::to_string(in.gcount()));
-
+  payload_.assign(image + pos, image + pos + payload_size);
   const std::uint64_t actual =
     internal::fnv1a64(payload_.data(), payload_.size());
   if (actual != checksum)
-    throw CheckpointError("'" + path + "' checksum mismatch (stored " +
+    throw CheckpointError(label + " checksum mismatch (stored " +
                           std::to_string(checksum) + ", computed " +
                           std::to_string(actual) +
-                          "): the file is corrupted; refusing to restart "
+                          "): the data is corrupted; refusing to restart "
                           "from it");
+  checksum_ = checksum;
 }
 
 } // namespace dgflow::resilience

@@ -97,8 +97,14 @@ public:
     append_raw(v.data(), v.size() * sizeof(Number));
   }
 
-  /// Checksums the payload and atomically publishes the file.
-  void close();
+  /// Checksums the payload and atomically publishes the file. Returns the
+  /// payload checksum (shard manifests record it for integrity checks).
+  std::uint64_t close();
+
+  /// Serializes the complete file image (header + checksum + payload) into
+  /// memory without touching disk — the form a shard takes when replicated
+  /// to its buddy rank over vmpi. Does not mark the writer closed.
+  std::vector<char> encode() const;
 
 private:
   void append_tag(const char tag) { payload_.push_back(tag); }
@@ -121,6 +127,16 @@ public:
   /// CheckpointError on any mismatch (a corrupted checkpoint must be
   /// rejected before a single value of it reaches solver state).
   explicit CheckpointReader(const std::string &path);
+
+  /// Parses an in-memory file image (as produced by CheckpointWriter::
+  /// encode(), e.g. a buddy-replicated shard received over vmpi) with the
+  /// same validation as the file constructor. @p label names the source in
+  /// error messages.
+  CheckpointReader(const std::vector<char> &image, const std::string &label);
+
+  /// FNV-1a checksum of the validated payload (matches what close() returned
+  /// when the checkpoint was written; shard manifests compare against it).
+  std::uint64_t checksum() const { return checksum_; }
 
   std::uint64_t read_u64()
   {
@@ -180,8 +196,12 @@ private:
     pos_ += bytes;
   }
 
+  /// Shared validation path for the file and in-memory constructors.
+  void parse(const char *image, std::size_t bytes, const std::string &label);
+
   std::vector<char> payload_;
   std::size_t pos_ = 0;
+  std::uint64_t checksum_ = 0;
 };
 
 } // namespace dgflow::resilience

@@ -18,6 +18,15 @@
 //   DGFLOW_FAULT_CORRUPT    per-message payload-corruption probability
 //   DGFLOW_FAULT_STALL_RANK rank stalled before collectives (-1 = none)
 //   DGFLOW_FAULT_STALL_MS   stall duration (default 50 ms)
+//   DGFLOW_FAULT_KILL_RANK  rank killed mid-solve (-1 = none): the victim
+//                           throws RankFailure and stops servicing its
+//                           mailbox; survivors recover via agree()
+//   DGFLOW_FAULT_KILL_STEP  collective count at which the victim dies
+//                           (default 0: its very first collective)
+//   DGFLOW_FAULT_CORRUPT_COLL  per-collective payload-corruption probability
+//                           (bit-flips a rank's allreduce contribution in
+//                           flight; the reduction detects the checksum
+//                           mismatch instead of folding garbage in)
 // Together with DGFLOW_VMPI_TIMEOUT this turns any binary that installs a
 // FaultPlan (Communicator::install_fault_handler) into a fault-injection
 // harness whose behavior is steered entirely from the environment.
@@ -45,6 +54,12 @@ public:
     int stall_rank = -1;        ///< rank stalled before collectives (-1: none)
     double stall_seconds = 0.05;
     int only_tag = -1;          ///< restrict message faults to one tag (-1: all)
+    int kill_rank = -1;         ///< rank killed mid-solve (-1: none)
+    /// collective sequence number at which the victim dies; each rank's
+    /// collective count is driven by its own thread, so the death point is
+    /// deterministic regardless of interleaving
+    unsigned long long kill_step = 0;
+    double corrupt_collective_rate = 0.; ///< per-collective corruption prob.
   };
 
   /// Injection counts, summed over all ranks sharing the plan.
@@ -55,6 +70,8 @@ public:
     unsigned long long reordered = 0;
     unsigned long long corrupted = 0;
     unsigned long long stalls = 0;
+    unsigned long long kills = 0;
+    unsigned long long corrupted_collectives = 0;
   };
 
   explicit FaultPlan(const Config &config) : config_(config) {}
@@ -75,6 +92,10 @@ public:
     c.corrupt_rate = real("DGFLOW_FAULT_CORRUPT", 0.);
     c.stall_rank = static_cast<int>(real("DGFLOW_FAULT_STALL_RANK", -1.));
     c.stall_seconds = real("DGFLOW_FAULT_STALL_MS", 50.) * 1e-3;
+    c.kill_rank = static_cast<int>(real("DGFLOW_FAULT_KILL_RANK", -1.));
+    c.kill_step = static_cast<unsigned long long>(
+      real("DGFLOW_FAULT_KILL_STEP", 0.));
+    c.corrupt_collective_rate = real("DGFLOW_FAULT_CORRUPT_COLL", 0.);
     return c;
   }
 
@@ -88,6 +109,9 @@ public:
     c.reordered = reordered_.load(std::memory_order_relaxed);
     c.corrupted = corrupted_.load(std::memory_order_relaxed);
     c.stalls = stalls_.load(std::memory_order_relaxed);
+    c.kills = kills_.load(std::memory_order_relaxed);
+    c.corrupted_collectives =
+      corrupted_collectives_.load(std::memory_order_relaxed);
     return c;
   }
 
@@ -132,6 +156,24 @@ public:
     return config_.stall_seconds;
   }
 
+  bool kill_before_collective(const int rank,
+                              const unsigned long long seq) override
+  {
+    if (rank != config_.kill_rank || seq < config_.kill_step)
+      return false;
+    kills_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+
+  std::size_t corrupt_collective(const int rank,
+                                 const unsigned long long seq) override
+  {
+    if (draw(5, rank, rank, -1, seq) >= config_.corrupt_collective_rate)
+      return 0;
+    corrupted_collectives_.fetch_add(1, std::memory_order_relaxed);
+    return config_.corrupt_bytes;
+  }
+
 private:
   /// Uniform draw in [0,1), a pure function of the identifiers (splitmix64
   /// finalizer over the combined key).
@@ -153,7 +195,7 @@ private:
 
   Config config_;
   std::atomic<unsigned long long> dropped_{0}, delayed_{0}, reordered_{0},
-    corrupted_{0}, stalls_{0};
+    corrupted_{0}, stalls_{0}, kills_{0}, corrupted_collectives_{0};
 };
 
 } // namespace dgflow::resilience

@@ -13,6 +13,7 @@
 #include <cmath>
 
 #include "common/exceptions.h"
+#include "common/recovery_hooks.h"
 #include "common/timer.h"
 #include "common/vector.h"
 #include "instrumentation/profiler.h"
@@ -28,6 +29,11 @@ struct SolverControl
   /// declare stagnation after this many consecutive iterations without any
   /// residual improvement (0 disables the check)
   unsigned int stagnation_window = 100;
+  /// distributed failure detection: when set, solve_cg calls the hook at
+  /// iteration boundaries (honoring its stride) so all ranks agree on
+  /// live-or-dead before the next collective; nullptr (the default) costs
+  /// nothing and keeps serial solves unchanged
+  RecoveryHooks *recovery = nullptr;
 };
 
 /// Identity preconditioner.
@@ -163,6 +169,13 @@ SolveStats solve_cg(const Operator &A, VectorType &x, const VectorType &b,
 
   for (unsigned int it = 1; it <= control.max_iterations; ++it)
   {
+    // agreement boundary: every rank must reach the verdict *before* the
+    // next collective (the dot products below), or a dead peer turns those
+    // into timeouts on the survivors
+    if (control.recovery &&
+        (it == 1 || int(it) % std::max(1, control.recovery->stride()) == 0))
+      control.recovery->at_iteration_boundary(std::isfinite(res_norm) &&
+                                              std::isfinite(double(rz)));
     A.vmult(Ap, p);
     const Number pAp = p.dot(Ap);
     if (!std::isfinite(double(pAp)) || !std::isfinite(double(rz)))

@@ -35,6 +35,11 @@ struct ChebyshevData
   double smoothing_range = 20.; ///< lambda_max / lambda_min of the smoothed band
   double max_eigenvalue_safety = 1.2;
   unsigned int power_iterations = 20;
+  /// distributed failure detection: when set, every smoothing sweep opens
+  /// with an agreement boundary so a dead peer is detected before the
+  /// sweep's ghost exchanges turn into timeouts on the survivors; nullptr
+  /// (the default) keeps serial smoothing unchanged
+  RecoveryHooks *recovery = nullptr;
 };
 
 namespace internal
@@ -99,6 +104,8 @@ public:
   void smooth(VectorType &x, const VectorType &b,
               const bool zero_initial_guess) const
   {
+    if (data_.recovery)
+      data_.recovery->at_iteration_boundary(true);
     DGFLOW_PROF_COUNT("chebyshev_sweeps", 1);
     DGFLOW_PROF_COUNT("chebyshev_iterations", data_.degree);
     const double theta = 0.5 * (lambda_max_ + lambda_min_);

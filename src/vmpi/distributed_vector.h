@@ -316,6 +316,17 @@ public:
     update_ghost_values_finish();
   }
 
+  /// Recovery: abandons an exchange that will never complete (a peer died
+  /// between our start and its send). Clears the in-flight flag and zeroes
+  /// the ghost section back to the owned-only state; the messages already
+  /// queued to or from the dead epoch are drained by
+  /// Communicator::cancel_pending()/advance_epoch().
+  void abandon_exchange()
+  {
+    exchange_in_flight_ = false;
+    zero_ghosts();
+  }
+
   /// Reverse exchange: adds each ghost value into its owner's element and
   /// zeroes the ghost section. Requires an initialized ghost section
   /// (ghosted state, asserted in debug builds); leaves the vector

@@ -1,0 +1,97 @@
+#pragma once
+
+// Heartbeat-based straggler detection for vmpi ranks. Every Communicator
+// bumps its per-rank progress counter on each send, delivered recv and
+// collective (Communicator::heartbeat) — piggybacked on existing traffic,
+// so monitoring a peer costs no extra messages. HealthMonitor samples those
+// counters and turns "rank q's counter has not advanced for longer than the
+// suspicion window" into a local suspicion list.
+//
+// Suspicion is deliberately only a *hint*: heartbeats race with real
+// progress, so two ranks may observe different suspect sets at the same
+// wall-clock instant. The authoritative failure verdict always comes from
+// Communicator::agree(), whose closed rounds are read identically by every
+// rank; a typical caller feeds `monitor.all_healthy()` (or a solver-level
+// health predicate) into agree(local_ok) at an iteration boundary. See
+// resilience/distributed_recovery.h.
+
+#include <chrono>
+#include <vector>
+
+#include "vmpi/communicator.h"
+
+namespace dgflow::vmpi
+{
+class HealthMonitor
+{
+public:
+  /// Monitors the peers of @p comm. A rank is suspected once its heartbeat
+  /// counter has not advanced for @p suspicion_seconds of wall time
+  /// (<= 0 uses the communicator's own wait deadline, the natural scale on
+  /// which a silent peer becomes indistinguishable from a dead one).
+  explicit HealthMonitor(const Communicator &comm,
+                         const double suspicion_seconds = 0.)
+    : comm_(comm),
+      suspicion_seconds_(suspicion_seconds > 0. ? suspicion_seconds
+                                                : comm.timeout()),
+      last_count_(comm.size(), 0),
+      last_progress_(comm.size(), clock::now())
+  {
+    for (int r = 0; r < comm_.size(); ++r)
+      last_count_[r] = comm_.heartbeat(r);
+  }
+
+  /// Re-samples all heartbeat counters, updating per-rank progress stamps.
+  void observe()
+  {
+    const auto now = clock::now();
+    for (int r = 0; r < comm_.size(); ++r)
+    {
+      const unsigned long long count = comm_.heartbeat(r);
+      if (count != last_count_[r])
+      {
+        last_count_[r] = count;
+        last_progress_[r] = now;
+      }
+    }
+  }
+
+  /// True when @p rank 's counter advanced within the suspicion window
+  /// (observe() first for a fresh sample). This rank is always healthy to
+  /// itself — it is, after all, running this code.
+  bool healthy(const int rank) const
+  {
+    if (rank == comm_.rank() || suspicion_seconds_ <= 0.)
+      return true;
+    return std::chrono::duration<double>(clock::now() - last_progress_[rank])
+             .count() < suspicion_seconds_;
+  }
+
+  /// Samples the counters and returns the suspected ranks, ascending.
+  std::vector<int> suspects()
+  {
+    observe();
+    std::vector<int> s;
+    for (int r = 0; r < comm_.size(); ++r)
+      if (!healthy(r))
+        s.push_back(r);
+    return s;
+  }
+
+  /// Samples the counters and reports whether every peer made progress
+  /// within the suspicion window — the natural local_ok input to agree().
+  bool all_healthy()
+  {
+    return suspects().empty();
+  }
+
+private:
+  using clock = std::chrono::steady_clock;
+
+  const Communicator &comm_;
+  double suspicion_seconds_;
+  std::vector<unsigned long long> last_count_;
+  std::vector<clock::time_point> last_progress_;
+};
+
+} // namespace dgflow::vmpi
