@@ -23,6 +23,16 @@ if [ -z "$DGFLOW_SKIP_VERIFY" ]; then
   cmake --build build-tsan -j \
     --target test_distributed_resilience recovery_microbench > /dev/null
   (cd build-tsan && ctest -L distributed_resilience --output-on-failure)
+
+  # Second verify pass: the fused-kernel equivalence and mixed-precision
+  # tests under AddressSanitizer — the fused hooks write through raw
+  # pointers into solver vectors mid-traversal and the single-precision
+  # ghost wire packs/unpacks hand-rolled buffers; an out-of-range hook
+  # range or wire offset must fail here, not corrupt a timing run below.
+  echo "verify pass: mixed_precision under DGFLOW_SANITIZE=address"
+  cmake -B build-asan -S . -DDGFLOW_SANITIZE=address > /dev/null
+  cmake --build build-asan -j --target test_mixed_precision > /dev/null
+  (cd build-asan && ctest -L mixed_precision --output-on-failure)
 fi
 for b in build/bench/*; do
   if [ -x "$b" ] && [ -f "$b" ]; then
@@ -38,6 +48,9 @@ for b in build/bench/*; do
     # recovery_microbench -> BENCH_recovery.json: agreement latency, shard
     # checkpoint throughput and the shrinking-recovery overhead
     [ "$name" = recovery_microbench ] && bench_json="bench_results/BENCH_recovery.json"
+    # ablation_precision -> BENCH_precision.json: the mixed-precision
+    # iteration-count matrix (dp / sp_levels / sp_levels_sp_amg / sp_ghost)
+    [ "$name" = ablation_precision ] && bench_json="bench_results/BENCH_precision.json"
     DGFLOW_PROFILE=1 \
       DGFLOW_PROFILE_JSON="bench_results/PROFILE_${name}.json" \
       DGFLOW_BENCH_JSON="$bench_json" \

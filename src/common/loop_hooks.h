@@ -1,0 +1,37 @@
+#pragma once
+
+// DoF-range hooks of the operator contract v2 (operators/README.md): a
+// hooked operator application vmult(dst, src, pre, post) calls
+//   pre(begin, end)   immediately before the loop first reads src[begin,end)
+//   post(begin, end)  once the loop will neither read src[begin,end) nor
+//                     write dst[begin,end) again
+// over half-open local index ranges that tile the vector exactly once, so a
+// solver can fold its BLAS-1 updates into the operator's cell loop while the
+// range is still in cache (the merged solver kernels of Muething et al.).
+// Hooks must only touch their own range; a hook that mutates src must leave
+// values every later range consumer (including the ghost wire) should see.
+//
+// NoRangeHook marks the unhooked call: operators detect it at compile time
+// and skip the scheduling work entirely, keeping plain vmult(dst, src)
+// bit-identical to the pre-hook-era loops.
+
+#include <cstddef>
+#include <type_traits>
+
+namespace dgflow
+{
+/// No-op hook; the default for both hook slots of a v2 operator vmult.
+struct NoRangeHook
+{
+  void operator()(std::size_t, std::size_t) const {}
+};
+
+namespace internal
+{
+template <typename Hook>
+inline constexpr bool is_no_hook_v =
+  std::is_same_v<std::remove_cv_t<std::remove_reference_t<Hook>>,
+                 NoRangeHook>;
+} // namespace internal
+
+} // namespace dgflow

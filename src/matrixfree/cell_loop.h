@@ -1,0 +1,177 @@
+#pragma once
+
+// Shared cell/face loop driver of the operator contract v2
+// (operators/README.md): every matrix-free operator evaluates its kernels
+// through cell_face_loop (or cell_only_loop for cell-local operators), which
+// owns the traversal order, the distributed ghost-exchange overlap and the
+// solver hook scheduling. The hooks let a solver fold its BLAS-1 vector
+// updates into the operator sweep (merged solver kernels):
+//
+//   pre(begin, end)   fires immediately before the loop first reads
+//                     src[begin, end) — for a DG space, right before the
+//                     batch's cell integral; batches feeding the ghost wire
+//                     fire before the exchange is posted.
+//   post(begin, end)  fires as soon as the traversal will neither read the
+//                     batch's src entries nor write its dst entries again —
+//                     scheduled from MatrixFree::loop_schedule, which knows
+//                     the last face entry adjacent to each cell batch.
+//
+// Ranges are half-open local scalar indices (distributed: into the owned
+// range), tile the vector exactly once per vmult, and are contiguous because
+// cell batches pack consecutive cells. Passing NoRangeHook for both slots
+// compiles the scheduling away and reproduces the pre-v2 loops bitwise.
+
+#include "common/loop_hooks.h"
+#include "common/vector.h"
+#include "instrumentation/profiler.h"
+#include "matrixfree/matrix_free.h"
+
+namespace dgflow
+{
+namespace internal
+{
+/// DoF range of a cell batch in a vector with @p block scalars per cell;
+/// @p base is the vector's first_local_index() (0 for a serial Vector).
+template <typename Number>
+inline std::pair<std::size_t, std::size_t>
+batch_dof_range(const MatrixFree<Number> &mf, const unsigned int b,
+                const unsigned int block, const std::size_t base)
+{
+  const auto &cb = mf.cell_batch(b);
+  const std::size_t begin = std::size_t(cb.cells[0]) * block - base;
+  return {begin, begin + std::size_t(cb.n_filled) * block};
+}
+} // namespace internal
+
+/// Runs the full cell + face traversal of one operator application. The
+/// process callbacks receive a (cell or face) batch index and read src /
+/// accumulate into dst themselves; dst must already be zeroed. src_block /
+/// dst_block are the scalars per cell of the respective space (they differ
+/// for mixed-space operators like divergence/gradient).
+template <typename Number, typename VectorType, typename CellFn,
+          typename InnerFn, typename BoundaryFn, typename PreFn,
+          typename PostFn>
+void cell_face_loop(const MatrixFree<Number> &mf, VectorType &dst,
+                    const VectorType &src, const unsigned int dst_block,
+                    const unsigned int src_block, CellFn &&process_cell,
+                    InnerFn &&process_inner, BoundaryFn &&process_boundary,
+                    PreFn &&pre, PostFn &&post)
+{
+  constexpr bool distributed = is_distributed_vector_v<VectorType>;
+  constexpr bool has_pre = !internal::is_no_hook_v<PreFn>;
+  constexpr bool has_post = !internal::is_no_hook_v<PostFn>;
+
+  const std::size_t src_base = src.first_local_index();
+  const std::size_t dst_base = dst.first_local_index();
+  const auto fire_pre = [&](const unsigned int b) {
+    const auto [r0, r1] = internal::batch_dof_range(mf, b, src_block, src_base);
+    pre(r0, r1);
+  };
+  const auto fire_completed = [&](const typename MatrixFree<Number>::LoopSchedule
+                                    &sched,
+                                  const unsigned int slot) {
+    for (unsigned int k = sched.completes_ptr[slot];
+         k < sched.completes_ptr[slot + 1]; ++k)
+    {
+      const auto [r0, r1] = internal::batch_dof_range(
+        mf, sched.completes_data[k], dst_block, dst_base);
+      post(r0, r1);
+    }
+  };
+
+  if constexpr (distributed)
+  {
+    const int rank = src.rank();
+    const auto &sched = mf.loop_schedule(rank);
+    const auto [cell_begin, cell_end] = mf.cell_batch_range(rank);
+    // src-mutating pre hooks must finalize the entries the ghost pack reads
+    // (cells on cut faces) before the sends are posted; the remaining
+    // batches stay fused with their cell integral below
+    if constexpr (has_pre)
+      for (unsigned int b = cell_begin; b < cell_end; ++b)
+        if (sched.pre_before_exchange[b - cell_begin])
+          fire_pre(b);
+    src.update_ghost_values_start();
+    for (unsigned int b = cell_begin; b < cell_end; ++b)
+    {
+      if constexpr (has_pre)
+        if (!sched.pre_before_exchange[b - cell_begin])
+          fire_pre(b);
+      process_cell(b);
+    }
+    src.update_ghost_values_finish();
+    const auto &face_list = mf.face_batches_of_rank(rank);
+    for (unsigned int i = 0; i < face_list.size(); ++i)
+    {
+      const unsigned int b = face_list[i];
+      if (mf.face_batch(b).interior)
+        process_inner(b);
+      else
+        process_boundary(b);
+      if constexpr (has_post)
+        fire_completed(sched, i);
+    }
+    if constexpr (has_post)
+      fire_completed(sched, static_cast<unsigned int>(face_list.size()));
+    DGFLOW_PROF_COUNT("mf_cell_batches", cell_end - cell_begin);
+    DGFLOW_PROF_COUNT("mf_face_batches", face_list.size());
+  }
+  else
+  {
+    const auto &sched = mf.loop_schedule(-1);
+    for (unsigned int b = 0; b < mf.n_cell_batches(); ++b)
+    {
+      if constexpr (has_pre)
+        fire_pre(b);
+      process_cell(b);
+    }
+    const unsigned int n_faces = mf.n_face_batches();
+    for (unsigned int b = 0; b < n_faces; ++b)
+    {
+      if (b < mf.n_inner_face_batches())
+        process_inner(b);
+      else
+        process_boundary(b);
+      if constexpr (has_post)
+        fire_completed(sched, b);
+    }
+    if constexpr (has_post)
+      fire_completed(sched, n_faces);
+    DGFLOW_PROF_COUNT("mf_cell_batches", mf.n_cell_batches());
+    DGFLOW_PROF_COUNT("mf_face_batches", n_faces);
+  }
+}
+
+/// Cell-only variant (no face terms, serial vectors): the post hook fires
+/// directly after each batch's cell work since nothing revisits the batch.
+template <typename Number, typename VectorType, typename CellFn,
+          typename PreFn, typename PostFn>
+void cell_only_loop(const MatrixFree<Number> &mf, VectorType &dst,
+                    const VectorType &src, const unsigned int dst_block,
+                    const unsigned int src_block, CellFn &&process_cell,
+                    PreFn &&pre, PostFn &&post)
+{
+  constexpr bool has_pre = !internal::is_no_hook_v<PreFn>;
+  constexpr bool has_post = !internal::is_no_hook_v<PostFn>;
+  const std::size_t src_base = src.first_local_index();
+  const std::size_t dst_base = dst.first_local_index();
+  for (unsigned int b = 0; b < mf.n_cell_batches(); ++b)
+  {
+    if constexpr (has_pre)
+    {
+      const auto [r0, r1] =
+        internal::batch_dof_range(mf, b, src_block, src_base);
+      pre(r0, r1);
+    }
+    process_cell(b);
+    if constexpr (has_post)
+    {
+      const auto [r0, r1] =
+        internal::batch_dof_range(mf, b, dst_block, dst_base);
+      post(r0, r1);
+    }
+  }
+  DGFLOW_PROF_COUNT("mf_cell_batches", mf.n_cell_batches());
+}
+
+} // namespace dgflow

@@ -292,6 +292,37 @@ public:
     return rank_face_batches_[rank];
   }
 
+  /// Hook schedule of the hooked cell-loop driver (cell_loop.h),
+  /// precomputed per rank at reinit. Walking a traversal's face list in
+  /// order, face entry i "completes" the cell batches listed in
+  /// completes_data[completes_ptr[i], completes_ptr[i+1]): no later entry
+  /// reads or writes their cells, so the driver may fire the post hook for
+  /// their DoF ranges there. The extra slot at face_list.size() holds
+  /// batches no face entry touches (cell-only spaces), fired after the
+  /// loop. pre_before_exchange flags the owned batches adjacent to a cut
+  /// face: their src entries feed the ghost wire, so src-mutating pre hooks
+  /// must run for them before the exchange is posted.
+  struct LoopSchedule
+  {
+    std::vector<unsigned int> completes_ptr;
+    std::vector<unsigned int> completes_data; ///< global cell-batch indices
+    std::vector<unsigned char> pre_before_exchange; ///< per owned batch
+  };
+
+  /// Schedule of a rank's distributed traversal (cell_batch_range(rank) +
+  /// face_batches_of_rank(rank)); rank -1 = the serial traversal over all
+  /// batches.
+  const LoopSchedule &loop_schedule(const int rank) const
+  {
+    return rank < 0 ? serial_schedule_ : loop_schedules_[rank];
+  }
+
+  /// Batch containing an active cell.
+  unsigned int batch_of_cell(const index_t cell) const
+  {
+    return batch_of_cell_[cell];
+  }
+
   const CellBatch &cell_batch(const unsigned int b) const
   {
     return cell_batches_[b];
@@ -409,6 +440,7 @@ public:
 private:
   void build_cell_batches();
   void build_face_batches();
+  void build_loop_schedules();
   void compute_geometry_lattices(const Geometry &geometry);
   void classify_cell_geometry();
   void compute_cell_metric(const unsigned int quad);
@@ -436,6 +468,9 @@ private:
   int n_ranks_ = 1;
   std::vector<std::pair<unsigned int, unsigned int>> cell_batch_ranges_;
   std::vector<std::vector<unsigned int>> rank_face_batches_;
+  std::vector<unsigned int> batch_of_cell_;
+  std::vector<LoopSchedule> loop_schedules_;
+  LoopSchedule serial_schedule_;
 
   std::vector<ShapeInfo<Number>> shape_info_;
   std::vector<CellMetric> cell_metric_;
@@ -488,6 +523,7 @@ void MatrixFree<Number>::reinit(const Mesh &mesh, const Geometry &geometry,
 
   build_cell_batches();
   build_face_batches();
+  build_loop_schedules();
   compute_geometry_lattices(geometry);
   classify_cell_geometry();
 
@@ -624,6 +660,70 @@ void MatrixFree<Number>::build_face_batches()
     if (fb.rank_p != fb.rank_m)
       rank_face_batches_[fb.rank_p].push_back(b);
   }
+}
+
+template <typename Number>
+void MatrixFree<Number>::build_loop_schedules()
+{
+  batch_of_cell_.assign(n_cells(), 0u);
+  for (unsigned int b = 0; b < cell_batches_.size(); ++b)
+    for (unsigned int l = 0; l < cell_batches_[b].n_filled; ++l)
+      batch_of_cell_[cell_batches_[b].cells[l]] = b;
+
+  // one schedule per traversal: a batch completes at the last face entry
+  // that touches any of its cells on the traversal's side of ownership
+  const auto build = [this](const int rank, LoopSchedule &sched,
+                            const std::vector<unsigned int> &face_list) {
+    const unsigned int batch_begin =
+      rank < 0 ? 0u : cell_batch_ranges_[rank].first;
+    const unsigned int batch_end =
+      rank < 0 ? n_cell_batches() : cell_batch_ranges_[rank].second;
+    const unsigned int n_local = batch_end - batch_begin;
+    constexpr unsigned int none = ~0u;
+    std::vector<unsigned int> last_face(n_local, none);
+    sched.pre_before_exchange.assign(n_local, 0);
+    const auto touch = [&](const index_t cell, const unsigned int entry,
+                           const bool cut) {
+      if (rank >= 0 && rank_of_cell(cell) != rank)
+        return;
+      const unsigned int local = batch_of_cell_[cell] - batch_begin;
+      last_face[local] = entry;
+      if (cut)
+        sched.pre_before_exchange[local] = 1;
+    };
+    for (unsigned int i = 0; i < face_list.size(); ++i)
+    {
+      const FaceBatch &fb = face_batches_[face_list[i]];
+      for (unsigned int l = 0; l < fb.n_filled; ++l)
+      {
+        touch(fb.cells_m[l], i, fb.is_cut());
+        if (fb.interior)
+          touch(fb.cells_p[l], i, fb.is_cut());
+      }
+    }
+    const auto slot_of = [&](const unsigned int b) {
+      return last_face[b] == none ? static_cast<unsigned int>(face_list.size())
+                                  : last_face[b];
+    };
+    sched.completes_ptr.assign(face_list.size() + 2, 0u);
+    for (unsigned int b = 0; b < n_local; ++b)
+      ++sched.completes_ptr[slot_of(b) + 1];
+    for (std::size_t i = 1; i < sched.completes_ptr.size(); ++i)
+      sched.completes_ptr[i] += sched.completes_ptr[i - 1];
+    sched.completes_data.resize(n_local);
+    std::vector<unsigned int> cursor(sched.completes_ptr.begin(),
+                                     sched.completes_ptr.end() - 1);
+    for (unsigned int b = 0; b < n_local; ++b)
+      sched.completes_data[cursor[slot_of(b)]++] = batch_begin + b;
+  };
+
+  loop_schedules_.assign(n_ranks_, LoopSchedule());
+  for (int r = 0; r < n_ranks_; ++r)
+    build(r, loop_schedules_[r], rank_face_batches_[r]);
+  std::vector<unsigned int> all_faces(face_batches_.size());
+  for (unsigned int i = 0; i < all_faces.size(); ++i)
+    all_faces[i] = i;
+  build(-1, serial_schedule_, all_faces);
 }
 
 template <typename Number>

@@ -33,24 +33,75 @@ public:
   using LVec = Vector<LevelNumber>;
   using DVec = vmpi::DistributedVector<LevelNumber>;
 
-  /// Type-erased level operator handed to the Chebyshev smoother.
+  /// Range-hook signature of the type-erased hooked application.
+  using RangeFn = std::function<void(std::size_t, std::size_t)>;
+
+  /// Type-erased level operator handed to the Chebyshev smoother. When the
+  /// underlying operator supports the contract-v2 hooked cell loop,
+  /// apply_hooked forwards the solver hooks into it (the DG levels); when
+  /// empty, the hooked vmult degrades to a whole-range pre before / post
+  /// after the plain application, which keeps the fused smoother correct
+  /// (merely unfused) on CFE/AMG-backed levels.
   struct AnyOperator
   {
     std::function<void(LVec &, const LVec &)> apply;
+    std::function<void(LVec &, const LVec &, const RangeFn &, const RangeFn &)>
+      apply_hooked;
+
     void vmult(LVec &dst, const LVec &src) const { apply(dst, src); }
+
+    template <typename PreFn, typename PostFn>
+    void vmult(LVec &dst, const LVec &src, PreFn &&pre, PostFn &&post) const
+    {
+      if (apply_hooked)
+      {
+        apply_hooked(dst, src, RangeFn(std::forward<PreFn>(pre)),
+                     RangeFn(std::forward<PostFn>(post)));
+        return;
+      }
+      if constexpr (!internal::is_no_hook_v<PreFn>)
+        pre(0, src.size());
+      apply(dst, src);
+      if constexpr (!internal::is_no_hook_v<PostFn>)
+        post(0, dst.size());
+    }
   };
 
   /// Distributed counterpart for the DG levels of a distributed V-cycle.
   struct AnyDistOperator
   {
     std::function<void(DVec &, const DVec &)> apply;
+    std::function<void(DVec &, const DVec &, const RangeFn &, const RangeFn &)>
+      apply_hooked;
+
     void vmult(DVec &dst, const DVec &src) const { apply(dst, src); }
+
+    template <typename PreFn, typename PostFn>
+    void vmult(DVec &dst, const DVec &src, PreFn &&pre, PostFn &&post) const
+    {
+      if (apply_hooked)
+      {
+        apply_hooked(dst, src, RangeFn(std::forward<PreFn>(pre)),
+                     RangeFn(std::forward<PostFn>(post)));
+        return;
+      }
+      if constexpr (!internal::is_no_hook_v<PreFn>)
+        pre(0, src.size());
+      apply(dst, src);
+      if constexpr (!internal::is_no_hook_v<PostFn>)
+        post(0, dst.size());
+    }
   };
 
   struct Options
   {
     bool h_coarsening = true; ///< build globally coarsened Q1 levels
     unsigned int amg_cycles = 2;
+    /// run the AMG coarse solve in single precision (float value mirrors of
+    /// every AMG level, coarsest dense LU still double): with float level
+    /// vectors this removes the double round-trip at the AMG boundary. Off
+    /// by default — the paper's configuration keeps the coarse solve double.
+    bool sp_amg = false;
     ChebyshevData smoother;
     AMG::Options amg;
     unsigned int geometry_degree = 2;
@@ -240,6 +291,10 @@ public:
       const LaplaceOperator<LevelNumber> *op = &dg_ops_[s];
       DistLevel &dl = dist_levels_[lev];
       dl.op.apply = [op](DVec &d, const DVec &v) { op->vmult(d, v); };
+      dl.op.apply_hooked = [op](DVec &d, const DVec &v, const RangeFn &pre,
+                                const RangeFn &post) {
+        op->vmult(d, v, pre, post);
+      };
       const unsigned int block = mf_fine_.dofs_per_cell(s);
       dl.x.reinit(part, comm, block);
       dl.b.reinit(part, comm, block);
@@ -317,6 +372,8 @@ private:
     const CFELaplaceOperator<LevelNumber> &amg_host =
       have_h ? coarse_ops_.back() : cfe_op_fine_;
     amg_.setup(amg_host.assemble_matrix(), options_.amg);
+    if (options_.sp_amg)
+      amg_.enable_single_precision();
 
     // levels from coarsest to finest: coarse Q1 meshes (reverse order)
     if (have_h)
@@ -341,12 +398,18 @@ private:
       levels_.push_back(std::move(level));
     }
 
-    // DG levels from low to high degree
+    // DG levels from low to high degree; these operators implement the
+    // contract-v2 hooked cell loop, so the fused Chebyshev smoother's
+    // per-batch updates ride the matrix-free traversal
     for (std::size_t s = dg_degrees_.size(); s-- > 0;)
     {
       Level level;
       const auto *op = &dg_ops_[s];
       level.op.apply = [op](LVec &d, const LVec &s2) { op->vmult(d, s2); };
+      level.op.apply_hooked = [op](LVec &d, const LVec &s2,
+                                   const RangeFn &pre, const RangeFn &post) {
+        op->vmult(d, s2, pre, post);
+      };
       level.n_dofs = op->n_dofs();
       levels_.push_back(std::move(level));
     }
@@ -427,11 +490,24 @@ private:
       if (level.is_amg)
       {
         DGFLOW_PROF_SCOPE("amg_coarse");
-        amg_b_.copy_and_convert(b);
-        amg_x_.reinit(amg_b_.size());
-        for (unsigned int c = 0; c < options_.amg_cycles; ++c)
-          amg_.vcycle(amg_x_, amg_b_);
-        x.copy_and_convert(amg_x_);
+        if (options_.sp_amg)
+        {
+          // float coarse solve: with LevelNumber = float the conversions
+          // below are plain copies (no precision round-trip)
+          amg_bf_.copy_and_convert(b);
+          amg_xf_.reinit(amg_bf_.size());
+          for (unsigned int c = 0; c < options_.amg_cycles; ++c)
+            amg_.vcycle(amg_xf_, amg_bf_);
+          x.copy_and_convert(amg_xf_);
+        }
+        else
+        {
+          amg_b_.copy_and_convert(b);
+          amg_x_.reinit(amg_b_.size());
+          for (unsigned int c = 0; c < options_.amg_cycles; ++c)
+            amg_.vcycle(amg_x_, amg_b_);
+          x.copy_and_convert(amg_x_);
+        }
         amg_seconds_ += t.seconds();
       }
       else
@@ -583,6 +659,7 @@ private:
   std::vector<std::string> level_names_;
   mutable LVec src_f_;
   mutable Vector<double> amg_x_, amg_b_;
+  mutable Vector<float> amg_xf_, amg_bf_;
   mutable std::vector<double> level_seconds_;
   mutable double amg_seconds_ = 0.;
 

@@ -7,10 +7,14 @@
 // each other, which the test suite verifies.
 //
 // Both operators follow the unified evaluation interface documented in
-// operators/README.md: vmult/vmult_add for the homogeneous action, apply
-// for the time-dependent action with inhomogeneous boundary data.
+// operators/README.md (contract v2): hooked vmult(dst, src, pre, post) for
+// the homogeneous action, apply for the time-dependent action with
+// inhomogeneous boundary data. The spaces differ between src and dst, so
+// the pre hooks tile the src space's cell blocks and the post hooks the
+// dst space's.
 
 #include "instrumentation/profiler.h"
+#include "matrixfree/cell_loop.h"
 #include "matrixfree/fe_evaluation.h"
 #include "matrixfree/fe_face_evaluation.h"
 #include "operators/convective_operator.h"
@@ -41,36 +45,33 @@ public:
   {
     dst.reinit(mf_->n_dofs(p_space_, 1), true);
     dst = Number(0);
-    apply_add(dst, src, t, true);
+    apply_add(dst, src, t, true, NoRangeHook(), NoRangeHook());
   }
 
   /// Homogeneous action (boundary data zeroed).
-  void vmult(VectorType &dst, const VectorType &src) const
+  template <typename PreFn = NoRangeHook, typename PostFn = NoRangeHook>
+  void vmult(VectorType &dst, const VectorType &src, PreFn &&pre = PreFn(),
+             PostFn &&post = PostFn()) const
   {
     dst.reinit(mf_->n_dofs(p_space_, 1), true);
     dst = Number(0);
-    apply_add(dst, src, 0., false);
-  }
-
-  void vmult_add(VectorType &dst, const VectorType &src) const
-  {
-    apply_add(dst, src, 0., false);
+    apply_add(dst, src, 0., false, std::forward<PreFn>(pre),
+              std::forward<PostFn>(post));
   }
 
 private:
+  template <typename PreFn, typename PostFn>
   void apply_add(VectorType &dst, const VectorType &src, const double t,
-                 const bool use_boundary_values) const
+                 const bool use_boundary_values, PreFn &&pre,
+                 PostFn &&post) const
   {
     DGFLOW_PROF_SCOPE("divergence");
-    DGFLOW_PROF_COUNT("mf_cell_batches", mf_->n_cell_batches());
-    DGFLOW_PROF_COUNT("mf_face_batches", mf_->n_face_batches());
     DGFLOW_PROF_COUNT("mf_dofs", src.size() + dst.size());
     DGFLOW_PROF_THROUGHPUT("divergence", src.size());
 
     FEEvaluation<Number, 3> u(*mf_, u_space_, quad_);
     FEEvaluation<Number, 1> q_test(*mf_, p_space_, quad_);
-    for (unsigned int b = 0; b < mf_->n_cell_batches(); ++b)
-    {
+    const auto process_cell = [&](const unsigned int b) {
       u.reinit(b);
       q_test.reinit(b);
       u.read_dof_values(src);
@@ -79,14 +80,13 @@ private:
         q_test.submit_gradient(-u.get_value(q), q);
       q_test.integrate(false, true);
       q_test.distribute_local_to_global(dst);
-    }
+    };
 
     FEFaceEvaluation<Number, 3> u_m(*mf_, u_space_, quad_, true);
     FEFaceEvaluation<Number, 3> u_p(*mf_, u_space_, quad_, false);
     FEFaceEvaluation<Number, 1> q_m(*mf_, p_space_, quad_, true);
     FEFaceEvaluation<Number, 1> q_p(*mf_, p_space_, quad_, false);
-    for (unsigned int b = 0; b < mf_->n_inner_face_batches(); ++b)
-    {
+    const auto process_inner = [&](const unsigned int b) {
       u_m.reinit(b);
       u_p.reinit(b);
       q_m.reinit(b);
@@ -107,11 +107,9 @@ private:
       q_p.integrate(true, false);
       q_m.distribute_local_to_global(dst);
       q_p.distribute_local_to_global(dst);
-    }
+    };
 
-    for (unsigned int b = mf_->n_inner_face_batches();
-         b < mf_->n_face_batches(); ++b)
-    {
+    const auto process_boundary = [&](const unsigned int b) {
       u_m.reinit(b);
       q_m.reinit(b);
       const FlowBoundary &bdata = bc_->at(u_m.boundary_id());
@@ -134,7 +132,12 @@ private:
       }
       q_m.integrate(true, false);
       q_m.distribute_local_to_global(dst);
-    }
+    };
+
+    cell_face_loop(*mf_, dst, src, mf_->dofs_per_cell(p_space_),
+                   3 * mf_->dofs_per_cell(u_space_), process_cell,
+                   process_inner, process_boundary, std::forward<PreFn>(pre),
+                   std::forward<PostFn>(post));
   }
 
   const MatrixFree<Number> *mf_ = nullptr;
@@ -166,36 +169,33 @@ public:
   {
     dst.reinit(mf_->n_dofs(u_space_, 3), true);
     dst = Number(0);
-    apply_add(dst, src, t, true);
+    apply_add(dst, src, t, true, NoRangeHook(), NoRangeHook());
   }
 
   /// Homogeneous action (boundary data zeroed).
-  void vmult(VectorType &dst, const VectorType &src) const
+  template <typename PreFn = NoRangeHook, typename PostFn = NoRangeHook>
+  void vmult(VectorType &dst, const VectorType &src, PreFn &&pre = PreFn(),
+             PostFn &&post = PostFn()) const
   {
     dst.reinit(mf_->n_dofs(u_space_, 3), true);
     dst = Number(0);
-    apply_add(dst, src, 0., false);
-  }
-
-  void vmult_add(VectorType &dst, const VectorType &src) const
-  {
-    apply_add(dst, src, 0., false);
+    apply_add(dst, src, 0., false, std::forward<PreFn>(pre),
+              std::forward<PostFn>(post));
   }
 
 private:
+  template <typename PreFn, typename PostFn>
   void apply_add(VectorType &dst, const VectorType &src, const double t,
-                 const bool use_boundary_values) const
+                 const bool use_boundary_values, PreFn &&pre,
+                 PostFn &&post) const
   {
     DGFLOW_PROF_SCOPE("gradient");
-    DGFLOW_PROF_COUNT("mf_cell_batches", mf_->n_cell_batches());
-    DGFLOW_PROF_COUNT("mf_face_batches", mf_->n_face_batches());
     DGFLOW_PROF_COUNT("mf_dofs", src.size() + dst.size());
     DGFLOW_PROF_THROUGHPUT("gradient", src.size());
 
     FEEvaluation<Number, 1> p(*mf_, p_space_, quad_);
     FEEvaluation<Number, 3> v_test(*mf_, u_space_, quad_);
-    for (unsigned int b = 0; b < mf_->n_cell_batches(); ++b)
-    {
+    const auto process_cell = [&](const unsigned int b) {
       p.reinit(b);
       v_test.reinit(b);
       p.read_dof_values(src);
@@ -204,14 +204,13 @@ private:
         v_test.submit_divergence(-p.get_value(q), q);
       v_test.integrate(false, true);
       v_test.distribute_local_to_global(dst);
-    }
+    };
 
     FEFaceEvaluation<Number, 1> p_m(*mf_, p_space_, quad_, true);
     FEFaceEvaluation<Number, 1> p_p(*mf_, p_space_, quad_, false);
     FEFaceEvaluation<Number, 3> v_m(*mf_, u_space_, quad_, true);
     FEFaceEvaluation<Number, 3> v_p(*mf_, u_space_, quad_, false);
-    for (unsigned int b = 0; b < mf_->n_inner_face_batches(); ++b)
-    {
+    const auto process_inner = [&](const unsigned int b) {
       p_m.reinit(b);
       p_p.reinit(b);
       v_m.reinit(b);
@@ -231,11 +230,9 @@ private:
       v_p.integrate(true, false);
       v_m.distribute_local_to_global(dst);
       v_p.distribute_local_to_global(dst);
-    }
+    };
 
-    for (unsigned int b = mf_->n_inner_face_batches();
-         b < mf_->n_face_batches(); ++b)
-    {
+    const auto process_boundary = [&](const unsigned int b) {
       p_m.reinit(b);
       v_m.reinit(b);
       const FlowBoundary &bdata = bc_->at(p_m.boundary_id());
@@ -263,7 +260,12 @@ private:
       }
       v_m.integrate(true, false);
       v_m.distribute_local_to_global(dst);
-    }
+    };
+
+    cell_face_loop(*mf_, dst, src, 3 * mf_->dofs_per_cell(u_space_),
+                   mf_->dofs_per_cell(p_space_), process_cell, process_inner,
+                   process_boundary, std::forward<PreFn>(pre),
+                   std::forward<PostFn>(post));
   }
 
   const MatrixFree<Number> *mf_ = nullptr;

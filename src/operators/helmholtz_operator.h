@@ -5,11 +5,13 @@
 // velocity Dirichlet (mirror ghost) and Neumann (do-nothing) boundaries.
 // With mass_factor = 0 this is the pure viscous operator V(U).
 //
-// Evaluation interface per operators/README.md: vmult/vmult_add for the
-// homogeneous action; inhomogeneous boundary data enters via
-// add_boundary_rhs (the operator itself is time-independent).
+// Evaluation interface per operators/README.md (contract v2): hooked
+// vmult(dst, src, pre, post) for the homogeneous action; inhomogeneous
+// boundary data enters via add_boundary_rhs (the operator itself is
+// time-independent).
 
 #include "instrumentation/profiler.h"
+#include "matrixfree/cell_loop.h"
 #include "matrixfree/fe_evaluation.h"
 #include "matrixfree/fe_face_evaluation.h"
 #include "operators/convective_operator.h"
@@ -40,24 +42,18 @@ public:
 
   std::size_t n_dofs() const { return mf_->n_dofs(space_, 3); }
 
-  void vmult(VectorType &dst, const VectorType &src) const
+  template <typename PreFn = NoRangeHook, typename PostFn = NoRangeHook>
+  void vmult(VectorType &dst, const VectorType &src, PreFn &&pre = PreFn(),
+             PostFn &&post = PostFn()) const
   {
     dst.reinit(n_dofs(), true);
     dst = Number(0);
-    vmult_add(dst, src);
-  }
-
-  void vmult_add(VectorType &dst, const VectorType &src) const
-  {
     DGFLOW_PROF_SCOPE("helmholtz");
-    DGFLOW_PROF_COUNT("mf_cell_batches", mf_->n_cell_batches());
-    DGFLOW_PROF_COUNT("mf_face_batches", mf_->n_face_batches());
     DGFLOW_PROF_COUNT("mf_dofs", src.size() + dst.size());
     DGFLOW_PROF_THROUGHPUT("helmholtz", src.size());
 
     FEEvaluation<Number, 3> phi(*mf_, space_, quad_);
-    for (unsigned int b = 0; b < mf_->n_cell_batches(); ++b)
-    {
+    const auto process_cell = [&](const unsigned int b) {
       phi.reinit(b);
       phi.read_dof_values(src);
       phi.evaluate(true, true);
@@ -73,12 +69,11 @@ public:
       }
       phi.integrate(mass_factor_ != Number(0), true);
       phi.distribute_local_to_global(dst);
-    }
+    };
 
     FEFaceEvaluation<Number, 3> phi_m(*mf_, space_, quad_, true);
     FEFaceEvaluation<Number, 3> phi_p(*mf_, space_, quad_, false);
-    for (unsigned int b = 0; b < mf_->n_inner_face_batches(); ++b)
-    {
+    const auto process_inner = [&](const unsigned int b) {
       phi_m.reinit(b);
       phi_p.reinit(b);
       phi_m.read_dof_values(src);
@@ -107,15 +102,13 @@ public:
       phi_p.integrate(true, true);
       phi_m.distribute_local_to_global(dst);
       phi_p.distribute_local_to_global(dst);
-    }
+    };
 
-    for (unsigned int b = mf_->n_inner_face_batches();
-         b < mf_->n_face_batches(); ++b)
-    {
+    const auto process_boundary = [&](const unsigned int b) {
       phi_m.reinit(b);
       const FlowBoundary &bdata = bc_->at(phi_m.boundary_id());
       if (bdata.kind != FlowBoundary::Kind::velocity_dirichlet)
-        continue; // natural (do-nothing) on pressure boundaries
+        return; // natural (do-nothing) on pressure boundaries
       phi_m.read_dof_values(src);
       phi_m.evaluate(true, true);
       const VA sigma = phi_m.penalty_parameter();
@@ -134,7 +127,12 @@ public:
       }
       phi_m.integrate(true, true);
       phi_m.distribute_local_to_global(dst);
-    }
+    };
+
+    const unsigned int block = 3 * mf_->dofs_per_cell(space_);
+    cell_face_loop(*mf_, dst, src, block, block, process_cell, process_inner,
+                   process_boundary, std::forward<PreFn>(pre),
+                   std::forward<PostFn>(post));
   }
 
   /// Adds the inhomogeneous boundary contributions to @p rhs: Dirichlet data

@@ -6,10 +6,12 @@
 // the left-hand side of the pressure Poisson equation (2) and the workhorse
 // of the multigrid smoother benchmarks (Figs. 6-10).
 //
-// Evaluation interface per operators/README.md: vmult/vmult_add for the
-// homogeneous action; inhomogeneous data enters via assemble_rhs.
+// Evaluation interface per operators/README.md (contract v2): hooked
+// vmult(dst, src, pre, post) for the homogeneous action, driven by the
+// shared cell_face_loop; inhomogeneous data enters via assemble_rhs.
 
 #include "instrumentation/profiler.h"
+#include "matrixfree/cell_loop.h"
 #include "matrixfree/fe_evaluation.h"
 #include "matrixfree/fe_face_evaluation.h"
 #include "matrixfree/field_tools.h"
@@ -49,21 +51,21 @@ public:
   /// exchange overlapped behind the owned-cell loop. dst comes back
   /// owned-only (both sides of a cut face evaluate the full flux and keep
   /// their own side, so no compress is needed); src is left ghosted.
-  template <typename VectorType2>
-  void vmult(VectorType2 &dst, const VectorType2 &src) const
+  ///
+  /// Contract v2 hooks: pre/post are per-cell-batch DoF-range callbacks
+  /// executed by cell_face_loop before the batch's src entries are first
+  /// read and after its dst entries are last written (loop_hooks.h); the
+  /// defaults compile the scheduling away.
+  template <typename VectorType2, typename PreFn = NoRangeHook,
+            typename PostFn = NoRangeHook>
+  void vmult(VectorType2 &dst, const VectorType2 &src, PreFn &&pre = PreFn(),
+             PostFn &&post = PostFn()) const
   {
     if constexpr (is_distributed_vector_v<VectorType2>)
       dst.reinit_like(src, true);
     else
       dst.reinit(n_dofs(), true);
     dst = Number(0);
-    vmult_add(dst, src);
-  }
-
-  template <typename VectorType2>
-  void vmult_add(VectorType2 &dst, const VectorType2 &src) const
-  {
-    constexpr bool distributed = is_distributed_vector_v<VectorType2>;
     DGFLOW_PROF_SCOPE("laplace");
     DGFLOW_PROF_COUNT("mf_dofs", src.size() + dst.size());
     DGFLOW_PROF_THROUGHPUT("laplace", n_dofs());
@@ -131,39 +133,10 @@ public:
       phi_m.distribute_local_to_global(dst);
     };
 
-    if constexpr (distributed)
-    {
-      const int rank = src.rank();
-      // overlap: post the ghost exchange, evaluate owned cells, wait, then
-      // evaluate this rank's faces (ghost reads only happen on cut faces)
-      src.update_ghost_values_start();
-      const auto [cell_begin, cell_end] = mf_->cell_batch_range(rank);
-      for (unsigned int b = cell_begin; b < cell_end; ++b)
-        process_cell(b);
-      src.update_ghost_values_finish();
-      const auto &face_list = mf_->face_batches_of_rank(rank);
-      for (const unsigned int b : face_list)
-      {
-        if (mf_->face_batch(b).interior)
-          process_inner(b);
-        else
-          process_boundary(b);
-      }
-      DGFLOW_PROF_COUNT("mf_cell_batches", cell_end - cell_begin);
-      DGFLOW_PROF_COUNT("mf_face_batches", face_list.size());
-    }
-    else
-    {
-      for (unsigned int b = 0; b < mf_->n_cell_batches(); ++b)
-        process_cell(b);
-      for (unsigned int b = 0; b < mf_->n_inner_face_batches(); ++b)
-        process_inner(b);
-      for (unsigned int b = mf_->n_inner_face_batches();
-           b < mf_->n_face_batches(); ++b)
-        process_boundary(b);
-      DGFLOW_PROF_COUNT("mf_cell_batches", mf_->n_cell_batches());
-      DGFLOW_PROF_COUNT("mf_face_batches", mf_->n_face_batches());
-    }
+    const unsigned int block = mf_->dofs_per_cell(space_);
+    cell_face_loop(*mf_, dst, src, block, block, process_cell, process_inner,
+                   process_boundary, std::forward<PreFn>(pre),
+                   std::forward<PostFn>(post));
   }
 
   /// Assembles the right-hand side for -laplace(u) = f with Dirichlet data

@@ -6,11 +6,13 @@
 // exploits for the cheap M^{-1} applications in Eqs. (1) and (3) and as the
 // preconditioner of the projection/penalty solves (paper Section 5.3).
 //
-// Evaluation interface per operators/README.md: vmult/vmult_add (the
-// operator is time-independent); apply_inverse is the extra exact-inverse
-// entry point the splitting scheme relies on.
+// Evaluation interface per operators/README.md (contract v2): hooked
+// vmult(dst, src, pre, post) driven by cell_only_loop (the operator is
+// cell-local and time-independent); apply_inverse is the extra
+// exact-inverse entry point the splitting scheme relies on.
 
 #include "instrumentation/profiler.h"
+#include "matrixfree/cell_loop.h"
 #include "matrixfree/fe_evaluation.h"
 
 namespace dgflow
@@ -34,37 +36,37 @@ public:
 
   std::size_t n_dofs() const { return mf_->n_dofs(space_, n_components); }
 
-  void vmult(VectorType &dst, const VectorType &src) const
+  template <typename PreFn = NoRangeHook, typename PostFn = NoRangeHook>
+  void vmult(VectorType &dst, const VectorType &src, PreFn &&pre = PreFn(),
+             PostFn &&post = PostFn()) const
   {
     dst.reinit(n_dofs(), true);
-    apply_scaled<false, false>(dst, src);
-  }
-
-  void vmult_add(VectorType &dst, const VectorType &src) const
-  {
-    apply_scaled<false, true>(dst, src);
+    apply_scaled<false>(dst, src, std::forward<PreFn>(pre),
+                        std::forward<PostFn>(post));
   }
 
   /// dst = M^{-1} src (exact, diagonal in the collocated basis).
-  void apply_inverse(VectorType &dst, const VectorType &src) const
+  template <typename PreFn = NoRangeHook, typename PostFn = NoRangeHook>
+  void apply_inverse(VectorType &dst, const VectorType &src,
+                     PreFn &&pre = PreFn(), PostFn &&post = PostFn()) const
   {
     dst.reinit(n_dofs(), true);
-    apply_scaled<true, false>(dst, src);
+    apply_scaled<true>(dst, src, std::forward<PreFn>(pre),
+                       std::forward<PostFn>(post));
   }
 
 private:
-  template <bool inverse, bool add>
-  void apply_scaled(VectorType &dst, const VectorType &src) const
+  template <bool inverse, typename PreFn, typename PostFn>
+  void apply_scaled(VectorType &dst, const VectorType &src, PreFn &&pre,
+                    PostFn &&post) const
   {
     DGFLOW_PROF_SCOPE(inverse ? "mass_inverse" : "mass");
-    DGFLOW_PROF_COUNT("mf_cell_batches", mf_->n_cell_batches());
     DGFLOW_PROF_COUNT("mf_dofs", src.size() + dst.size());
     DGFLOW_PROF_THROUGHPUT(inverse ? "mass_inverse" : "mass",
                            src.size());
     const auto &metric = mf_->cell_metric(quad_);
     const unsigned int nq = metric.n_q;
-    for (unsigned int b = 0; b < mf_->n_cell_batches(); ++b)
-    {
+    const auto process_cell = [&](const unsigned int b) {
       const auto &batch = mf_->cell_batch(b);
       for (unsigned int l = 0; l < batch.n_filled; ++l)
       {
@@ -75,14 +77,13 @@ private:
           {
             const Number jxw = metric.jxw(b, q)[l];
             const std::size_t idx = base + c * nq + q;
-            const Number v = inverse ? src[idx] / jxw : src[idx] * jxw;
-            if (add)
-              dst[idx] += v;
-            else
-              dst[idx] = v;
+            dst[idx] = inverse ? src[idx] / jxw : src[idx] * jxw;
           }
       }
-    }
+    };
+    const unsigned int block = nq * n_components;
+    cell_only_loop(*mf_, dst, src, block, block, process_cell,
+                   std::forward<PreFn>(pre), std::forward<PostFn>(post));
   }
 
   const MatrixFree<Number> *mf_ = nullptr;

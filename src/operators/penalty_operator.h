@@ -8,10 +8,13 @@
 // inverse mass operator; the penalty parameters follow Fehn et al. (2018):
 // tau_D = zeta * ||u||_e * h_e / (k+1), tau_C = zeta * ||u||_f.
 //
-// Evaluation interface per operators/README.md: vmult/vmult_add (the
-// operator depends on time only through update(), not on boundary data).
+// Evaluation interface per operators/README.md (contract v2): hooked
+// vmult(dst, src, pre, post) (the operator depends on time only through
+// update(), not on boundary data; boundary faces carry no penalty term,
+// so the boundary callback of the shared loop is a no-op).
 
 #include "instrumentation/profiler.h"
+#include "matrixfree/cell_loop.h"
 #include "matrixfree/fe_evaluation.h"
 #include "matrixfree/fe_face_evaluation.h"
 #include "operators/convective_operator.h"
@@ -90,24 +93,18 @@ public:
   std::size_t n_dofs() const { return mf_->n_dofs(space_, 3); }
 
   /// dst = (M + dt A_pen) src
-  void vmult(VectorType &dst, const VectorType &src) const
+  template <typename PreFn = NoRangeHook, typename PostFn = NoRangeHook>
+  void vmult(VectorType &dst, const VectorType &src, PreFn &&pre = PreFn(),
+             PostFn &&post = PostFn()) const
   {
     dst.reinit(n_dofs(), true);
     dst = Number(0);
-    vmult_add(dst, src);
-  }
-
-  void vmult_add(VectorType &dst, const VectorType &src) const
-  {
     DGFLOW_PROF_SCOPE("penalty_op");
-    DGFLOW_PROF_COUNT("mf_cell_batches", mf_->n_cell_batches());
-    DGFLOW_PROF_COUNT("mf_face_batches", mf_->n_face_batches());
     DGFLOW_PROF_COUNT("mf_dofs", src.size() + dst.size());
     DGFLOW_PROF_THROUGHPUT("penalty_op", src.size());
 
     FEEvaluation<Number, 3> phi(*mf_, space_, quad_);
-    for (unsigned int b = 0; b < mf_->n_cell_batches(); ++b)
-    {
+    const auto process_cell = [&](const unsigned int b) {
       phi.reinit(b);
       phi.read_dof_values(src);
       phi.evaluate(true, true);
@@ -118,12 +115,11 @@ public:
       }
       phi.integrate(true, true);
       phi.distribute_local_to_global(dst);
-    }
+    };
 
     FEFaceEvaluation<Number, 3> phi_m(*mf_, space_, quad_, true);
     FEFaceEvaluation<Number, 3> phi_p(*mf_, space_, quad_, false);
-    for (unsigned int b = 0; b < mf_->n_inner_face_batches(); ++b)
-    {
+    const auto process_inner = [&](const unsigned int b) {
       phi_m.reinit(b);
       phi_p.reinit(b);
       phi_m.read_dof_values(src);
@@ -144,7 +140,15 @@ public:
       phi_p.integrate(true, false);
       phi_m.distribute_local_to_global(dst);
       phi_p.distribute_local_to_global(dst);
-    }
+    };
+
+    // no boundary penalty term, but the loop still drives the hook schedule
+    const auto process_boundary = [&](const unsigned int) {};
+
+    const unsigned int block = 3 * mf_->dofs_per_cell(space_);
+    cell_face_loop(*mf_, dst, src, block, block, process_cell, process_inner,
+                   process_boundary, std::forward<PreFn>(pre),
+                   std::forward<PostFn>(post));
   }
 
 private:

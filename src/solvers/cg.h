@@ -9,6 +9,15 @@
 // products, residual stagnation and Krylov breakdown all terminate the
 // iteration with a failed SolveStats carrying the SolveFailure reason, so
 // callers can fall back (RecoveringSolver) or reject the time step.
+//
+// Fused loops: when the operator implements the contract-v2 hooked vmult
+// (HookedOperatorFor) and SolverControl::fuse_loops is on, the
+// search-direction update p = beta*p + z rides the next vmult's pre hooks
+// (each cell batch's slice updated right before the operator reads it) and
+// the x/r updates merge into one sweep — the merged solver kernels of
+// Muething et al., saving two full passes of vector traffic per iteration.
+// The arithmetic is element-for-element the classic expressions, so fused
+// and unfused iterates agree bitwise.
 
 #include <cmath>
 
@@ -18,6 +27,7 @@
 #include "common/vector.h"
 #include "instrumentation/profiler.h"
 #include "instrumentation/solve_stats.h"
+#include "solvers/concepts.h"
 
 namespace dgflow
 {
@@ -29,6 +39,9 @@ struct SolverControl
   /// declare stagnation after this many consecutive iterations without any
   /// residual improvement (0 disables the check)
   unsigned int stagnation_window = 100;
+  /// fold the solver's BLAS-1 updates into the operator's hooked cell loop
+  /// (no effect on operators without contract-v2 hooks)
+  bool fuse_loops = true;
   /// distributed failure detection: when set, solve_cg calls the hook at
   /// iteration boundaries (honoring its stride) so all ranks agree on
   /// live-or-dead before the next collective; nullptr (the default) costs
@@ -99,11 +112,14 @@ private:
 /// the per-solve vmpi traffic (messages/bytes/allreduces) is published as
 /// cg_vmpi_* gauges.
 template <typename Operator, typename Preconditioner, typename VectorType>
+  requires PreconditionerFor<Preconditioner, VectorType> &&
+           OperatorFor<Operator, VectorType>
 SolveStats solve_cg(const Operator &A, VectorType &x, const VectorType &b,
                     Preconditioner &P, const SolverControl &control)
 {
   using Number = typename VectorType::value_type;
   constexpr bool distributed = is_distributed_vector_v<VectorType>;
+  constexpr bool hooked = HookedOperatorFor<Operator, VectorType>;
   DGFLOW_PROF_SCOPE("cg");
   Timer solve_timer;
   SolveStats result;
@@ -167,6 +183,10 @@ SolveStats solve_cg(const Operator &A, VectorType &x, const VectorType &b,
   double best_res = res_norm;
   unsigned int last_improvement = 0;
 
+  // fused mode defers p = beta*p + z into the next vmult's pre hooks
+  Number beta = Number(0);
+  bool pending_beta = false;
+
   for (unsigned int it = 1; it <= control.max_iterations; ++it)
   {
     // agreement boundary: every rank must reach the verdict *before* the
@@ -176,7 +196,27 @@ SolveStats solve_cg(const Operator &A, VectorType &x, const VectorType &b,
         (it == 1 || int(it) % std::max(1, control.recovery->stride()) == 0))
       control.recovery->at_iteration_boundary(std::isfinite(res_norm) &&
                                               std::isfinite(double(rz)));
-    A.vmult(Ap, p);
+    if constexpr (hooked)
+    {
+      if (pending_beta)
+      {
+        // the operator fires this per cell batch right before reading the
+        // batch's p entries (cut-face batches before the ghost exchange),
+        // so Ap = A * (beta*p + z) without a separate sweep over p
+        const Number beta_c = beta;
+        Number *DGFLOW_RESTRICT pd = p.data();
+        const Number *DGFLOW_RESTRICT zd = z.data();
+        A.vmult(Ap, p, [=](const std::size_t r0, const std::size_t r1) {
+          for (std::size_t i = r0; i < r1; ++i)
+            pd[i] = beta_c * pd[i] + zd[i];
+        });
+        pending_beta = false;
+      }
+      else
+        A.vmult(Ap, p);
+    }
+    else
+      A.vmult(Ap, p);
     const Number pAp = p.dot(Ap);
     if (!std::isfinite(double(pAp)) || !std::isfinite(double(rz)))
     {
@@ -197,8 +237,39 @@ SolveStats solve_cg(const Operator &A, VectorType &x, const VectorType &b,
       break;
     }
     const Number alpha = rz / pAp;
-    x.add(alpha, p);
-    r.add(-alpha, Ap);
+    if constexpr (hooked)
+    {
+      if (control.fuse_loops)
+      {
+        // one merged sweep instead of two (bitwise equal: the element
+        // updates are independent and use the classic expressions)
+        Number *DGFLOW_RESTRICT xd = x.data();
+        Number *DGFLOW_RESTRICT rd = r.data();
+        const Number *DGFLOW_RESTRICT pd = p.data();
+        const Number *DGFLOW_RESTRICT apd = Ap.data();
+        const std::size_t n = x.size();
+        for (std::size_t i = 0; i < n; ++i)
+        {
+          xd[i] += alpha * pd[i];
+          rd[i] += (-alpha) * apd[i];
+        }
+        if constexpr (distributed)
+        {
+          x.invalidate_ghosts();
+          r.invalidate_ghosts();
+        }
+      }
+      else
+      {
+        x.add(alpha, p);
+        r.add(-alpha, Ap);
+      }
+    }
+    else
+    {
+      x.add(alpha, p);
+      r.add(-alpha, Ap);
+    }
 
     res_norm = double(r.l2_norm());
     result.iterations = it;
@@ -227,9 +298,17 @@ SolveStats solve_cg(const Operator &A, VectorType &x, const VectorType &b,
 
     P.vmult(z, r);
     const Number rz_new = r.dot(z);
-    const Number beta = rz_new / rz;
+    beta = rz_new / rz;
     rz = rz_new;
-    p.sadd(beta, Number(1), z);
+    if constexpr (hooked)
+    {
+      if (control.fuse_loops)
+        pending_beta = true; // p = beta*p + z rides the next vmult
+      else
+        p.sadd(beta, Number(1), z);
+    }
+    else
+      p.sadd(beta, Number(1), z);
   }
   if (!result.converged && result.failure == SolveFailure::none)
     result.failure = SolveFailure::max_iterations;

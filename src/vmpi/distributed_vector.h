@@ -16,9 +16,22 @@
 // the ghosted state; every mutating BLAS-1 operation invalidates it;
 // compress_add() requires it and returns the vector owned-only with a
 // zeroed ghost section.
+//
+// Wire precision: independent of the storage precision Number, the ghost
+// and compress exchanges can run a single-precision wire format
+// (set_wire_precision). The float payload halves the neighbor traffic of a
+// double vector; because the narrowing conversion would otherwise mask the
+// bit-flip faults the resilience layer injects, every single-precision
+// message carries a trailing FNV-1a checksum over the payload bytes,
+// verified on receive (GhostCorruptionError). The storage-precision wire
+// stays byte-identical to the pre-knob format (no checksum) so traffic
+// accounting and the epoch/timeout protocol are unchanged.
 
 #include <cmath>
+#include <cstdint>
 #include <cstring>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "common/aligned_vector.h"
@@ -30,6 +43,25 @@ namespace dgflow
 {
 namespace vmpi
 {
+/// A single-precision ghost/compress payload failed its checksum: the
+/// message was corrupted in flight (or deliberately, by fault injection).
+class GhostCorruptionError : public std::runtime_error
+{
+public:
+  explicit GhostCorruptionError(const std::string &what)
+    : std::runtime_error(what)
+  {
+  }
+};
+
+/// Scalar format of the ghost-exchange payload (storage precision stays
+/// whatever Number is; this only affects the bytes on the wire).
+enum class WirePrecision : unsigned char
+{
+  storage, ///< payload in Number (byte-identical to the legacy format)
+  single   ///< float payload + trailing FNV-1a checksum
+};
+
 template <typename Number>
 class DistributedVector
 {
@@ -99,6 +131,25 @@ public:
   int rank() const { return part_ ? part_->rank() : 0; }
 
   GhostState ghost_state() const { return state_; }
+
+  /// Marks the ghost section stale without touching any data. Solver hooks
+  /// that mutate owned entries through raw indexing (the fused cell-loop
+  /// post hooks) call this so the ghost-state guard keeps catching stale
+  /// reads; the next vmult re-exchanges regardless.
+  void invalidate_ghosts() const { state_ = GhostState::owned_only; }
+
+  /// Selects the scalar format of the ghost/compress wire payload. Takes
+  /// effect at the next exchange; no data conversion happens here.
+  void set_wire_precision(const WirePrecision wp) { wire_ = wp; }
+  WirePrecision wire_precision() const { return wire_; }
+
+  /// Bytes per exchanged scalar on the wire (including the amortized
+  /// checksum trailer for the single-precision format rounds to the scalar
+  /// size; the trailer is 8 bytes per message).
+  std::size_t wire_scalar_size() const
+  {
+    return wire_ == WirePrecision::single ? sizeof(float) : sizeof(Number);
+  }
 
   /// Local storage: [0, size()) owned scalars, then ghost scalars.
   Number &operator()(const std::size_t i) { return data_[i]; }
@@ -273,6 +324,14 @@ public:
     DGFLOW_DEBUG_ASSERT(!exchange_in_flight_, "exchange already in flight");
     for (const auto &[neighbor, list] : part_->send_lists())
     {
+      if (wire_ == WirePrecision::single)
+      {
+        send_single(neighbor, tag_ghost, list,
+                    [this](const std::size_t g) {
+                      return (g - part_->owned_begin()) * block_;
+                    });
+        continue;
+      }
       pack_buffer_.resize(list.size() * block_);
       Number *buf = pack_buffer_.data();
       for (const std::size_t g : list)
@@ -295,6 +354,15 @@ public:
                         "update_ghost_values_finish without start");
     for (const auto &[neighbor, list] : part_->recv_lists())
     {
+      if (wire_ == WirePrecision::single)
+      {
+        recv_single(neighbor, tag_ghost, list,
+                    [this](const std::size_t g) {
+                      return part_->local_index(g) * block_;
+                    },
+                    /*accumulate=*/false);
+        continue;
+      }
       pack_buffer_.resize(list.size() * block_);
       comm_->recv(neighbor, tag_ghost, pack_buffer_.data(),
                   pack_buffer_.size() * sizeof(Number));
@@ -337,6 +405,14 @@ public:
                         "compress_add on a vector without ghost values");
     for (const auto &[neighbor, list] : part_->recv_lists())
     {
+      if (wire_ == WirePrecision::single)
+      {
+        send_single(neighbor, tag_compress, list,
+                    [this](const std::size_t g) {
+                      return part_->local_index(g) * block_;
+                    });
+        continue;
+      }
       pack_buffer_.resize(list.size() * block_);
       Number *buf = pack_buffer_.data();
       for (const std::size_t g : list)
@@ -350,6 +426,15 @@ public:
     }
     for (const auto &[neighbor, list] : part_->send_lists())
     {
+      if (wire_ == WirePrecision::single)
+      {
+        recv_single(neighbor, tag_compress, list,
+                    [this](const std::size_t g) {
+                      return (g - part_->owned_begin()) * block_;
+                    },
+                    /*accumulate=*/true);
+        continue;
+      }
       pack_buffer_.resize(list.size() * block_);
       comm_->recv(neighbor, tag_compress, pack_buffer_.data(),
                   pack_buffer_.size() * sizeof(Number));
@@ -383,12 +468,83 @@ private:
   static constexpr int tag_ghost = 930;
   static constexpr int tag_compress = 931;
 
+  /// FNV-1a over the payload bytes — the same checksum the Communicator
+  /// uses to guard allreduce contributions, applied here per message.
+  static std::uint64_t payload_checksum(const float *payload,
+                                        const std::size_t n_scalars)
+  {
+    const unsigned char *bytes =
+      reinterpret_cast<const unsigned char *>(payload);
+    std::uint64_t h = 14695981039346656037ull;
+    for (std::size_t i = 0; i < n_scalars * sizeof(float); ++i)
+    {
+      h ^= bytes[i];
+      h *= 1099511628211ull;
+    }
+    return h;
+  }
+
+  /// The single-precision wire message: n float scalars followed by an
+  /// 8-byte checksum (two float slots of the same buffer).
+  template <typename OffsetFn>
+  void send_single(const int neighbor, const int tag,
+                   const std::vector<std::size_t> &list,
+                   OffsetFn &&offset_of) const
+  {
+    const std::size_t n = list.size() * block_;
+    wire_buffer_.resize(n + 2);
+    float *buf = wire_buffer_.data();
+    for (const std::size_t g : list)
+    {
+      const Number *src = data_.data() + offset_of(g);
+      for (unsigned int k = 0; k < block_; ++k)
+        *buf++ = float(src[k]);
+    }
+    const std::uint64_t h = payload_checksum(wire_buffer_.data(), n);
+    std::memcpy(wire_buffer_.data() + n, &h, sizeof(h));
+    comm_->send(neighbor, tag, wire_buffer_.data(),
+                n * sizeof(float) + sizeof(h));
+  }
+
+  template <typename OffsetFn>
+  void recv_single(const int neighbor, const int tag,
+                   const std::vector<std::size_t> &list,
+                   OffsetFn &&offset_of, const bool accumulate) const
+  {
+    const std::size_t n = list.size() * block_;
+    wire_buffer_.resize(n + 2);
+    comm_->recv(neighbor, tag, wire_buffer_.data(),
+                n * sizeof(float) + sizeof(std::uint64_t));
+    std::uint64_t expected;
+    std::memcpy(&expected, wire_buffer_.data() + n, sizeof(expected));
+    const std::uint64_t actual = payload_checksum(wire_buffer_.data(), n);
+    if (actual != expected)
+      throw GhostCorruptionError(
+        "single-precision ghost payload from rank " +
+        std::to_string(neighbor) + " (tag " + std::to_string(tag) +
+        ") failed its checksum: the message was corrupted in flight");
+    const float *buf = wire_buffer_.data();
+    for (const std::size_t g : list)
+    {
+      Number *dst = data_.data() + offset_of(g);
+      for (unsigned int k = 0; k < block_; ++k)
+      {
+        if (accumulate)
+          dst[k] += Number(*buf++);
+        else
+          dst[k] = Number(*buf++);
+      }
+    }
+  }
+
   const Partitioner *part_ = nullptr;
   Communicator *comm_ = nullptr;
   unsigned int block_ = 1;
+  WirePrecision wire_ = WirePrecision::storage;
   /// mutable: the const ghost exchange writes the ghost section in place
   mutable AlignedVector<Number> data_;
   mutable std::vector<Number> pack_buffer_;
+  mutable std::vector<float> wire_buffer_;
   /// Ghost exchange touches no owned data, so start/finish are const (the
   /// operator vmult refreshes src ghosts); the ghost section and the state
   /// flag are mutable bookkeeping.
