@@ -24,15 +24,30 @@ if [ -z "$DGFLOW_SKIP_VERIFY" ]; then
     --target test_distributed_resilience recovery_microbench > /dev/null
   (cd build-tsan && ctest -L distributed_resilience --output-on-failure)
 
-  # Second verify pass: the fused-kernel equivalence and mixed-precision
-  # tests under AddressSanitizer — the fused hooks write through raw
-  # pointers into solver vectors mid-traversal and the single-precision
-  # ghost wire packs/unpacks hand-rolled buffers; an out-of-range hook
-  # range or wire offset must fail here, not corrupt a timing run below.
-  echo "verify pass: mixed_precision under DGFLOW_SANITIZE=address"
+  # Second verify pass: the fused-kernel equivalence, mixed-precision and
+  # ABFT tests under AddressSanitizer — the fused hooks write through raw
+  # pointers into solver vectors mid-traversal, the single-precision ghost
+  # wire packs/unpacks hand-rolled buffers, and the ABFT guard flips bits in
+  # live payloads and checksums raw memory regions; an out-of-range hook
+  # range, wire offset or stale artifact region must fail here, not corrupt
+  # a timing run below.
+  echo "verify pass: mixed_precision|abft under DGFLOW_SANITIZE=address"
   cmake -B build-asan -S . -DDGFLOW_SANITIZE=address > /dev/null
-  cmake --build build-asan -j --target test_mixed_precision > /dev/null
-  (cd build-asan && ctest -L mixed_precision --output-on-failure)
+  cmake --build build-asan -j \
+    --target test_mixed_precision test_abft abft_microbench > /dev/null
+  (cd build-asan && ctest -L "mixed_precision|abft" --output-on-failure)
+
+  # Third verify pass: the resilience and ABFT suites under UBSan — the
+  # bit-flip injection and checksum paths reinterpret raw bytes and shift
+  # 64-bit masks, and the recovery ladder rethrows through several catch
+  # layers; any misaligned access, bad shift or invalid enum must surface
+  # here with -fno-sanitize-recover rather than silently skew a repair.
+  echo "verify pass: resilience|abft under DGFLOW_SANITIZE=undefined"
+  cmake -B build-ubsan -S . -DDGFLOW_SANITIZE=undefined > /dev/null
+  cmake --build build-ubsan -j \
+    --target test_resilience_vmpi test_resilience_solver test_checkpoint \
+    test_abft abft_microbench > /dev/null
+  (cd build-ubsan && ctest -L "resilience|abft" --output-on-failure)
 fi
 for b in build/bench/*; do
   if [ -x "$b" ] && [ -f "$b" ]; then
@@ -48,6 +63,9 @@ for b in build/bench/*; do
     # recovery_microbench -> BENCH_recovery.json: agreement latency, shard
     # checkpoint throughput and the shrinking-recovery overhead
     [ "$name" = recovery_microbench ] && bench_json="bench_results/BENCH_recovery.json"
+    # abft_microbench -> BENCH_abft.json: the SDC-guard overhead on the lung
+    # solve (acceptance: < 3% detection overhead) and the flip-repair check
+    [ "$name" = abft_microbench ] && bench_json="bench_results/BENCH_abft.json"
     # ablation_precision -> BENCH_precision.json: the mixed-precision
     # iteration-count matrix (dp / sp_levels / sp_levels_sp_amg / sp_ghost)
     [ "$name" = ablation_precision ] && bench_json="bench_results/BENCH_precision.json"

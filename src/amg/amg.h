@@ -6,6 +6,7 @@
 // symmetric Gauss-Seidel sweep per level, run in double precision, matching
 // the paper's configuration of the coarse solve.
 
+#include <utility>
 #include <vector>
 
 #include "amg/sparse_matrix.h"
@@ -53,6 +54,43 @@ public:
   std::size_t level_size(const unsigned int l) const
   {
     return levels_[l].A.n_rows();
+  }
+
+  /// ABFT support: appends {pointer, bytes} pairs covering every setup-time
+  /// value array of the hierarchy — the A/P/R values of each double level,
+  /// the float mirrors when single precision is enabled, and the coarse
+  /// dense LU factors — so the resilience layer can checksum and scrub
+  /// them. The work vectors (x, b, r) are transient and excluded.
+  void collect_value_regions(
+      std::vector<std::pair<const void *, std::size_t>> &regions) const
+  {
+    for (const Level &level : levels_)
+    {
+      regions.emplace_back(level.A.values(),
+                           level.A.n_nonzeros() * sizeof(double));
+      regions.emplace_back(level.P.values(),
+                           level.P.n_nonzeros() * sizeof(double));
+      regions.emplace_back(level.R.values(),
+                           level.R.n_nonzeros() * sizeof(double));
+    }
+    for (const LevelSP &level : sp_levels_)
+    {
+      regions.emplace_back(level.A_vals.data(),
+                           level.A_vals.size() * sizeof(float));
+      regions.emplace_back(level.P_vals.data(),
+                           level.P_vals.size() * sizeof(float));
+      regions.emplace_back(level.R_vals.data(),
+                           level.R_vals.size() * sizeof(float));
+    }
+    regions.emplace_back(lu_.data(), lu_.size() * sizeof(double));
+  }
+
+  /// Mutable access to level l's system-matrix values: ABFT fault-injection
+  /// tests flip a bit here to emulate corruption of a setup artifact.
+  double *level_values(const unsigned int l) { return levels_[l].A.values(); }
+  std::size_t level_nnz(const unsigned int l) const
+  {
+    return levels_[l].A.n_nonzeros();
   }
 
 private:

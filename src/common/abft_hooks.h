@@ -1,0 +1,49 @@
+#pragma once
+
+// Low-level ABFT (algorithm-based fault tolerance) hook interfaces, the SDC
+// analogue of common/recovery_hooks.h: header-only solver code carries these
+// pointers without depending on the resilience subsystem.
+//
+//  * AbftInjector — deterministic compute-side fault injection. Solvers call
+//    inject() at iteration boundaries with raw views of their Krylov state;
+//    the resilience-layer implementation (resilience::FaultPlan) flips a
+//    seeded bit when the (artifact, step, rank) triple matches its plan, so
+//    every SDC detector is testable from the environment. The default of
+//    nullptr costs nothing.
+//
+//  * AbftScrubber — sidecar-checksum verification. Solvers call scrub() at
+//    the same boundaries; the implementation (resilience::ArtifactGuard)
+//    re-checksums its protected setup artifacts (geometry batches, AMG
+//    levels, ...) and rebuilds any that were corrupted, returning how many
+//    it repaired so the solver can roll back to its last validated snapshot.
+
+#include <cstddef>
+
+namespace dgflow
+{
+class AbftInjector
+{
+public:
+  virtual ~AbftInjector() = default;
+
+  /// May corrupt @p bytes bytes at @p data (e.g. flip one seeded bit).
+  /// @p artifact names the payload class ("krylov_x", "krylov_r",
+  /// "krylov_p", "vector", ...), @p step the caller's iteration/step counter
+  /// and @p rank the owning logical rank (0 for serial payloads); together
+  /// they make the injection point deterministic regardless of thread
+  /// interleaving.
+  virtual void inject(const char *artifact, unsigned long long step, int rank,
+                      void *data, std::size_t bytes) = 0;
+};
+
+class AbftScrubber
+{
+public:
+  virtual ~AbftScrubber() = default;
+
+  /// Verifies every protected artifact and rebuilds the corrupt ones;
+  /// returns the number of artifacts rebuilt (0 = all checksums matched).
+  virtual unsigned int scrub() = 0;
+};
+
+} // namespace dgflow

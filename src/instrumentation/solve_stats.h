@@ -20,7 +20,9 @@ enum class SolveFailure
   breakdown,      ///< Krylov direction exhausted (p.Ap <= 0) above tolerance
   stagnation,     ///< residual stopped improving for a full window
   non_finite,     ///< NaN/Inf in a residual or inner product
-  max_iterations  ///< iteration budget exhausted above tolerance
+  max_iterations, ///< iteration budget exhausted above tolerance
+  sdc_detected    ///< silent data corruption caught by an ABFT guard
+                  ///< (residual replay drift) and not repairable locally
 };
 
 inline const char *to_string(const SolveFailure f)
@@ -37,6 +39,8 @@ inline const char *to_string(const SolveFailure f)
       return "non_finite";
     case SolveFailure::max_iterations:
       return "max_iterations";
+    case SolveFailure::sdc_detected:
+      return "sdc_detected";
   }
   return "unknown";
 }
@@ -54,6 +58,14 @@ struct SolveStats
   /// failure classification when converged == false
   SolveFailure failure = SolveFailure::none;
   double seconds = 0.; ///< wall time of the solve
+
+  // ABFT guard activity during the solve (all zero when the guard is off or
+  // the run was fault-free); sdc_detected > 0 with converged = true means
+  // corruption was caught and repaired locally by a snapshot rollback
+  unsigned int residual_replays = 0; ///< true-residual replay checks run
+  unsigned int sdc_detected = 0;     ///< replay drifts / scrub rebuilds seen
+  unsigned int sdc_rollbacks = 0;    ///< rollbacks to a validated snapshot
+  unsigned int scrub_rebuilds = 0;   ///< artifacts rebuilt by the scrubber
 
   bool failed() const { return !converged; }
 };

@@ -338,6 +338,7 @@ public:
     return degrees_[space];
   }
   unsigned int n_q_1d(const unsigned int quad) const { return n_q_1d_[quad]; }
+  unsigned int n_quads() const { return n_q_1d_.size(); }
 
   /// Scalar dofs per cell of a space.
   unsigned int dofs_per_cell(const unsigned int space) const
@@ -366,6 +367,33 @@ public:
   const FaceMetric &face_metric(const unsigned int quad) const
   {
     return face_metric_[quad];
+  }
+
+  /// Mutable metric access: ABFT fault injection (flipping a bit in a
+  /// compressed geometry batch) and scrub tests. Production code reads the
+  /// const accessors above.
+  CellMetric &cell_metric_mutable(const unsigned int quad)
+  {
+    return cell_metric_[quad];
+  }
+  FaceMetric &face_metric_mutable(const unsigned int quad)
+  {
+    return face_metric_[quad];
+  }
+
+  /// Recomputes every cell/face metric array from the stored geometry
+  /// lattice: the ABFT scrub path for a corrupted geometry batch, much
+  /// cheaper than a full reinit() (no batch/schedule rebuild). The
+  /// computation is deterministic, so the rebuilt arrays are bit-identical
+  /// to the ones reinit() produced and the sidecar checksums match again.
+  void recompute_metrics()
+  {
+    DGFLOW_PROF_SCOPE("mf_recompute_metrics");
+    for (unsigned int q = 0; q < n_q_1d_.size(); ++q)
+    {
+      compute_cell_metric(q);
+      compute_face_metric(q);
+    }
   }
 
   /// Characteristic (minimal directional) cell width per cell batch.

@@ -116,6 +116,13 @@ public:
     /// replicated, only the V-cycle work is partitioned.
     std::vector<int> rank_of_cell;
     int n_ranks = 1;
+    /// ABFT V-cycle guard: turn on the Chebyshev sweep guard on every level
+    /// smoother and scan each V-cycle's result for non-finite entries; a
+    /// corrupt serial cycle is re-run once (deterministic, so a transient
+    /// flip in cycle scratch heals exactly), a still-corrupt result falls
+    /// back to the identity step so the outer CG's replay guard decides.
+    /// Off by default: the guarded fault-free V-cycle is bitwise identical.
+    bool abft_guard = false;
   };
 
   /// Sets up the full hierarchy for the DG(degree) Laplacian on @p mesh.
@@ -125,6 +132,8 @@ public:
   {
     DGFLOW_PROF_SCOPE("mg_setup");
     options_ = options;
+    if (options_.abft_guard)
+      options_.smoother.abft_check = true;
     bc_ = bc;
 
     // polynomial chain k, k/2, ..., 1 (bisection)
@@ -247,6 +256,19 @@ public:
     Level &top = levels_.back();
     top.x.reinit(src.size(), true);
     vcycle(levels_.size() - 1, top.x, src_f_);
+    if (options_.abft_guard && !abft_result_ok(top.x))
+    {
+      ++abft_vcycle_repairs_;
+      DGFLOW_PROF_COUNT("abft_sdc_detected", 1);
+      DGFLOW_PROF_COUNT("abft_vcycle_repairs", 1);
+      // the cycle is deterministic: one re-run heals a transient flip in
+      // cycle scratch; a persistent corruption falls back to the identity
+      // step (still SPD for the outer CG, whose replay guard takes over)
+      top.x.reinit(src.size(), true);
+      vcycle(levels_.size() - 1, top.x, src_f_);
+      if (!abft_result_ok(top.x))
+        top.x.equ(LevelNumber(1), src_f_);
+    }
     dst.copy_and_convert(top.x);
   }
 
@@ -328,6 +350,18 @@ public:
     top.x.reinit_like(dist_src_f_, true);
     vcycle_dist(static_cast<unsigned int>(levels_.size() - 1), top.x,
                 dist_src_f_);
+    if (options_.abft_guard && !abft_result_ok(top.x))
+    {
+      ++abft_vcycle_repairs_;
+      DGFLOW_PROF_COUNT("abft_sdc_detected", 1);
+      DGFLOW_PROF_COUNT("abft_vcycle_repairs", 1);
+      // local-only repair: re-running the distributed cycle would issue
+      // collectives the healthy ranks are not expecting, so this rank falls
+      // back to the identity step on its owned range; the outer CG replay
+      // detects the cross-rank inconsistency collectively and rolls back
+      top.x.equ(LevelNumber(1), dist_src_f_);
+      top.x.invalidate_ghosts();
+    }
     dst.copy_and_convert(top.x);
   }
 
@@ -343,7 +377,43 @@ public:
     amg_seconds_ = 0.;
   }
 
+  /// The smoothed-aggregation coarse solver (ABFT checksum registration and
+  /// fault injection reach its level matrices through this).
+  AMG &amg() { return amg_; }
+  const AMG &amg() const { return amg_; }
+
+  /// Rebuilds the AMG hierarchy from the coarse host operator: the ABFT
+  /// scrub path for a corrupted AMG level matrix. The setup is
+  /// deterministic, so the rebuilt values are bit-identical to the
+  /// originals and the sidecar checksums match again.
+  void rebuild_amg()
+  {
+    const CFELaplaceOperator<LevelNumber> &amg_host =
+      coarse_ops_.empty() ? cfe_op_fine_ : coarse_ops_.back();
+    amg_.setup(amg_host.assemble_matrix(), options_.amg);
+    if (options_.sp_amg)
+      amg_.enable_single_precision();
+  }
+
+  /// V-cycle results discarded/re-run by the ABFT guard (abft_guard on).
+  unsigned long long abft_vcycle_repairs() const
+  {
+    return abft_vcycle_repairs_;
+  }
+
 private:
+  /// Local non-finite scan of a V-cycle result (no collectives).
+  template <typename V>
+  static bool abft_result_ok(const V &x)
+  {
+    const auto *xd = x.data();
+    const std::size_t n = x.size();
+    for (std::size_t i = 0; i < n; ++i)
+      if (!std::isfinite(double(xd[i])))
+        return false;
+    return true;
+  }
+
   struct Level
   {
     AnyOperator op;
@@ -654,6 +724,7 @@ private:
   std::vector<CFELaplaceOperator<LevelNumber>> coarse_ops_;
 
   AMG amg_;
+  mutable unsigned long long abft_vcycle_repairs_ = 0;
 
   mutable std::vector<Level> levels_;
   std::vector<std::string> level_names_;

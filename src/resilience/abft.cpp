@@ -1,0 +1,126 @@
+#include "resilience/abft.h"
+
+#include <cstring>
+
+#include "fem/kernel_dispatch.h"
+#include "fem/kernel_dispatch_sizes.h"
+#include "instrumentation/profiler.h"
+
+namespace dgflow::resilience
+{
+void ArtifactGuard::protect(std::string name, Regions regions, Rebuild rebuild)
+{
+  Entry e;
+  e.name = std::move(name);
+  e.regions = std::move(regions);
+  e.rebuild = std::move(rebuild);
+  e.baseline = checksum(e);
+  for (Entry &existing : entries_)
+    if (existing.name == e.name)
+    {
+      existing = std::move(e);
+      return;
+    }
+  entries_.push_back(std::move(e));
+}
+
+std::uint64_t ArtifactGuard::checksum(const Entry &e) const
+{
+  // FNV-1a over the concatenation of all regions, with each region's length
+  // folded in so data sliding between regions cannot cancel out. The hash
+  // consumes 8-byte words (plus a byte-wise tail): geometry batches run to
+  // hundreds of MB on production meshes, and the scrub sits inside the
+  // solver's replay boundary, so checksum throughput bounds the guard's
+  // steady-state overhead.
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  const auto fold = [&h](const void *data, const std::size_t n) {
+    const unsigned char *bytes = static_cast<const unsigned char *>(data);
+    const std::size_t n_words = n / sizeof(std::uint64_t);
+    for (std::size_t i = 0; i < n_words; ++i)
+    {
+      std::uint64_t w;
+      std::memcpy(&w, bytes + i * sizeof(w), sizeof(w));
+      h ^= w;
+      h *= 0x100000001b3ull;
+    }
+    for (std::size_t i = n_words * sizeof(std::uint64_t); i < n; ++i)
+    {
+      h ^= bytes[i];
+      h *= 0x100000001b3ull;
+    }
+  };
+  for (const Region &r : e.regions())
+  {
+    const std::uint64_t n = r.bytes;
+    fold(&n, sizeof(n));
+    fold(r.data, r.bytes);
+  }
+  return h;
+}
+
+const ArtifactGuard::Entry &ArtifactGuard::find(const std::string &name) const
+{
+  for (const Entry &e : entries_)
+    if (e.name == name)
+      return e;
+  throw std::runtime_error("ArtifactGuard: unknown artifact '" + name + "'");
+}
+
+bool ArtifactGuard::verify(const std::string &name) const
+{
+  const Entry &e = find(name);
+  ++verifications_;
+  return checksum(e) == e.baseline;
+}
+
+void ArtifactGuard::rebaseline(const std::string &name)
+{
+  Entry &e = find(name);
+  e.baseline = checksum(e);
+}
+
+unsigned int ArtifactGuard::scrub()
+{
+  DGFLOW_PROF_SCOPE("abft_scrub");
+  unsigned int rebuilt = 0;
+  for (Entry &e : entries_)
+  {
+    ++verifications_;
+    if (checksum(e) == e.baseline)
+      continue;
+    e.rebuild();
+    ++rebuilds_;
+    ++rebuilt;
+    DGFLOW_PROF_COUNT("abft_scrub_rebuilds", 1);
+    const std::uint64_t after = checksum(e);
+    // a bit-identical rebuild is a full repair; a representation-changing
+    // one (kernel fast path disabled) is adopted as the new baseline
+    if (after != e.baseline)
+      e.baseline = after;
+  }
+  return rebuilt;
+}
+
+void protect_kernel_tables(ArtifactGuard &guard)
+{
+  guard.protect(
+    "kernel_dispatch_tables",
+    []() {
+      std::vector<ArtifactGuard::Region> r;
+      const auto add = [&r](const auto *table) {
+        if (table != nullptr)
+          r.push_back({table, sizeof(*table)});
+      };
+#define DGFLOW_ABFT_ADD_TABLES(deg, nq)                                       \
+  add(lookup_cell_kernels<double>(deg, nq));                                  \
+  add(lookup_face_kernels<double>(deg, nq));                                  \
+  add(lookup_cell_kernels<float>(deg, nq));                                   \
+  add(lookup_face_kernels<float>(deg, nq));
+      DGFLOW_KERNEL_DISPATCH_SIZES(DGFLOW_ABFT_ADD_TABLES)
+#undef DGFLOW_ABFT_ADD_TABLES
+      return r;
+    },
+    []() { set_specialized_kernels_enabled(false); });
+}
+
+} // namespace dgflow::resilience

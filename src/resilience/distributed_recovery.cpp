@@ -127,7 +127,24 @@ DistributedRunReport run_resilient(
       attempt.failed_ranks = dead;
       attempt.n_ranks = survivors;
       attempt.restore = true;
+      attempt.scrub = false;
       retries_at_width = 0;
+    }
+    catch (const SdcDetected &)
+    {
+      // cheapest rung: an ABFT guard caught silent data corruption the
+      // in-solve rollback could not absorb — rerun at the same width with a
+      // scrub pass (the body verifies and rebuilds its protected setup
+      // artifacts) and no checkpoint restore. Does not count toward the
+      // per-width retry budget: a scrubbed rerun starts from clean state.
+      ++report.sdc_repairs;
+      if (report.sdc_repairs > options.max_sdc_repairs ||
+          report.attempts >= options.max_attempts)
+        throw;
+      DGFLOW_PROF_COUNT("recovery_sdc_repairs", 1);
+      attempt.failed_ranks.clear();
+      attempt.restore = false;
+      attempt.scrub = true;
     }
     catch (const std::exception &)
     {
@@ -139,6 +156,7 @@ DistributedRunReport run_resilient(
         throw;
       attempt.failed_ranks.clear();
       attempt.restore = retries_at_width >= 2;
+      attempt.scrub = false;
       if (attempt.restore)
       {
         ++report.restores;

@@ -22,10 +22,15 @@
 //    original, transient error.
 //
 //  * run_resilient() — the shrinking-recovery driver. It invokes vmpi::run
-//    and climbs a rung ladder on failure:
-//      rung 0: retry in a fresh epoch (same rank count, state recomputed)
-//      rung 1: retry restoring from the shard checkpoint (same rank count)
-//      rung 2 (taken immediately on an agreed rank death): shrink — rerun
+//    and climbs a four-rung ladder on failure, cheapest first:
+//      rung 0 (SdcDetected): local repair — the ABFT guards caught silent
+//              data corruption the in-solve rollback could not absorb;
+//              rerun at the same rank count with attempt.scrub set so the
+//              body scrubs its artifact checksums before reuse. No restore:
+//              the state is recomputed, not reloaded.
+//      rung 1: retry in a fresh epoch (same rank count, state recomputed)
+//      rung 2: retry restoring from the shard checkpoint (same rank count)
+//      rung 3 (taken immediately on an agreed rank death): shrink — rerun
 //              with the dead ranks removed, repartitioning via the
 //              Morton-SFC partitioner over the surviving count, and restore
 //              from the shard checkpoint (the N→M restart that
@@ -46,9 +51,21 @@
 
 #include "common/recovery_hooks.h"
 #include "vmpi/communicator.h"
+#include "vmpi/distributed_vector.h"
 
 namespace dgflow::resilience
 {
+/// Silent data corruption detected by an ABFT guard (residual-replay drift,
+/// checksum mismatch) that in-solve rollback could not absorb — e.g. the
+/// rollback budget was exhausted or the corruption predates the oldest
+/// validated snapshot. Thrown by solve bodies to take the cheapest recovery
+/// rung: a same-width rerun with a scrub pass, no checkpoint restore.
+class SdcDetected : public std::runtime_error
+{
+public:
+  using std::runtime_error::runtime_error;
+};
+
 /// An agreement round found live ranks with unsound local state (non-finite
 /// residual, failed smoother): the distributed solve is abandoned
 /// collectively so every rank unwinds at the same boundary, but nobody is
@@ -117,6 +134,10 @@ struct RecoveryAttempt
   /// true on the restore and shrink rungs: the body must load its state
   /// from the shard checkpoint instead of starting fresh
   bool restore = false;
+  /// true on the SDC-repair rung: the previous attempt detected silent data
+  /// corruption, so the body should scrub its ArtifactGuard (verify and
+  /// rebuild its protected setup artifacts) before reusing cached state
+  bool scrub = false;
   /// ranks agreed dead in the previous attempt, in that attempt's numbering
   std::vector<int> failed_ranks;
 };
@@ -128,6 +149,9 @@ struct DistributedRecoveryOptions
   /// non-death failures tolerated at one rank count: the first takes the
   /// plain-retry rung, the second the restore rung, the next rethrows
   int max_retries_per_width = 2;
+  /// SDC-repair rungs tolerated over the whole run (they do not count
+  /// toward max_retries_per_width: a scrubbed rerun starts clean)
+  int max_sdc_repairs = 2;
   RecoveryContext::Options context;
 };
 
@@ -135,9 +159,10 @@ struct DistributedRunReport
 {
   bool succeeded = false;
   int attempts = 0;
-  int retries = 0;  ///< plain-retry rungs taken
-  int restores = 0; ///< restore rungs taken (including those of shrinks)
-  int shrinks = 0;  ///< shrink rungs taken
+  int retries = 0;     ///< plain-retry rungs taken
+  int restores = 0;    ///< restore rungs taken (including those of shrinks)
+  int shrinks = 0;     ///< shrink rungs taken
+  int sdc_repairs = 0; ///< SDC-repair rungs taken (scrubbed same-width rerun)
   int final_n_ranks = 0;
   /// failed set of every attempt that ended in an agreed rank death
   std::vector<std::vector<int>> failure_history;
@@ -154,5 +179,32 @@ DistributedRunReport run_resilient(
   const int n_ranks, const DistributedRecoveryOptions &options,
   const std::function<void(vmpi::Communicator &, RecoveryContext &,
                            const RecoveryAttempt &)> &body);
+
+/// Runs @p f, routing locally caught communication-layer errors —
+/// vmpi::TimeoutError and vmpi::GhostCorruptionError alike — through
+/// ctx.resolve_failure() before rethrowing. A corrupted ghost payload is
+/// indistinguishable, locally, from a flaky link or a dying peer; the
+/// agreement round inside resolve_failure() is what disambiguates: dead
+/// peers surface as RankFailure (shrink rung), while an all-alive verdict
+/// rethrows the original error for the retry rung, with the mailbox drained
+/// and the epoch advanced so the poisoned exchange cannot leak into it.
+template <typename F>
+auto with_failure_resolution(RecoveryContext &ctx, F &&f)
+{
+  try
+  {
+    return std::forward<F>(f)();
+  }
+  catch (const vmpi::TimeoutError &)
+  {
+    ctx.resolve_failure();
+    throw;
+  }
+  catch (const vmpi::GhostCorruptionError &)
+  {
+    ctx.resolve_failure();
+    throw;
+  }
+}
 
 } // namespace dgflow::resilience

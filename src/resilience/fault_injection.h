@@ -27,6 +27,25 @@
 //                           (bit-flips a rank's allreduce contribution in
 //                           flight; the reduction detects the checksum
 //                           mismatch instead of folding garbage in)
+//
+// Compute-side silent-data-corruption injection (the ABFT test hammer; see
+// resilience/abft.h). Unlike the message faults above these flip a bit in
+// *memory* — a Krylov vector, a geometry batch, an AMG level — emulating a
+// DRAM/register upset that no wire checksum can see:
+//   DGFLOW_FAULT_BITFLIP_TARGET  artifact tag to hit ("krylov_x", "krylov_r",
+//                           "krylov_p", "vector", ... — whatever tag the
+//                           instrumented call site passes; empty = no flips)
+//   DGFLOW_FAULT_BITFLIP_STEP    step/iteration number at which the flip
+//                           lands (default 0)
+//   DGFLOW_FAULT_BITFLIP_RANK    rank whose payload is flipped (default 0)
+//   DGFLOW_FAULT_BITFLIP_BIT     bit index into the payload (-1, the
+//                           default: a seeded deterministic draw)
+// The flip fires exactly once per plan, so a rollback-and-redo repair path
+// is not re-injured by its own retry.
+//
+// All values are parsed strictly (common/env.h): a set-but-malformed or
+// out-of-range value throws EnvVarError naming the variable instead of
+// silently becoming 0 and vacuously passing the test that relied on it.
 // Together with DGFLOW_VMPI_TIMEOUT this turns any binary that installs a
 // FaultPlan (Communicator::install_fault_handler) into a fault-injection
 // harness whose behavior is steered entirely from the environment.
@@ -34,12 +53,16 @@
 #include <atomic>
 #include <cstdint>
 #include <cstdlib>
+#include <initializer_list>
+#include <string>
 
+#include "common/abft_hooks.h"
+#include "common/env.h"
 #include "vmpi/communicator.h"
 
 namespace dgflow::resilience
 {
-class FaultPlan : public vmpi::FaultHandler
+class FaultPlan : public vmpi::FaultHandler, public AbftInjector
 {
 public:
   struct Config
@@ -60,6 +83,12 @@ public:
     /// deterministic regardless of interleaving
     unsigned long long kill_step = 0;
     double corrupt_collective_rate = 0.; ///< per-collective corruption prob.
+
+    // compute-side bit-flip injection (AbftInjector; fires at most once)
+    std::string bitflip_target;          ///< artifact tag to flip ("": none)
+    unsigned long long bitflip_step = 0; ///< step/iteration of the flip
+    int bitflip_rank = 0;                ///< rank whose payload is flipped
+    long long bitflip_bit = -1;          ///< bit index (-1: seeded draw)
   };
 
   /// Injection counts, summed over all ranks sharing the plan.
@@ -72,30 +101,42 @@ public:
     unsigned long long stalls = 0;
     unsigned long long kills = 0;
     unsigned long long corrupted_collectives = 0;
+    unsigned long long bitflips = 0;
   };
 
   explicit FaultPlan(const Config &config) : config_(config) {}
 
+  /// Reads every DGFLOW_FAULT_* knob. Parsing is strict: a set-but-malformed
+  /// or out-of-range value throws EnvVarError naming the variable —
+  /// probabilities must lie in [0, 1], durations be non-negative, ranks be
+  /// -1 (disabled) or a plausible rank id — instead of atof's silent 0.
   static Config config_from_env()
   {
+    constexpr long long max_rank = 1 << 20;
+    constexpr long long max_step = 1ll << 62;
     Config c;
-    const auto real = [](const char *name, const double fallback) {
-      const char *v = std::getenv(name);
-      return v ? std::atof(v) : fallback;
-    };
-    if (const char *v = std::getenv("DGFLOW_FAULT_SEED"))
-      c.seed = std::strtoull(v, nullptr, 10);
-    c.drop_rate = real("DGFLOW_FAULT_DROP", 0.);
-    c.delay_rate = real("DGFLOW_FAULT_DELAY", 0.);
-    c.delay_seconds = real("DGFLOW_FAULT_DELAY_MS", 1.) * 1e-3;
-    c.reorder_rate = real("DGFLOW_FAULT_REORDER", 0.);
-    c.corrupt_rate = real("DGFLOW_FAULT_CORRUPT", 0.);
-    c.stall_rank = static_cast<int>(real("DGFLOW_FAULT_STALL_RANK", -1.));
-    c.stall_seconds = real("DGFLOW_FAULT_STALL_MS", 50.) * 1e-3;
-    c.kill_rank = static_cast<int>(real("DGFLOW_FAULT_KILL_RANK", -1.));
+    c.seed = env_uint64("DGFLOW_FAULT_SEED", c.seed);
+    c.drop_rate = env_real("DGFLOW_FAULT_DROP", 0., 0., 1.);
+    c.delay_rate = env_real("DGFLOW_FAULT_DELAY", 0., 0., 1.);
+    c.delay_seconds = env_real("DGFLOW_FAULT_DELAY_MS", 1., 0., 1e9) * 1e-3;
+    c.reorder_rate = env_real("DGFLOW_FAULT_REORDER", 0., 0., 1.);
+    c.corrupt_rate = env_real("DGFLOW_FAULT_CORRUPT", 0., 0., 1.);
+    c.stall_rank = static_cast<int>(
+      env_integer("DGFLOW_FAULT_STALL_RANK", -1, -1, max_rank));
+    c.stall_seconds = env_real("DGFLOW_FAULT_STALL_MS", 50., 0., 1e9) * 1e-3;
+    c.kill_rank = static_cast<int>(
+      env_integer("DGFLOW_FAULT_KILL_RANK", -1, -1, max_rank));
     c.kill_step = static_cast<unsigned long long>(
-      real("DGFLOW_FAULT_KILL_STEP", 0.));
-    c.corrupt_collective_rate = real("DGFLOW_FAULT_CORRUPT_COLL", 0.);
+      env_integer("DGFLOW_FAULT_KILL_STEP", 0, 0, max_step));
+    c.corrupt_collective_rate =
+      env_real("DGFLOW_FAULT_CORRUPT_COLL", 0., 0., 1.);
+    if (const char *v = std::getenv("DGFLOW_FAULT_BITFLIP_TARGET"))
+      c.bitflip_target = v;
+    c.bitflip_step = static_cast<unsigned long long>(
+      env_integer("DGFLOW_FAULT_BITFLIP_STEP", 0, 0, max_step));
+    c.bitflip_rank = static_cast<int>(
+      env_integer("DGFLOW_FAULT_BITFLIP_RANK", 0, 0, max_rank));
+    c.bitflip_bit = env_integer("DGFLOW_FAULT_BITFLIP_BIT", -1, -1, max_step);
     return c;
   }
 
@@ -112,6 +153,7 @@ public:
     c.kills = kills_.load(std::memory_order_relaxed);
     c.corrupted_collectives =
       corrupted_collectives_.load(std::memory_order_relaxed);
+    c.bitflips = bitflips_.load(std::memory_order_relaxed);
     return c;
   }
 
@@ -174,28 +216,68 @@ public:
     return config_.corrupt_bytes;
   }
 
+  /// AbftInjector: flips one bit of @p data when (artifact, step, rank)
+  /// matches the configured target. The flip fires at most once per plan —
+  /// the instrumented solver calls inject() every iteration, and a repair
+  /// that rolls back and redoes work must not be re-injured by its retry.
+  void inject(const char *artifact, const unsigned long long step,
+              const int rank, void *data, const std::size_t bytes) override
+  {
+    if (bytes == 0 || config_.bitflip_target.empty() ||
+        config_.bitflip_target != artifact || rank != config_.bitflip_rank ||
+        step != config_.bitflip_step)
+      return;
+    if (bitflip_fired_.exchange(true, std::memory_order_relaxed))
+      return;
+    const std::uint64_t n_bits = std::uint64_t(bytes) * 8u;
+    std::uint64_t bit;
+    if (config_.bitflip_bit >= 0)
+      bit = std::uint64_t(config_.bitflip_bit) % n_bits;
+    else
+    {
+      // seeded draw: hash the artifact tag into the key so different targets
+      // hit different offsets under the same seed
+      std::uint64_t tag_hash = 0xcbf29ce484222325ull;
+      for (const char *c = artifact; *c != '\0'; ++c)
+        tag_hash = (tag_hash ^ std::uint64_t((unsigned char)*c)) *
+                   0x100000001b3ull;
+      bit = mix64({6, tag_hash, step, std::uint64_t(rank)}) % n_bits;
+    }
+    static_cast<unsigned char *>(data)[bit / 8] ^=
+      (unsigned char)(1u << (bit % 8));
+    bitflips_.fetch_add(1, std::memory_order_relaxed);
+  }
+
 private:
-  /// Uniform draw in [0,1), a pure function of the identifiers (splitmix64
-  /// finalizer over the combined key).
-  double draw(const std::uint64_t salt, const int source, const int dest,
-              const int tag, const unsigned long long seq) const
+  /// splitmix64 finalizer folded over the keys, seeded by config_.seed.
+  std::uint64_t mix64(std::initializer_list<std::uint64_t> keys) const
   {
     std::uint64_t x = config_.seed;
-    for (const std::uint64_t k :
-         {salt, std::uint64_t(source), std::uint64_t(dest), std::uint64_t(tag),
-          std::uint64_t(seq)})
+    for (const std::uint64_t k : keys)
     {
       x += 0x9e3779b97f4a7c15ull + k;
       x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
       x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
       x = x ^ (x >> 31);
     }
+    return x;
+  }
+
+  /// Uniform draw in [0,1), a pure function of the identifiers.
+  double draw(const std::uint64_t salt, const int source, const int dest,
+              const int tag, const unsigned long long seq) const
+  {
+    const std::uint64_t x =
+      mix64({salt, std::uint64_t(source), std::uint64_t(dest),
+             std::uint64_t(tag), std::uint64_t(seq)});
     return double(x >> 11) * 0x1.0p-53;
   }
 
   Config config_;
   std::atomic<unsigned long long> dropped_{0}, delayed_{0}, reordered_{0},
     corrupted_{0}, stalls_{0}, kills_{0}, corrupted_collectives_{0};
+  std::atomic<unsigned long long> bitflips_{0};
+  std::atomic<bool> bitflip_fired_{false};
 };
 
 } // namespace dgflow::resilience

@@ -18,9 +18,18 @@
 // Muething et al., saving two full passes of vector traffic per iteration.
 // The arithmetic is element-for-element the classic expressions, so fused
 // and unfused iterates agree bitwise.
+//
+// ABFT guard: with SolverControl::abft_replay_interval > 0 the solver
+// periodically replays the true residual and the CG orthogonality relation
+// to catch silent data corruption in its Krylov vectors, rolling back to the
+// last validated snapshot on drift (see the SolverControl fields and
+// docs/DEVELOPING.md, "Silent data corruption & ABFT"). Off by default: a
+// fault-free solve with the guard off is bit-for-bit the pre-guard solver.
 
 #include <cmath>
+#include <type_traits>
 
+#include "common/abft_hooks.h"
 #include "common/exceptions.h"
 #include "common/recovery_hooks.h"
 #include "common/timer.h"
@@ -47,6 +56,40 @@ struct SolverControl
   /// live-or-dead before the next collective; nullptr (the default) costs
   /// nothing and keeps serial solves unchanged
   RecoveryHooks *recovery = nullptr;
+
+  // --- ABFT silent-data-corruption guard (0 = off, the default) ---
+  //
+  // Every abft_replay_interval iterations the solver replays the true
+  // residual ||b - A x|| and checks two invariants against the recurrence
+  // state: the recurrence residual norm must match the replay (a flipped
+  // bit in x or r breaks the identity r = b - A x the recurrence otherwise
+  // preserves exactly), and the search direction must satisfy the CG
+  // orthogonality relation r.p == r.z (a flipped bit in p preserves the
+  // residual identity but breaks conjugacy). A passing boundary saves a
+  // validated snapshot (x, r, p, r.z); a failing one — or a boundary at
+  // which the attached scrubber had to rebuild a checksummed artifact —
+  // rolls the iteration back to the last snapshot, so one flip costs at
+  // most abft_replay_interval redone iterations instead of a restart. The
+  // rollback decision is made from allreduced quantities, so in distributed
+  // solves every rank takes it at the same boundary.
+  unsigned int abft_replay_interval = 0;
+  /// relative drift threshold of both replay invariants; the default sits
+  /// orders of magnitude above the floating-point drift of a healthy
+  /// recurrence and below any corruption that could survive into a
+  /// converged solution at practical tolerances
+  double abft_drift_tol = 1e-8;
+  /// consecutive failed replays tolerated before the solve gives up with
+  /// SolveFailure::sdc_detected (persistent corruption the rollback cannot
+  /// clear, e.g. a corrupt operator with no scrubber attached)
+  unsigned int abft_max_rollbacks = 3;
+  /// checksummed-artifact scrubber (resilience::ArtifactGuard) run at every
+  /// replay boundary; a nonzero rebuild count triggers the same rollback as
+  /// replay drift so the repaired operator resumes from a validated state
+  AbftScrubber *abft_scrub = nullptr;
+  /// deterministic compute-side fault injection (resilience::FaultPlan),
+  /// fired at every iteration boundary with this rank's Krylov payloads;
+  /// testing only — nullptr costs nothing
+  AbftInjector *abft_inject = nullptr;
 };
 
 /// Identity preconditioner.
@@ -144,6 +187,14 @@ SolveStats solve_cg(const Operator &A, VectorType &x, const VectorType &b,
     DGFLOW_PROF_COUNT("cg_iterations", stats.iterations);
     if (stats.failed())
       DGFLOW_PROF_COUNT("cg_failures", 1);
+    if (stats.residual_replays > 0)
+      DGFLOW_PROF_COUNT("abft_residual_replays", stats.residual_replays);
+    if (stats.sdc_detected > 0)
+      DGFLOW_PROF_COUNT("abft_sdc_detected", stats.sdc_detected);
+    if (stats.sdc_rollbacks > 0)
+      DGFLOW_PROF_COUNT("abft_rollbacks", stats.sdc_rollbacks);
+    if (stats.scrub_rebuilds > 0)
+      DGFLOW_PROF_COUNT("abft_scrub_rebuilds", stats.scrub_rebuilds);
     if constexpr (distributed)
     {
       const auto &t = b.communicator().traffic();
@@ -187,6 +238,46 @@ SolveStats solve_cg(const Operator &A, VectorType &x, const VectorType &b,
   Number beta = Number(0);
   bool pending_beta = false;
 
+  // ABFT rolling snapshot: the initial state is validated by construction
+  // (r was just computed as b - A x directly), so a drift detected at the
+  // very first replay boundary can already roll back
+  const unsigned int abft_m = control.abft_replay_interval;
+  VectorType snap_x, snap_r, snap_p;
+  Number snap_rz = rz;
+  double snap_res = res_norm;
+  unsigned int rollbacks_left = control.abft_max_rollbacks;
+  if (abft_m > 0)
+  {
+    snap_x.reinit_like(x, true);
+    snap_r.reinit_like(r, true);
+    snap_p.reinit_like(p, true);
+    snap_x.equ(Number(1), x);
+    snap_r.equ(Number(1), r);
+    snap_p.equ(Number(1), p);
+  }
+  // Restores the last validated snapshot; returns false when the guard is
+  // off or the rollback budget is spent (the caller then fails the solve).
+  const auto abft_rollback = [&]() -> bool {
+    if (abft_m == 0 || rollbacks_left == 0)
+      return false;
+    --rollbacks_left;
+    ++result.sdc_rollbacks;
+    x.equ(Number(1), snap_x);
+    r.equ(Number(1), snap_r);
+    p.equ(Number(1), snap_p);
+    rz = snap_rz;
+    res_norm = snap_res;
+    result.final_residual = res_norm;
+    pending_beta = false;
+    if constexpr (distributed)
+    {
+      x.invalidate_ghosts();
+      r.invalidate_ghosts();
+      p.invalidate_ghosts();
+    }
+    return true;
+  };
+
   for (unsigned int it = 1; it <= control.max_iterations; ++it)
   {
     // agreement boundary: every rank must reach the verdict *before* the
@@ -196,6 +287,92 @@ SolveStats solve_cg(const Operator &A, VectorType &x, const VectorType &b,
         (it == 1 || int(it) % std::max(1, control.recovery->stride()) == 0))
       control.recovery->at_iteration_boundary(std::isfinite(res_norm) &&
                                               std::isfinite(double(rz)));
+    if (control.abft_inject)
+    {
+      // deterministic compute-side bit flips into this rank's Krylov state
+      // (testing the guard); the flipped owned entries reach the neighbors'
+      // ghost copies at the next exchange like a real in-memory flip would
+      int inject_rank = 0;
+      if constexpr (distributed)
+        inject_rank = x.communicator().rank();
+      control.abft_inject->inject("krylov_x", it, inject_rank, x.data(),
+                                  x.size() * sizeof(Number));
+      control.abft_inject->inject("krylov_r", it, inject_rank, r.data(),
+                                  r.size() * sizeof(Number));
+      control.abft_inject->inject("krylov_p", it, inject_rank, p.data(),
+                                  p.size() * sizeof(Number));
+      if constexpr (distributed)
+      {
+        x.invalidate_ghosts();
+        r.invalidate_ghosts();
+      }
+    }
+    if (abft_m > 0 && it > 1 && (it - 1) % abft_m == 0)
+    {
+      // materialize the deferred search-direction update first so the
+      // invariant checks and the snapshot see the true p (the element
+      // expression is the one the hook would apply: bitwise identical)
+      if (pending_beta)
+      {
+        p.sadd(beta, Number(1), z);
+        pending_beta = false;
+      }
+      ++result.residual_replays;
+      unsigned int rebuilt = 0;
+      if (control.abft_scrub)
+        rebuilt = control.abft_scrub->scrub();
+      result.scrub_rebuilds += rebuilt;
+      if constexpr (distributed)
+      {
+        // the rollback decision below must be collective: a rebuild on one
+        // rank only would roll that rank back while its peers proceed,
+        // deadlocking the next allreduce
+        auto &comm = x.communicator();
+        using Op = typename std::remove_reference_t<decltype(comm)>::Op;
+        rebuilt = static_cast<unsigned int>(
+          comm.allreduce(double(rebuilt), Op::sum));
+      }
+      // true-residual replay into z (dead here: consumed by the last p
+      // update, rewritten by the next P.vmult) and the two invariants; all
+      // quantities are allreduced, so every rank takes the same branch
+      A.vmult(Ap, x);
+      z.equ(Number(1), b, Number(-1), Ap);
+      const double true_res = double(z.l2_norm());
+      const double res_drift = std::abs(true_res - res_norm);
+      const double rp = double(r.dot(p));
+      const double orth_drift = std::abs(rp - double(rz));
+      const double p_norm = double(p.l2_norm());
+      const bool sound =
+        std::isfinite(true_res) && std::isfinite(rp) &&
+        std::isfinite(p_norm) &&
+        res_drift <=
+          control.abft_drift_tol * std::max(b_norm > 0 ? b_norm : 1.,
+                                            res_norm) &&
+        orth_drift <= control.abft_drift_tol *
+                        std::max(res_norm * p_norm, std::abs(double(rz)));
+      if (sound && rebuilt == 0)
+      {
+        // validated: refresh the rolling snapshot
+        snap_x.equ(Number(1), x);
+        snap_r.equ(Number(1), r);
+        snap_p.equ(Number(1), p);
+        snap_rz = rz;
+        snap_res = res_norm;
+        rollbacks_left = control.abft_max_rollbacks;
+      }
+      else
+      {
+        if (!sound)
+          ++result.sdc_detected;
+        result.sdc_detected += rebuilt;
+        if (!abft_rollback())
+        {
+          result.failure = SolveFailure::sdc_detected;
+          break;
+        }
+        continue; // redo the window from the validated state
+      }
+    }
     if constexpr (hooked)
     {
       if (pending_beta)
@@ -220,6 +397,14 @@ SolveStats solve_cg(const Operator &A, VectorType &x, const VectorType &b,
     const Number pAp = p.dot(Ap);
     if (!std::isfinite(double(pAp)) || !std::isfinite(double(rz)))
     {
+      // with the ABFT guard on, a NaN/Inf inner product is treated as
+      // suspected corruption and rolled back like a failed replay
+      if (abft_m > 0)
+      {
+        ++result.sdc_detected;
+        if (abft_rollback())
+          continue;
+      }
       result.failure = SolveFailure::non_finite;
       break;
     }
@@ -276,11 +461,39 @@ SolveStats solve_cg(const Operator &A, VectorType &x, const VectorType &b,
     result.final_residual = res_norm;
     if (!std::isfinite(res_norm))
     {
+      if (abft_m > 0)
+      {
+        ++result.sdc_detected;
+        if (abft_rollback())
+          continue;
+      }
       result.failure = SolveFailure::non_finite;
       break;
     }
     if (res_norm <= tol)
     {
+      if (abft_m > 0)
+      {
+        // never declare convergence off the recurrence alone: a flip in x
+        // leaves the recurrence residual pristine while the returned iterate
+        // is garbage, and the next periodic replay may lie past the
+        // convergence point (z is dead here, as at the periodic replay)
+        ++result.residual_replays;
+        A.vmult(Ap, x);
+        z.equ(Number(1), b, Number(-1), Ap);
+        const double true_res = double(z.l2_norm());
+        if (!(std::isfinite(true_res) &&
+              std::abs(true_res - res_norm) <=
+                control.abft_drift_tol *
+                  std::max(b_norm > 0 ? b_norm : 1., res_norm)))
+        {
+          ++result.sdc_detected;
+          if (abft_rollback())
+            continue;
+          result.failure = SolveFailure::sdc_detected;
+          break;
+        }
+      }
       result.converged = true;
       break;
     }

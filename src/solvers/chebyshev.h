@@ -44,6 +44,19 @@ struct ChebyshevData
   /// sweep's ghost exchanges turn into timeouts on the survivors; nullptr
   /// (the default) keeps serial smoothing unchanged
   RecoveryHooks *recovery = nullptr;
+  /// ABFT sweep guard: scan every sweep's result for non-finite entries and
+  /// against an energy bound (see abft_energy_factor); a violating sweep is
+  /// discarded — x restored to its input (zeroed for the zero-guess sweep)
+  /// — so corruption in smoother scratch surfaces as one weaker smoothing
+  /// application plus the abft_smoother_repairs counter instead of NaN
+  /// propagating through the V-cycle. The scan is local (no collective) and
+  /// off by default.
+  bool abft_check = false;
+  /// energy bound of the sweep result: |x|_inf must not exceed
+  /// abft_energy_factor * (|x_in|_inf + |D^{-1} b|_inf / lambda_min); the
+  /// default is loose enough for any healthy Chebyshev polynomial and tight
+  /// enough to catch exponent-range bit flips
+  double abft_energy_factor = 1e3;
 };
 
 namespace internal
@@ -125,10 +138,18 @@ public:
     r_.reinit_like(x, true);
     d_.reinit_like(x, true);
 
+    if (data_.abft_check && !zero_initial_guess)
+    {
+      abft_in_.reinit_like(x, true);
+      abft_in_.equ(Number(1), x);
+    }
+
     if constexpr (HookedOperatorFor<Operator, VectorType>)
       if (data_.fuse_loops)
       {
         smooth_fused(x, b, zero_initial_guess, theta, delta);
+        if (data_.abft_check)
+          abft_check_result(x, b, zero_initial_guess);
         return;
       }
 
@@ -162,7 +183,12 @@ public:
       x.add(Number(1), d_);
       rho_old = rho;
     }
+    if (data_.abft_check)
+      abft_check_result(x, b, zero_initial_guess);
   }
+
+  /// Sweeps discarded by the ABFT guard since reinit (abft_check on).
+  unsigned long long abft_repairs() const { return abft_repairs_; }
 
   /// smooth() plus a finiteness check of the result, reported as a
   /// SolveStats (failure = non_finite when the sweep produced NaN/Inf).
@@ -264,11 +290,52 @@ private:
     }
   }
 
+  /// The ABFT sweep guard: purely local scan of the sweep result against
+  /// non-finite entries and the energy bound; a violation discards the
+  /// sweep (x back to its input) and counts a repair. Restoring locally is
+  /// safe in distributed sweeps — it changes values, not the communication
+  /// pattern — and the outer CG replay catches any residual inconsistency.
+  void abft_check_result(VectorType &x, const VectorType &b,
+                         const bool zero_initial_guess) const
+  {
+    const std::size_t n = x.size();
+    const Number *DGFLOW_RESTRICT bd = b.data();
+    const Number *DGFLOW_RESTRICT invd = inv_diag_.data();
+    double r0_linf = 0., in_linf = 0.;
+    for (std::size_t i = 0; i < n; ++i)
+      r0_linf = std::max(r0_linf, std::fabs(double(invd[i] * bd[i])));
+    if (!zero_initial_guess)
+    {
+      const Number *DGFLOW_RESTRICT ind = abft_in_.data();
+      for (std::size_t i = 0; i < n; ++i)
+        in_linf = std::max(in_linf, std::fabs(double(ind[i])));
+    }
+    const double bound =
+      data_.abft_energy_factor *
+      (in_linf + r0_linf / std::max(lambda_min_, 1e-300));
+    bool ok = std::isfinite(bound);
+    const Number *DGFLOW_RESTRICT xd = x.data();
+    for (std::size_t i = 0; ok && i < n; ++i)
+      ok = std::fabs(double(xd[i])) <= bound; // NaN fails the comparison
+    if (ok)
+      return;
+    ++abft_repairs_;
+    DGFLOW_PROF_COUNT("abft_sdc_detected", 1);
+    DGFLOW_PROF_COUNT("abft_smoother_repairs", 1);
+    if (zero_initial_guess)
+      x = Number(0);
+    else
+      x.equ(Number(1), abft_in_);
+    if constexpr (is_distributed_vector_v<VectorType>)
+      x.invalidate_ghosts();
+  }
+
   void initialize(const Operator &op, const VectorType &diagonal,
                   const AdditionalData &data)
   {
     op_ = &op;
     data_ = data;
+    abft_repairs_ = 0;
     setup_stats_ = SolveStats();
     inv_diag_.reinit_like(diagonal, true);
     for (std::size_t i = 0; i < diagonal.size(); ++i)
@@ -375,6 +442,8 @@ private:
   double lambda_max_ = 1., lambda_min_ = 0.05;
   SolveStats setup_stats_;
   mutable VectorType r_, d_;
+  mutable VectorType abft_in_; ///< sweep input saved by the ABFT guard
+  mutable unsigned long long abft_repairs_ = 0;
 };
 
 } // namespace dgflow

@@ -6,6 +6,7 @@
 #include <stdexcept>
 #include <thread>
 
+#include "common/env.h"
 #include "common/exceptions.h"
 #include "instrumentation/profiler.h"
 
@@ -47,8 +48,10 @@ void run(const int n_ranks, const std::function<void(Communicator &)> &f)
 {
   DGFLOW_ASSERT(n_ranks >= 1, "need at least one rank");
   internal::SharedState state(n_ranks);
-  if (const char *v = std::getenv("DGFLOW_VMPI_TIMEOUT"))
-    state.default_timeout = std::atof(v);
+  // strict parse: a typo'd timeout silently becoming 0 (atof) would mean
+  // "wait forever" and turn every hang-detection test into a real hang
+  state.default_timeout =
+    env_real("DGFLOW_VMPI_TIMEOUT", state.default_timeout, 0., 1e6);
   std::vector<std::thread> threads;
   std::vector<std::exception_ptr> errors(n_ranks);
 
