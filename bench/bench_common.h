@@ -50,9 +50,12 @@ double best_of(const unsigned int repetitions, const F &f)
   return best;
 }
 
-/// Measured stream-triad bandwidth [B/s] of this machine (sets the memory
-/// roofline for Fig. 7 and calibrates the scaling model).
-inline double measure_stream_bandwidth()
+/// Measured stream-triad bandwidth [B/s] of this machine with @p n_threads
+/// streaming concurrently (sets the memory roofline for Fig. 7 and
+/// calibrates the scaling model). The sweep is cut into fixed contiguous
+/// per-thread ranges — the same disjoint-write discipline the solver's
+/// parallel loops use — so the measured rate is what those loops can reach.
+inline double measure_stream_bandwidth(const unsigned int n_threads = 1)
 {
   const std::size_t n = 32 * 1024 * 1024; // 3 x 256 MB traffic
   Vector<double> a(n), b(n), c(n);
@@ -61,13 +64,24 @@ inline double measure_stream_bandwidth()
     b[i] = 1.0 + double(i % 17);
     c[i] = 0.5 * double(i % 11);
   }
+  auto &pool = concurrency::ThreadPool::instance();
+  const unsigned int saved = pool.n_threads();
+  if (n_threads > 1)
+    pool.set_n_threads(n_threads);
+  const unsigned int n_chunks = std::max(1u, n_threads);
   const double t = best_of(5, [&]() {
     double *DGFLOW_RESTRICT ad = a.data();
     const double *DGFLOW_RESTRICT bd = b.data();
     const double *DGFLOW_RESTRICT cd = c.data();
-    for (std::size_t i = 0; i < n; ++i)
-      ad[i] = bd[i] + 1.7 * cd[i];
+    pool.run_chunks(n_chunks, [&](const unsigned int ch) {
+      const std::size_t begin = n * ch / n_chunks;
+      const std::size_t end = n * (ch + 1) / n_chunks;
+      for (std::size_t i = begin; i < end; ++i)
+        ad[i] = bd[i] + 1.7 * cd[i];
+    });
   });
+  if (n_threads > 1)
+    pool.set_n_threads(saved);
   return 3. * n * sizeof(double) / t;
 }
 

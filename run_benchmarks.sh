@@ -18,11 +18,16 @@ mkdir -p bench_results
 # number below. Set DGFLOW_SKIP_VERIFY=1 to skip while iterating on a
 # single benchmark.
 if [ -z "$DGFLOW_SKIP_VERIFY" ]; then
-  echo "verify pass: distributed_resilience under DGFLOW_SANITIZE=thread"
+  # The same pass covers the shared-memory worker pool (ctest label
+  # threading): the thread-parallel cell loops, the fused per-thread hooks
+  # and the chunked reductions must be race-free before any threaded
+  # speedup below is trusted.
+  echo "verify pass: distributed_resilience|threading under DGFLOW_SANITIZE=thread"
   cmake -B build-tsan -S . -DDGFLOW_SANITIZE=thread > /dev/null
   cmake --build build-tsan -j \
-    --target test_distributed_resilience recovery_microbench > /dev/null
-  (cd build-tsan && ctest -L distributed_resilience --output-on-failure)
+    --target test_distributed_resilience test_threading recovery_microbench \
+    threads_microbench > /dev/null
+  (cd build-tsan && ctest -L "distributed_resilience|threading" --output-on-failure)
 
   # Second verify pass: the fused-kernel equivalence, mixed-precision and
   # ABFT tests under AddressSanitizer — the fused hooks write through raw
@@ -52,23 +57,23 @@ fi
 for b in build/bench/*; do
   if [ -x "$b" ] && [ -f "$b" ]; then
     name=$(basename "$b")
-    # benchmarks that support it also archive machine-readable results
-    # (kernels_microbench -> BENCH_kernels.json: the roofline fast-path
-    # comparison the acceptance criteria read)
-    bench_json="bench_results/BENCH_${name}.json"
-    [ "$name" = kernels_microbench ] && bench_json="bench_results/BENCH_kernels.json"
-    # distributed_microbench -> BENCH_distributed.json: the ghost-exchange
-    # traffic validation on 1/2/4/8 logical ranks
-    [ "$name" = distributed_microbench ] && bench_json="bench_results/BENCH_distributed.json"
-    # recovery_microbench -> BENCH_recovery.json: agreement latency, shard
-    # checkpoint throughput and the shrinking-recovery overhead
-    [ "$name" = recovery_microbench ] && bench_json="bench_results/BENCH_recovery.json"
-    # abft_microbench -> BENCH_abft.json: the SDC-guard overhead on the lung
-    # solve (acceptance: < 3% detection overhead) and the flip-repair check
-    [ "$name" = abft_microbench ] && bench_json="bench_results/BENCH_abft.json"
-    # ablation_precision -> BENCH_precision.json: the mixed-precision
-    # iteration-count matrix (dp / sp_levels / sp_levels_sp_amg / sp_ghost)
-    [ "$name" = ablation_precision ] && bench_json="bench_results/BENCH_precision.json"
+    # benchmarks that support it also archive machine-readable results;
+    # one mapping from binary name to archive name:
+    #   kernels     - roofline fast-path comparison (acceptance criteria)
+    #   distributed - ghost-exchange traffic validation on 1/2/4/8 ranks
+    #   recovery    - agreement latency, shard checkpoints, shrink recovery
+    #   abft        - SDC-guard overhead (< 3%) and the flip-repair check
+    #   precision   - mixed-precision iteration-count matrix
+    #   threads     - 1/2/4-thread scaling + the bitwise determinism gate
+    case "$name" in
+      kernels_microbench)     bench_json="bench_results/BENCH_kernels.json" ;;
+      distributed_microbench) bench_json="bench_results/BENCH_distributed.json" ;;
+      recovery_microbench)    bench_json="bench_results/BENCH_recovery.json" ;;
+      abft_microbench)        bench_json="bench_results/BENCH_abft.json" ;;
+      ablation_precision)     bench_json="bench_results/BENCH_precision.json" ;;
+      threads_microbench)     bench_json="bench_results/BENCH_threads.json" ;;
+      *)                      bench_json="bench_results/BENCH_${name}.json" ;;
+    esac
     DGFLOW_PROFILE=1 \
       DGFLOW_PROFILE_JSON="bench_results/PROFILE_${name}.json" \
       DGFLOW_BENCH_JSON="$bench_json" \

@@ -12,6 +12,7 @@
 
 #include "common/aligned_vector.h"
 #include "common/exceptions.h"
+#include "concurrency/thread_pool.h"
 
 #ifndef DGFLOW_RESTRICT
 #define DGFLOW_RESTRICT __restrict__
@@ -19,6 +20,47 @@
 
 namespace dgflow
 {
+namespace internal
+{
+/// Deterministically blocked dot product: the vector is cut into at most 64
+/// contiguous chunks of whole 4096-scalar blocks, each chunk accumulates
+/// sequentially in double, and the partials are summed in ascending chunk
+/// order. The blocking depends only on n — never on the thread count — so
+/// the result is bitwise identical whether the chunks run serially or on the
+/// pool. For n <= 4096 there is a single chunk and the result coincides with
+/// the plain sequential sweep this replaces.
+template <typename Number>
+inline double chunked_dot(const Number *DGFLOW_RESTRICT a,
+                          const Number *DGFLOW_RESTRICT b, const std::size_t n)
+{
+  constexpr std::size_t block = 4096;
+  const std::size_t n_blocks = (n + block - 1) / block;
+  if (n_blocks <= 1)
+  {
+    double s = 0;
+    for (std::size_t i = 0; i < n; ++i)
+      s += double(a[i]) * double(b[i]);
+    return s;
+  }
+  const std::size_t n_chunks = std::min<std::size_t>(64, n_blocks);
+  double partials[64];
+  concurrency::ThreadPool::instance().run_chunks(
+    static_cast<unsigned int>(n_chunks), [&](const unsigned int c) {
+      const std::size_t begin = (n_blocks * c) / n_chunks * block;
+      const std::size_t end =
+        std::min(n, (n_blocks * (c + 1)) / n_chunks * block);
+      double s = 0;
+      for (std::size_t i = begin; i < end; ++i)
+        s += double(a[i]) * double(b[i]);
+      partials[c] = s;
+    });
+  double s = 0;
+  for (std::size_t c = 0; c < n_chunks; ++c)
+    s += partials[c];
+  return s;
+}
+} // namespace internal
+
 template <typename Number>
 class Vector
 {
@@ -67,9 +109,11 @@ public:
     DGFLOW_DEBUG_ASSERT(x.size() == size(), "size mismatch");
     Number *DGFLOW_RESTRICT d = data_.data();
     const Number *DGFLOW_RESTRICT xd = x.data_.data();
-    const std::size_t n = size();
-    for (std::size_t i = 0; i < n; ++i)
-      d[i] += a * xd[i];
+    concurrency::ThreadPool::instance().parallel_for(
+      size(), [&](const std::size_t i0, const std::size_t i1) {
+        for (std::size_t i = i0; i < i1; ++i)
+          d[i] += a * xd[i];
+      });
   }
 
   /// this = s * this + a * x
@@ -78,9 +122,11 @@ public:
     DGFLOW_DEBUG_ASSERT(x.size() == size(), "size mismatch");
     Number *DGFLOW_RESTRICT d = data_.data();
     const Number *DGFLOW_RESTRICT xd = x.data_.data();
-    const std::size_t n = size();
-    for (std::size_t i = 0; i < n; ++i)
-      d[i] = s * d[i] + a * xd[i];
+    concurrency::ThreadPool::instance().parallel_for(
+      size(), [&](const std::size_t i0, const std::size_t i1) {
+        for (std::size_t i = i0; i < i1; ++i)
+          d[i] = s * d[i] + a * xd[i];
+      });
   }
 
   /// this = a * x
@@ -89,9 +135,11 @@ public:
     DGFLOW_DEBUG_ASSERT(x.size() == size(), "size mismatch");
     Number *DGFLOW_RESTRICT d = data_.data();
     const Number *DGFLOW_RESTRICT xd = x.data_.data();
-    const std::size_t n = size();
-    for (std::size_t i = 0; i < n; ++i)
-      d[i] = a * xd[i];
+    concurrency::ThreadPool::instance().parallel_for(
+      size(), [&](const std::size_t i0, const std::size_t i1) {
+        for (std::size_t i = i0; i < i1; ++i)
+          d[i] = a * xd[i];
+      });
   }
 
   /// this = a * x + b * y
@@ -102,37 +150,43 @@ public:
     Number *DGFLOW_RESTRICT d = data_.data();
     const Number *DGFLOW_RESTRICT xd = x.data_.data();
     const Number *DGFLOW_RESTRICT yd = y.data_.data();
-    const std::size_t n = size();
-    for (std::size_t i = 0; i < n; ++i)
-      d[i] = a * xd[i] + b * yd[i];
+    concurrency::ThreadPool::instance().parallel_for(
+      size(), [&](const std::size_t i0, const std::size_t i1) {
+        for (std::size_t i = i0; i < i1; ++i)
+          d[i] = a * xd[i] + b * yd[i];
+      });
   }
 
   void scale(const Number a)
   {
-    for (std::size_t i = 0; i < size(); ++i)
-      data_[i] *= a;
+    Number *DGFLOW_RESTRICT d = data_.data();
+    concurrency::ThreadPool::instance().parallel_for(
+      size(), [&](const std::size_t i0, const std::size_t i1) {
+        for (std::size_t i = i0; i < i1; ++i)
+          d[i] *= a;
+      });
   }
 
   /// Pointwise multiply: this[i] *= x[i] (Jacobi preconditioning).
   void scale_pointwise(const Vector &x)
   {
     DGFLOW_DEBUG_ASSERT(x.size() == size(), "size mismatch");
-    for (std::size_t i = 0; i < size(); ++i)
-      data_[i] *= x.data_[i];
+    Number *DGFLOW_RESTRICT d = data_.data();
+    const Number *DGFLOW_RESTRICT xd = x.data_.data();
+    concurrency::ThreadPool::instance().parallel_for(
+      size(), [&](const std::size_t i0, const std::size_t i1) {
+        for (std::size_t i = i0; i < i1; ++i)
+          d[i] *= xd[i];
+      });
   }
 
   Number dot(const Vector &x) const
   {
     DGFLOW_DEBUG_ASSERT(x.size() == size(), "size mismatch");
-    // Accumulate in double regardless of storage precision: keeps the CG
-    // orthogonality usable when Number = float.
-    double s = 0;
-    const Number *DGFLOW_RESTRICT d = data_.data();
-    const Number *DGFLOW_RESTRICT xd = x.data_.data();
-    const std::size_t n = size();
-    for (std::size_t i = 0; i < n; ++i)
-      s += double(d[i]) * double(xd[i]);
-    return Number(s);
+    // Accumulate in double regardless of storage precision (keeps the CG
+    // orthogonality usable when Number = float) with the deterministically
+    // blocked reduction: bitwise identical at any thread count.
+    return Number(internal::chunked_dot(data_.data(), x.data_.data(), size()));
   }
 
   Number norm_sqr() const { return dot(*this); }

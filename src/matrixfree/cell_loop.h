@@ -3,9 +3,31 @@
 // Shared cell/face loop driver of the operator contract v2
 // (operators/README.md): every matrix-free operator evaluates its kernels
 // through cell_face_loop (or cell_only_loop for cell-local operators), which
-// owns the traversal order, the distributed ghost-exchange overlap and the
-// solver hook scheduling. The hooks let a solver fold its BLAS-1 vector
-// updates into the operator sweep (merged solver kernels):
+// owns the traversal order, the distributed ghost-exchange overlap, the
+// shared-memory thread parallelization and the solver hook scheduling.
+//
+// Operators hand the driver a KERNEL FACTORY instead of ready-made kernels:
+// a generic callable make_kernels(dst_view) that constructs its evaluators
+// and returns LoopKernels{cell, inner, boundary} writing through dst_view.
+// The driver decides how many kernel sets exist: one over the real dst for
+// the serial sweep, one per thread chunk (each with private evaluator
+// scratch, writing through a ChunkDst mask) for the parallel sweep. The
+// threaded traversal (MatrixFree::thread_partition) runs in three phases:
+//
+//   0  each chunk: pre hooks + cell integrals of its own batches
+//   1  each chunk: its face list (cross-chunk faces are evaluated by every
+//      touching chunk, writes masked to the chunk's cell range) + post hooks
+//      of batches no other chunk still reads
+//   2  caller: deferred post hooks of chunk-boundary batches, ascending
+//
+// Every dst entry accumulates cell integral first, then its faces in
+// ascending face-batch order with the minus side before the plus side —
+// exactly the serial order, for any chunk count — so vmult results are
+// BITWISE IDENTICAL to the serial sweep at any thread count (the determinism
+// argument is spelled out in docs/DEVELOPING.md, "Shared-memory parallel
+// loops").
+//
+// The solver hooks fold BLAS-1 vector updates into the operator sweep:
 //
 //   pre(begin, end)   fires immediately before the loop first reads
 //                     src[begin, end) — for a DG space, right before the
@@ -13,16 +35,21 @@
 //                     fire before the exchange is posted.
 //   post(begin, end)  fires as soon as the traversal will neither read the
 //                     batch's src entries nor write its dst entries again —
-//                     scheduled from MatrixFree::loop_schedule, which knows
-//                     the last face entry adjacent to each cell batch.
+//                     per-thread for chunk-private batches, after the join
+//                     for chunk-boundary batches.
 //
 // Ranges are half-open local scalar indices (distributed: into the owned
 // range), tile the vector exactly once per vmult, and are contiguous because
-// cell batches pack consecutive cells. Passing NoRangeHook for both slots
-// compiles the scheduling away and reproduces the pre-v2 loops bitwise.
+// cell batches pack consecutive cells. Hooks must be elementwise in their
+// range (all solver hooks are): they run concurrently on disjoint ranges.
+// Passing NoRangeHook for both slots compiles the scheduling away.
+
+#include <chrono>
+#include <vector>
 
 #include "common/loop_hooks.h"
 #include "common/vector.h"
+#include "concurrency/thread_pool.h"
 #include "instrumentation/profiler.h"
 #include "matrixfree/matrix_free.h"
 
@@ -41,26 +68,248 @@ batch_dof_range(const MatrixFree<Number> &mf, const unsigned int b,
   const std::size_t begin = std::size_t(cb.cells[0]) * block - base;
   return {begin, begin + std::size_t(cb.n_filled) * block};
 }
+
+/// Destination mask of one thread chunk: behaves like the wrapped vector but
+/// owns only the cells in [cell_begin, cell_end). The evaluators' generic
+/// distribute_local_to_global overloads consult is_owned_element per lane,
+/// which is exactly the cut-face masking the distributed path uses — a face
+/// evaluated by two chunks writes each cell from its owning chunk only.
+template <typename VectorType>
+struct ChunkDst
+{
+  using value_type = typename VectorType::value_type;
+
+  VectorType &vec;
+  index_t cell_begin, cell_end;
+
+  value_type *data() { return vec.data(); }
+  const value_type *data() const { return vec.data(); }
+  std::size_t size() const { return vec.size(); }
+
+  bool is_owned_element(const std::size_t cell) const
+  {
+    if (cell < cell_begin || cell >= cell_end)
+      return false;
+    if constexpr (is_distributed_vector_v<VectorType>)
+      return vec.is_owned_element(cell);
+    else
+      return true;
+  }
+
+  std::size_t local_dof_offset(const std::size_t cell,
+                               const unsigned int n_dofs) const
+  {
+    if constexpr (is_distributed_vector_v<VectorType>)
+      return vec.local_dof_offset(cell, n_dofs);
+    else
+      return cell * n_dofs;
+  }
+
+  value_type &operator[](const std::size_t i) { return vec[i]; }
+  value_type operator[](const std::size_t i) const { return vec[i]; }
+};
+
+inline double seconds_since(const std::chrono::steady_clock::time_point t0)
+{
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+    .count();
+}
+
+/// Publishes the load-balance gauges of one threaded sweep: parallel
+/// efficiency mean/max (1 = perfectly balanced) and imbalance max/mean.
+inline void publish_thread_balance(const std::vector<double> &chunk_seconds)
+{
+  double sum = 0., peak = 0.;
+  for (const double s : chunk_seconds)
+  {
+    sum += s;
+    peak = std::max(peak, s);
+  }
+  if (peak <= 0.)
+    return;
+  const double mean = sum / double(chunk_seconds.size());
+  DGFLOW_PROF_GAUGE("mf_thread_imbalance", peak / mean);
+  DGFLOW_PROF_GAUGE("mf_thread_efficiency", mean / peak);
+}
 } // namespace internal
 
-/// Runs the full cell + face traversal of one operator application. The
-/// process callbacks receive a (cell or face) batch index and read src /
-/// accumulate into dst themselves; dst must already be zeroed. src_block /
-/// dst_block are the scalars per cell of the respective space (they differ
-/// for mixed-space operators like divergence/gradient).
-template <typename Number, typename VectorType, typename CellFn,
-          typename InnerFn, typename BoundaryFn, typename PreFn,
-          typename PostFn>
+/// Kernel set one cell_face_loop kernel factory returns: batch-index
+/// callables for the cell integrals, interior faces and boundary faces, all
+/// writing through the dst view the factory received.
+template <typename CellFn, typename InnerFn, typename BoundaryFn>
+struct LoopKernels
+{
+  CellFn cell;
+  InnerFn inner;
+  BoundaryFn boundary;
+};
+
+template <typename CellFn, typename InnerFn, typename BoundaryFn>
+LoopKernels(CellFn, InnerFn, BoundaryFn)
+  -> LoopKernels<CellFn, InnerFn, BoundaryFn>;
+
+namespace internal
+{
+/// Three-phase thread-parallel traversal (see the file comment). Factored
+/// out of cell_face_loop; part.chunks.size() >= 2.
+template <typename Number, typename VectorType, typename KernelFactory,
+          typename PreFn, typename PostFn>
+void threaded_cell_face_loop(const MatrixFree<Number> &mf, VectorType &dst,
+                             const VectorType &src,
+                             const unsigned int dst_block,
+                             const unsigned int src_block,
+                             KernelFactory &&make_kernels, PreFn &&pre,
+                             PostFn &&post, const int rank,
+                             const typename MatrixFree<Number>::ThreadPartition
+                               &part)
+{
+  constexpr bool distributed = is_distributed_vector_v<VectorType>;
+  constexpr bool has_pre = !is_no_hook_v<PreFn>;
+  constexpr bool has_post = !is_no_hook_v<PostFn>;
+
+  const std::size_t src_base = src.first_local_index();
+  const std::size_t dst_base = dst.first_local_index();
+  const auto fire_pre = [&](const unsigned int b) {
+    const auto [r0, r1] = batch_dof_range(mf, b, src_block, src_base);
+    pre(r0, r1);
+  };
+  const auto fire_post = [&](const unsigned int b) {
+    const auto [r0, r1] = batch_dof_range(mf, b, dst_block, dst_base);
+    post(r0, r1);
+  };
+
+  const unsigned int n_chunks = part.chunks.size();
+  using View = ChunkDst<VectorType>;
+  std::vector<View> views;
+  views.reserve(n_chunks);
+  for (const auto &ch : part.chunks)
+    views.push_back(View{dst, ch.cell_begin, ch.cell_end});
+  using KernelsT = decltype(make_kernels(views.front()));
+  std::vector<KernelsT> kernels;
+  kernels.reserve(n_chunks);
+  for (auto &v : views)
+    kernels.push_back(make_kernels(v));
+
+  [[maybe_unused]] const auto &rank_sched = mf.loop_schedule(rank);
+  [[maybe_unused]] const unsigned int rank_batch_begin =
+    rank < 0 ? 0u : mf.cell_batch_range(rank).first;
+
+  const bool measure = prof::Profiler::instance().enabled();
+  std::vector<double> chunk_seconds(n_chunks, 0.);
+  auto &pool = concurrency::ThreadPool::instance();
+
+  if constexpr (distributed)
+  {
+    // src-mutating pre hooks must finalize the entries the ghost pack reads
+    // (cells on cut faces) before the sends are posted
+    if constexpr (has_pre)
+    {
+      const auto [cb, ce] = mf.cell_batch_range(rank);
+      for (unsigned int b = cb; b < ce; ++b)
+        if (rank_sched.pre_before_exchange[b - cb])
+          fire_pre(b);
+    }
+    src.update_ghost_values_start();
+  }
+
+  // phase 0: per-chunk pre hooks + cell integrals
+  pool.run_chunks(n_chunks, [&](const unsigned int c) {
+    const auto t0 = std::chrono::steady_clock::now();
+    DGFLOW_PROF_SCOPE("mf_threaded_cells");
+    const auto &ch = part.chunks[c];
+    for (unsigned int b = ch.batch_begin; b < ch.batch_end; ++b)
+    {
+      if constexpr (has_pre)
+      {
+        bool fired_before_exchange = false;
+        if constexpr (distributed)
+          fired_before_exchange =
+            rank_sched.pre_before_exchange[b - rank_batch_begin] != 0;
+        if (!fired_before_exchange)
+          fire_pre(b);
+      }
+      kernels[c].cell(b);
+    }
+    if (measure)
+      chunk_seconds[c] += seconds_since(t0);
+  });
+
+  if constexpr (distributed)
+    src.update_ghost_values_finish();
+
+  // phase 1: per-chunk face lists + post hooks of chunk-private batches
+  pool.run_chunks(n_chunks, [&](const unsigned int c) {
+    const auto t0 = std::chrono::steady_clock::now();
+    DGFLOW_PROF_SCOPE("mf_threaded_faces");
+    const auto &ch = part.chunks[c];
+    const auto fire_completed = [&](const unsigned int slot) {
+      for (unsigned int k = ch.sched.completes_ptr[slot];
+           k < ch.sched.completes_ptr[slot + 1]; ++k)
+        fire_post(ch.sched.completes_data[k]);
+    };
+    for (unsigned int i = 0; i < ch.face_list.size(); ++i)
+    {
+      const unsigned int b = ch.face_list[i];
+      if (mf.face_batch(b).interior)
+        kernels[c].inner(b);
+      else
+        kernels[c].boundary(b);
+      if constexpr (has_post)
+        fire_completed(i);
+    }
+    if constexpr (has_post)
+      fire_completed(static_cast<unsigned int>(ch.face_list.size()));
+    if (measure)
+      chunk_seconds[c] += seconds_since(t0);
+  });
+
+  // phase 2: deferred posts of chunk-boundary batches, ascending
+  if constexpr (has_post)
+    for (const unsigned int b : part.deferred)
+      fire_post(b);
+
+  if (measure)
+    publish_thread_balance(chunk_seconds);
+  unsigned long long n_face_evals = 0;
+  for (const auto &ch : part.chunks)
+    n_face_evals += ch.face_list.size();
+  DGFLOW_PROF_COUNT("mf_cell_batches",
+                    part.chunks.back().batch_end -
+                      part.chunks.front().batch_begin);
+  DGFLOW_PROF_COUNT("mf_face_batches",
+                    static_cast<long long>(n_face_evals));
+}
+} // namespace internal
+
+/// Runs the full cell + face traversal of one operator application.
+/// make_kernels(dst_view) must return LoopKernels writing through dst_view;
+/// the batch callables read src / accumulate into the view themselves. dst
+/// must already be zeroed. src_block / dst_block are the scalars per cell of
+/// the respective space (they differ for mixed-space operators like
+/// divergence/gradient).
+template <typename Number, typename VectorType, typename KernelFactory,
+          typename PreFn, typename PostFn>
 void cell_face_loop(const MatrixFree<Number> &mf, VectorType &dst,
                     const VectorType &src, const unsigned int dst_block,
-                    const unsigned int src_block, CellFn &&process_cell,
-                    InnerFn &&process_inner, BoundaryFn &&process_boundary,
+                    const unsigned int src_block, KernelFactory &&make_kernels,
                     PreFn &&pre, PostFn &&post)
 {
   constexpr bool distributed = is_distributed_vector_v<VectorType>;
   constexpr bool has_pre = !internal::is_no_hook_v<PreFn>;
   constexpr bool has_post = !internal::is_no_hook_v<PostFn>;
 
+  int rank = -1;
+  if constexpr (distributed)
+    rank = src.rank();
+  const auto &part = mf.thread_partition(rank);
+  if (part.chunks.size() > 1)
+  {
+    internal::threaded_cell_face_loop(mf, dst, src, dst_block, src_block,
+                                      make_kernels, pre, post, rank, part);
+    return;
+  }
+
+  auto kernels = make_kernels(dst);
   const std::size_t src_base = src.first_local_index();
   const std::size_t dst_base = dst.first_local_index();
   const auto fire_pre = [&](const unsigned int b) {
@@ -81,7 +330,6 @@ void cell_face_loop(const MatrixFree<Number> &mf, VectorType &dst,
 
   if constexpr (distributed)
   {
-    const int rank = src.rank();
     const auto &sched = mf.loop_schedule(rank);
     const auto [cell_begin, cell_end] = mf.cell_batch_range(rank);
     // src-mutating pre hooks must finalize the entries the ghost pack reads
@@ -97,7 +345,7 @@ void cell_face_loop(const MatrixFree<Number> &mf, VectorType &dst,
       if constexpr (has_pre)
         if (!sched.pre_before_exchange[b - cell_begin])
           fire_pre(b);
-      process_cell(b);
+      kernels.cell(b);
     }
     src.update_ghost_values_finish();
     const auto &face_list = mf.face_batches_of_rank(rank);
@@ -105,9 +353,9 @@ void cell_face_loop(const MatrixFree<Number> &mf, VectorType &dst,
     {
       const unsigned int b = face_list[i];
       if (mf.face_batch(b).interior)
-        process_inner(b);
+        kernels.inner(b);
       else
-        process_boundary(b);
+        kernels.boundary(b);
       if constexpr (has_post)
         fire_completed(sched, i);
     }
@@ -123,15 +371,15 @@ void cell_face_loop(const MatrixFree<Number> &mf, VectorType &dst,
     {
       if constexpr (has_pre)
         fire_pre(b);
-      process_cell(b);
+      kernels.cell(b);
     }
     const unsigned int n_faces = mf.n_face_batches();
     for (unsigned int b = 0; b < n_faces; ++b)
     {
       if (b < mf.n_inner_face_batches())
-        process_inner(b);
+        kernels.inner(b);
       else
-        process_boundary(b);
+        kernels.boundary(b);
       if constexpr (has_post)
         fire_completed(sched, b);
     }
@@ -144,32 +392,56 @@ void cell_face_loop(const MatrixFree<Number> &mf, VectorType &dst,
 
 /// Cell-only variant (no face terms, serial vectors): the post hook fires
 /// directly after each batch's cell work since nothing revisits the batch.
-template <typename Number, typename VectorType, typename CellFn,
+/// make_cell(dst_view) returns the single cell-batch callable; cell-local
+/// writes are disjoint per chunk, so the threaded sweep hands every chunk
+/// the real dst and needs no masking or deferral.
+template <typename Number, typename VectorType, typename KernelFactory,
           typename PreFn, typename PostFn>
 void cell_only_loop(const MatrixFree<Number> &mf, VectorType &dst,
                     const VectorType &src, const unsigned int dst_block,
-                    const unsigned int src_block, CellFn &&process_cell,
+                    const unsigned int src_block, KernelFactory &&make_cell,
                     PreFn &&pre, PostFn &&post)
 {
   constexpr bool has_pre = !internal::is_no_hook_v<PreFn>;
   constexpr bool has_post = !internal::is_no_hook_v<PostFn>;
   const std::size_t src_base = src.first_local_index();
   const std::size_t dst_base = dst.first_local_index();
-  for (unsigned int b = 0; b < mf.n_cell_batches(); ++b)
-  {
+  const auto run_batch = [&](auto &cell_kernel, const unsigned int b) {
     if constexpr (has_pre)
     {
       const auto [r0, r1] =
         internal::batch_dof_range(mf, b, src_block, src_base);
       pre(r0, r1);
     }
-    process_cell(b);
+    cell_kernel(b);
     if constexpr (has_post)
     {
       const auto [r0, r1] =
         internal::batch_dof_range(mf, b, dst_block, dst_base);
       post(r0, r1);
     }
+  };
+
+  const auto &part = mf.thread_partition(-1);
+  if (part.chunks.size() > 1)
+  {
+    using KernelT = decltype(make_cell(dst));
+    std::vector<KernelT> kernels;
+    kernels.reserve(part.chunks.size());
+    for (std::size_t c = 0; c < part.chunks.size(); ++c)
+      kernels.push_back(make_cell(dst));
+    concurrency::ThreadPool::instance().run_chunks(
+      part.chunks.size(), [&](const unsigned int c) {
+        const auto &ch = part.chunks[c];
+        for (unsigned int b = ch.batch_begin; b < ch.batch_end; ++b)
+          run_batch(kernels[c], b);
+      });
+  }
+  else
+  {
+    auto cell_kernel = make_cell(dst);
+    for (unsigned int b = 0; b < mf.n_cell_batches(); ++b)
+      run_batch(cell_kernel, b);
   }
   DGFLOW_PROF_COUNT("mf_cell_batches", mf.n_cell_batches());
 }

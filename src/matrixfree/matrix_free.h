@@ -13,6 +13,7 @@
 // meshes many distinct keys exist and the trailing partially-filled batches
 // reproduce the paper's partially-filled-SIMD-lane overhead.
 
+#include <cstdint>
 #include <limits>
 #include <map>
 #include <memory>
@@ -22,6 +23,7 @@
 #include "common/exceptions.h"
 #include "common/tensor.h"
 #include "common/vector.h"
+#include "concurrency/thread_pool.h"
 #include "fem/shape_info.h"
 #include "fem/tensor_kernels.h"
 #include "instrumentation/profiler.h"
@@ -85,6 +87,10 @@ public:
     std::vector<int> rank_of_cell;
     /// number of ranks rank_of_cell refers to
     int n_ranks = 1;
+    /// chunks the thread-parallel cell loops split each traversal into
+    /// (cell_loop.h); 0 = size from the process pool (DGFLOW_THREADS via
+    /// concurrency::ThreadPool). 1 forces the serial loop bodies.
+    unsigned int n_threads = 0;
   };
 
   struct CellBatch
@@ -317,6 +323,45 @@ public:
     return rank < 0 ? serial_schedule_ : loop_schedules_[rank];
   }
 
+  /// One thread's share of a traversal: a contiguous run of cell batches
+  /// (equivalently a contiguous owned-cell / DoF range) plus the ascending
+  /// face-batch work list touching any of its cells. Faces whose two sides
+  /// fall into different chunks appear in both chunks' lists; each side
+  /// evaluates the full flux and keeps only the writes into its own cell
+  /// range (the both-sides-evaluate masking of the cut-face machinery), so
+  /// per-cell accumulation order matches the serial sweep exactly. sched is
+  /// the chunk-local hook schedule over face_list for the batches whose post
+  /// hook may fire mid-loop; batches adjacent to a chunk boundary are absent
+  /// from it and deferred (ThreadPartition::deferred).
+  struct ThreadChunk
+  {
+    unsigned int batch_begin = 0, batch_end = 0;
+    index_t cell_begin = 0, cell_end = 0;
+    std::vector<unsigned int> face_list;
+    LoopSchedule sched;
+  };
+
+  /// Static chunking of one traversal (a rank's, or the serial one) for the
+  /// thread-parallel loop driver. Empty chunks = run the serial loop body.
+  /// deferred lists, in ascending order, the cell batches whose src/dst is
+  /// still read by a neighboring chunk's face sweep: their post hooks fire
+  /// serially after the parallel phases join.
+  struct ThreadPartition
+  {
+    std::vector<ThreadChunk> chunks;
+    std::vector<unsigned int> deferred;
+  };
+
+  /// Number of chunks the thread partitions were built for (resolved from
+  /// AdditionalData::n_threads or the process pool width at reinit).
+  unsigned int n_thread_chunks() const { return n_thread_chunks_; }
+
+  /// Thread partition of a rank's traversal; rank -1 = the serial traversal.
+  const ThreadPartition &thread_partition(const int rank) const
+  {
+    return rank < 0 ? serial_thread_partition_ : thread_partitions_[rank];
+  }
+
   /// Batch containing an active cell.
   unsigned int batch_of_cell(const index_t cell) const
   {
@@ -469,6 +514,7 @@ private:
   void build_cell_batches();
   void build_face_batches();
   void build_loop_schedules();
+  void build_thread_partitions();
   void compute_geometry_lattices(const Geometry &geometry);
   void classify_cell_geometry();
   void compute_cell_metric(const unsigned int quad);
@@ -499,6 +545,9 @@ private:
   std::vector<unsigned int> batch_of_cell_;
   std::vector<LoopSchedule> loop_schedules_;
   LoopSchedule serial_schedule_;
+  unsigned int n_thread_chunks_ = 1;
+  std::vector<ThreadPartition> thread_partitions_;
+  ThreadPartition serial_thread_partition_;
 
   std::vector<ShapeInfo<Number>> shape_info_;
   std::vector<CellMetric> cell_metric_;
@@ -549,9 +598,14 @@ void MatrixFree<Number>::reinit(const Mesh &mesh, const Geometry &geometry,
                   rank_of_cell_.size() == std::size_t(mesh.n_active_cells()),
                 "rank_of_cell size mismatch");
 
+  n_thread_chunks_ = data.n_threads > 0
+                       ? data.n_threads
+                       : concurrency::ThreadPool::instance().n_threads();
+
   build_cell_batches();
   build_face_batches();
   build_loop_schedules();
+  build_thread_partitions();
   compute_geometry_lattices(geometry);
   classify_cell_geometry();
 
@@ -752,6 +806,144 @@ void MatrixFree<Number>::build_loop_schedules()
   for (unsigned int i = 0; i < all_faces.size(); ++i)
     all_faces[i] = i;
   build(-1, serial_schedule_, all_faces);
+}
+
+template <typename Number>
+void MatrixFree<Number>::build_thread_partitions()
+{
+  const auto build = [this](const int rank, ThreadPartition &part,
+                            const std::vector<unsigned int> &face_list) {
+    part.chunks.clear();
+    part.deferred.clear();
+    const unsigned int batch_begin =
+      rank < 0 ? 0u : cell_batch_ranges_[rank].first;
+    const unsigned int batch_end =
+      rank < 0 ? n_cell_batches() : cell_batch_ranges_[rank].second;
+    const unsigned int n_local = batch_end - batch_begin;
+    const unsigned int n_chunks = std::min(n_thread_chunks_, n_local);
+    if (n_chunks <= 1)
+      return; // empty partition: the driver keeps the serial loop body
+
+    part.chunks.resize(n_chunks);
+    std::vector<unsigned int> chunk_of(n_local);
+    for (unsigned int c = 0; c < n_chunks; ++c)
+    {
+      ThreadChunk &ch = part.chunks[c];
+      ch.batch_begin =
+        batch_begin + (std::uint64_t(n_local) * c) / n_chunks;
+      ch.batch_end =
+        batch_begin + (std::uint64_t(n_local) * (c + 1)) / n_chunks;
+      ch.cell_begin = cell_batches_[ch.batch_begin].cells[0];
+      const CellBatch &last = cell_batches_[ch.batch_end - 1];
+      ch.cell_end = last.cells[0] + last.n_filled;
+      for (unsigned int b = ch.batch_begin; b < ch.batch_end; ++b)
+        chunk_of[b - batch_begin] = c;
+    }
+
+    // hand every face batch to each chunk owning one of its cells; a face
+    // with cells in more than one chunk is evaluated by all of them (each
+    // masks its writes to its own cell range) and pins the touched batches'
+    // post hooks past the parallel phases: another chunk's face sweep still
+    // reads their src (and a fused post may mutate it)
+    std::vector<unsigned char> shared(n_local, 0);
+    std::vector<unsigned int> touched;
+    for (const unsigned int fb_id : face_list)
+    {
+      const FaceBatch &fb = face_batches_[fb_id];
+      touched.clear();
+      const auto note = [&](const index_t cell) {
+        if (rank >= 0 && rank_of_cell(cell) != rank)
+          return;
+        const unsigned int c = chunk_of[batch_of_cell_[cell] - batch_begin];
+        for (const unsigned int t : touched)
+          if (t == c)
+            return;
+        touched.push_back(c);
+      };
+      for (unsigned int l = 0; l < fb.n_filled; ++l)
+      {
+        note(fb.cells_m[l]);
+        if (fb.interior)
+          note(fb.cells_p[l]);
+      }
+      for (const unsigned int c : touched)
+        part.chunks[c].face_list.push_back(fb_id);
+      if (touched.size() > 1)
+        for (unsigned int l = 0; l < fb.n_filled; ++l)
+        {
+          const auto mark = [&](const index_t cell) {
+            if (rank >= 0 && rank_of_cell(cell) != rank)
+              return;
+            shared[batch_of_cell_[cell] - batch_begin] = 1;
+          };
+          mark(fb.cells_m[l]);
+          if (fb.interior)
+            mark(fb.cells_p[l]);
+        }
+    }
+    for (unsigned int b = 0; b < n_local; ++b)
+      if (shared[b])
+        part.deferred.push_back(batch_begin + b);
+
+    // chunk-local hook schedules over the private (non-shared) batches,
+    // same CSR layout as the rank-level LoopSchedule
+    constexpr unsigned int none = ~0u;
+    for (ThreadChunk &ch : part.chunks)
+    {
+      const unsigned int nb = ch.batch_end - ch.batch_begin;
+      std::vector<unsigned int> last_face(nb, none);
+      for (unsigned int i = 0; i < ch.face_list.size(); ++i)
+      {
+        const FaceBatch &fb = face_batches_[ch.face_list[i]];
+        const auto touch = [&](const index_t cell) {
+          if (rank >= 0 && rank_of_cell(cell) != rank)
+            return;
+          const unsigned int gb = batch_of_cell_[cell];
+          if (gb < ch.batch_begin || gb >= ch.batch_end)
+            return;
+          last_face[gb - ch.batch_begin] = i;
+        };
+        for (unsigned int l = 0; l < fb.n_filled; ++l)
+        {
+          touch(fb.cells_m[l]);
+          if (fb.interior)
+            touch(fb.cells_p[l]);
+        }
+      }
+      const auto slot_of = [&](const unsigned int b) {
+        return last_face[b] == none
+                 ? static_cast<unsigned int>(ch.face_list.size())
+                 : last_face[b];
+      };
+      const auto is_private = [&](const unsigned int b) {
+        return shared[ch.batch_begin - batch_begin + b] == 0;
+      };
+      ch.sched.completes_ptr.assign(ch.face_list.size() + 2, 0u);
+      unsigned int n_private = 0;
+      for (unsigned int b = 0; b < nb; ++b)
+        if (is_private(b))
+        {
+          ++ch.sched.completes_ptr[slot_of(b) + 1];
+          ++n_private;
+        }
+      for (std::size_t i = 1; i < ch.sched.completes_ptr.size(); ++i)
+        ch.sched.completes_ptr[i] += ch.sched.completes_ptr[i - 1];
+      ch.sched.completes_data.resize(n_private);
+      std::vector<unsigned int> cursor(ch.sched.completes_ptr.begin(),
+                                       ch.sched.completes_ptr.end() - 1);
+      for (unsigned int b = 0; b < nb; ++b)
+        if (is_private(b))
+          ch.sched.completes_data[cursor[slot_of(b)]++] = ch.batch_begin + b;
+    }
+  };
+
+  thread_partitions_.assign(n_ranks_, ThreadPartition());
+  for (int r = 0; r < n_ranks_; ++r)
+    build(r, thread_partitions_[r], rank_face_batches_[r]);
+  std::vector<unsigned int> all_faces(face_batches_.size());
+  for (unsigned int i = 0; i < all_faces.size(); ++i)
+    all_faces[i] = i;
+  build(-1, serial_thread_partition_, all_faces);
 }
 
 template <typename Number>

@@ -69,75 +69,86 @@ private:
     DGFLOW_PROF_COUNT("mf_dofs", src.size() + dst.size());
     DGFLOW_PROF_THROUGHPUT("divergence", src.size());
 
-    FEEvaluation<Number, 3> u(*mf_, u_space_, quad_);
-    FEEvaluation<Number, 1> q_test(*mf_, p_space_, quad_);
-    const auto process_cell = [&](const unsigned int b) {
-      u.reinit(b);
-      q_test.reinit(b);
-      u.read_dof_values(src);
-      u.evaluate(true, false);
-      for (unsigned int q = 0; q < u.n_q_points; ++q)
-        q_test.submit_gradient(-u.get_value(q), q);
-      q_test.integrate(false, true);
-      q_test.distribute_local_to_global(dst);
-    };
+    const auto make_kernels = [&, this](auto &dst_v) {
+      auto u = std::make_shared<FEEvaluation<Number, 3>>(*mf_, u_space_, quad_);
+      auto q_test =
+        std::make_shared<FEEvaluation<Number, 1>>(*mf_, p_space_, quad_);
+      auto u_m = std::make_shared<FEFaceEvaluation<Number, 3>>(
+        *mf_, u_space_, quad_, true);
+      auto u_p = std::make_shared<FEFaceEvaluation<Number, 3>>(
+        *mf_, u_space_, quad_, false);
+      auto q_m = std::make_shared<FEFaceEvaluation<Number, 1>>(
+        *mf_, p_space_, quad_, true);
+      auto q_p = std::make_shared<FEFaceEvaluation<Number, 1>>(
+        *mf_, p_space_, quad_, false);
 
-    FEFaceEvaluation<Number, 3> u_m(*mf_, u_space_, quad_, true);
-    FEFaceEvaluation<Number, 3> u_p(*mf_, u_space_, quad_, false);
-    FEFaceEvaluation<Number, 1> q_m(*mf_, p_space_, quad_, true);
-    FEFaceEvaluation<Number, 1> q_p(*mf_, p_space_, quad_, false);
-    const auto process_inner = [&](const unsigned int b) {
-      u_m.reinit(b);
-      u_p.reinit(b);
-      q_m.reinit(b);
-      q_p.reinit(b);
-      u_m.read_dof_values(src);
-      u_p.read_dof_values(src);
-      u_m.evaluate(true, false);
-      u_p.evaluate(true, false);
-      for (unsigned int q = 0; q < u_m.n_q_points; ++q)
-      {
-        const Tensor1<VA> n = u_m.get_normal_vector(q);
-        const VA flux =
-          Number(0.5) * dot(u_m.get_value(q) + u_p.get_value(q), n);
-        q_m.submit_value(flux, q);
-        q_p.submit_value(-flux, q);
-      }
-      q_m.integrate(true, false);
-      q_p.integrate(true, false);
-      q_m.distribute_local_to_global(dst);
-      q_p.distribute_local_to_global(dst);
-    };
+      const auto cell = [u, q_test, &dst_v, &src](const unsigned int b) {
+        u->reinit(b);
+        q_test->reinit(b);
+        u->read_dof_values(src);
+        u->evaluate(true, false);
+        for (unsigned int q = 0; q < u->n_q_points; ++q)
+          q_test->submit_gradient(-u->get_value(q), q);
+        q_test->integrate(false, true);
+        q_test->distribute_local_to_global(dst_v);
+      };
 
-    const auto process_boundary = [&](const unsigned int b) {
-      u_m.reinit(b);
-      q_m.reinit(b);
-      const FlowBoundary &bdata = bc_->at(u_m.boundary_id());
-      u_m.read_dof_values(src);
-      u_m.evaluate(true, false);
-      for (unsigned int q = 0; q < u_m.n_q_points; ++q)
-      {
-        const Tensor1<VA> n = u_m.get_normal_vector(q);
-        Tensor1<VA> uhat = u_m.get_value(q);
-        if (bdata.kind == FlowBoundary::Kind::velocity_dirichlet)
+      const auto inner = [u_m, u_p, q_m, q_p, &dst_v,
+                          &src](const unsigned int b) {
+        u_m->reinit(b);
+        u_p->reinit(b);
+        q_m->reinit(b);
+        q_p->reinit(b);
+        u_m->read_dof_values(src);
+        u_p->read_dof_values(src);
+        u_m->evaluate(true, false);
+        u_p->evaluate(true, false);
+        for (unsigned int q = 0; q < u_m->n_q_points; ++q)
         {
-          // ghost mirroring u+ = 2g - u- gives the central flux {u} = g
-          if (use_boundary_values)
-            uhat = ConvectiveOperator<Number>::evaluate_vector(bdata.velocity,
-                                                               u_m, q, t);
-          else
-            uhat = Tensor1<VA>();
+          const Tensor1<VA> n = u_m->get_normal_vector(q);
+          const VA flux =
+            Number(0.5) * dot(u_m->get_value(q) + u_p->get_value(q), n);
+          q_m->submit_value(flux, q);
+          q_p->submit_value(-flux, q);
         }
-        q_m.submit_value(dot(uhat, n), q);
-      }
-      q_m.integrate(true, false);
-      q_m.distribute_local_to_global(dst);
+        q_m->integrate(true, false);
+        q_p->integrate(true, false);
+        q_m->distribute_local_to_global(dst_v);
+        q_p->distribute_local_to_global(dst_v);
+      };
+
+      const auto boundary = [u_m, q_m, &dst_v, &src, t, use_boundary_values,
+                             this](const unsigned int b) {
+        u_m->reinit(b);
+        q_m->reinit(b);
+        const FlowBoundary &bdata = bc_->at(u_m->boundary_id());
+        u_m->read_dof_values(src);
+        u_m->evaluate(true, false);
+        for (unsigned int q = 0; q < u_m->n_q_points; ++q)
+        {
+          const Tensor1<VA> n = u_m->get_normal_vector(q);
+          Tensor1<VA> uhat = u_m->get_value(q);
+          if (bdata.kind == FlowBoundary::Kind::velocity_dirichlet)
+          {
+            // ghost mirroring u+ = 2g - u- gives the central flux {u} = g
+            if (use_boundary_values)
+              uhat = ConvectiveOperator<Number>::evaluate_vector(
+                bdata.velocity, *u_m, q, t);
+            else
+              uhat = Tensor1<VA>();
+          }
+          q_m->submit_value(dot(uhat, n), q);
+        }
+        q_m->integrate(true, false);
+        q_m->distribute_local_to_global(dst_v);
+      };
+
+      return LoopKernels{cell, inner, boundary};
     };
 
     cell_face_loop(*mf_, dst, src, mf_->dofs_per_cell(p_space_),
-                   3 * mf_->dofs_per_cell(u_space_), process_cell,
-                   process_inner, process_boundary, std::forward<PreFn>(pre),
-                   std::forward<PostFn>(post));
+                   3 * mf_->dofs_per_cell(u_space_), make_kernels,
+                   std::forward<PreFn>(pre), std::forward<PostFn>(post));
   }
 
   const MatrixFree<Number> *mf_ = nullptr;
@@ -193,79 +204,91 @@ private:
     DGFLOW_PROF_COUNT("mf_dofs", src.size() + dst.size());
     DGFLOW_PROF_THROUGHPUT("gradient", src.size());
 
-    FEEvaluation<Number, 1> p(*mf_, p_space_, quad_);
-    FEEvaluation<Number, 3> v_test(*mf_, u_space_, quad_);
-    const auto process_cell = [&](const unsigned int b) {
-      p.reinit(b);
-      v_test.reinit(b);
-      p.read_dof_values(src);
-      p.evaluate(true, false);
-      for (unsigned int q = 0; q < p.n_q_points; ++q)
-        v_test.submit_divergence(-p.get_value(q), q);
-      v_test.integrate(false, true);
-      v_test.distribute_local_to_global(dst);
-    };
+    const auto make_kernels = [&, this](auto &dst_v) {
+      auto p = std::make_shared<FEEvaluation<Number, 1>>(*mf_, p_space_, quad_);
+      auto v_test =
+        std::make_shared<FEEvaluation<Number, 3>>(*mf_, u_space_, quad_);
+      auto p_m = std::make_shared<FEFaceEvaluation<Number, 1>>(
+        *mf_, p_space_, quad_, true);
+      auto p_p = std::make_shared<FEFaceEvaluation<Number, 1>>(
+        *mf_, p_space_, quad_, false);
+      auto v_m = std::make_shared<FEFaceEvaluation<Number, 3>>(
+        *mf_, u_space_, quad_, true);
+      auto v_p = std::make_shared<FEFaceEvaluation<Number, 3>>(
+        *mf_, u_space_, quad_, false);
 
-    FEFaceEvaluation<Number, 1> p_m(*mf_, p_space_, quad_, true);
-    FEFaceEvaluation<Number, 1> p_p(*mf_, p_space_, quad_, false);
-    FEFaceEvaluation<Number, 3> v_m(*mf_, u_space_, quad_, true);
-    FEFaceEvaluation<Number, 3> v_p(*mf_, u_space_, quad_, false);
-    const auto process_inner = [&](const unsigned int b) {
-      p_m.reinit(b);
-      p_p.reinit(b);
-      v_m.reinit(b);
-      v_p.reinit(b);
-      p_m.read_dof_values(src);
-      p_p.read_dof_values(src);
-      p_m.evaluate(true, false);
-      p_p.evaluate(true, false);
-      for (unsigned int q = 0; q < p_m.n_q_points; ++q)
-      {
-        const VA phat = Number(0.5) * (p_m.get_value(q) + p_p.get_value(q));
-        // {p} [v].n: each side tests with its own outward normal
-        v_m.submit_value(phat * v_m.get_normal_vector(q), q);
-        v_p.submit_value(phat * v_p.get_normal_vector(q), q);
-      }
-      v_m.integrate(true, false);
-      v_p.integrate(true, false);
-      v_m.distribute_local_to_global(dst);
-      v_p.distribute_local_to_global(dst);
-    };
+      const auto cell = [p, v_test, &dst_v, &src](const unsigned int b) {
+        p->reinit(b);
+        v_test->reinit(b);
+        p->read_dof_values(src);
+        p->evaluate(true, false);
+        for (unsigned int q = 0; q < p->n_q_points; ++q)
+          v_test->submit_divergence(-p->get_value(q), q);
+        v_test->integrate(false, true);
+        v_test->distribute_local_to_global(dst_v);
+      };
 
-    const auto process_boundary = [&](const unsigned int b) {
-      p_m.reinit(b);
-      v_m.reinit(b);
-      const FlowBoundary &bdata = bc_->at(p_m.boundary_id());
-      p_m.read_dof_values(src);
-      p_m.evaluate(true, false);
-      for (unsigned int q = 0; q < p_m.n_q_points; ++q)
-      {
-        VA phat = p_m.get_value(q);
-        if (bdata.kind == FlowBoundary::Kind::pressure)
+      const auto inner = [p_m, p_p, v_m, v_p, &dst_v,
+                          &src](const unsigned int b) {
+        p_m->reinit(b);
+        p_p->reinit(b);
+        v_m->reinit(b);
+        v_p->reinit(b);
+        p_m->read_dof_values(src);
+        p_p->read_dof_values(src);
+        p_m->evaluate(true, false);
+        p_p->evaluate(true, false);
+        for (unsigned int q = 0; q < p_m->n_q_points; ++q)
         {
-          // ghost mirroring p+ = 2g - p- gives the central flux {p} = g
-          if (use_boundary_values)
-          {
-            const auto xq = p_m.quadrature_point(q);
-            VA g;
-            for (unsigned int l = 0; l < VA::width; ++l)
-              g[l] =
-                Number(bdata.pressure(Point(xq[0][l], xq[1][l], xq[2][l]), t));
-            phat = g;
-          }
-          else
-            phat = VA(Number(0));
+          const VA phat =
+            Number(0.5) * (p_m->get_value(q) + p_p->get_value(q));
+          // {p} [v].n: each side tests with its own outward normal
+          v_m->submit_value(phat * v_m->get_normal_vector(q), q);
+          v_p->submit_value(phat * v_p->get_normal_vector(q), q);
         }
-        v_m.submit_value(phat * v_m.get_normal_vector(q), q);
-      }
-      v_m.integrate(true, false);
-      v_m.distribute_local_to_global(dst);
+        v_m->integrate(true, false);
+        v_p->integrate(true, false);
+        v_m->distribute_local_to_global(dst_v);
+        v_p->distribute_local_to_global(dst_v);
+      };
+
+      const auto boundary = [p_m, v_m, &dst_v, &src, t, use_boundary_values,
+                             this](const unsigned int b) {
+        p_m->reinit(b);
+        v_m->reinit(b);
+        const FlowBoundary &bdata = bc_->at(p_m->boundary_id());
+        p_m->read_dof_values(src);
+        p_m->evaluate(true, false);
+        for (unsigned int q = 0; q < p_m->n_q_points; ++q)
+        {
+          VA phat = p_m->get_value(q);
+          if (bdata.kind == FlowBoundary::Kind::pressure)
+          {
+            // ghost mirroring p+ = 2g - p- gives the central flux {p} = g
+            if (use_boundary_values)
+            {
+              const auto xq = p_m->quadrature_point(q);
+              VA g;
+              for (unsigned int l = 0; l < VA::width; ++l)
+                g[l] = Number(
+                  bdata.pressure(Point(xq[0][l], xq[1][l], xq[2][l]), t));
+              phat = g;
+            }
+            else
+              phat = VA(Number(0));
+          }
+          v_m->submit_value(phat * v_m->get_normal_vector(q), q);
+        }
+        v_m->integrate(true, false);
+        v_m->distribute_local_to_global(dst_v);
+      };
+
+      return LoopKernels{cell, inner, boundary};
     };
 
     cell_face_loop(*mf_, dst, src, 3 * mf_->dofs_per_cell(u_space_),
-                   mf_->dofs_per_cell(p_space_), process_cell, process_inner,
-                   process_boundary, std::forward<PreFn>(pre),
-                   std::forward<PostFn>(post));
+                   mf_->dofs_per_cell(p_space_), make_kernels,
+                   std::forward<PreFn>(pre), std::forward<PostFn>(post));
   }
 
   const MatrixFree<Number> *mf_ = nullptr;

@@ -52,87 +52,95 @@ public:
     DGFLOW_PROF_COUNT("mf_dofs", src.size() + dst.size());
     DGFLOW_PROF_THROUGHPUT("helmholtz", src.size());
 
-    FEEvaluation<Number, 3> phi(*mf_, space_, quad_);
-    const auto process_cell = [&](const unsigned int b) {
-      phi.reinit(b);
-      phi.read_dof_values(src);
-      phi.evaluate(true, true);
-      for (unsigned int q = 0; q < phi.n_q_points; ++q)
-      {
-        if (mass_factor_ != Number(0))
-          phi.submit_value(mass_factor_ * phi.get_value(q), q);
-        Tensor2<VA> g = phi.get_gradient(q);
-        for (unsigned int i = 0; i < dim; ++i)
-          for (unsigned int j = 0; j < dim; ++j)
-            g[i][j] = nu_ * g[i][j];
-        phi.submit_gradient(g, q);
-      }
-      phi.integrate(mass_factor_ != Number(0), true);
-      phi.distribute_local_to_global(dst);
-    };
+    const auto make_kernels = [&, this](auto &dst_v) {
+      auto phi =
+        std::make_shared<FEEvaluation<Number, 3>>(*mf_, space_, quad_);
+      auto phi_m = std::make_shared<FEFaceEvaluation<Number, 3>>(
+        *mf_, space_, quad_, true);
+      auto phi_p = std::make_shared<FEFaceEvaluation<Number, 3>>(
+        *mf_, space_, quad_, false);
 
-    FEFaceEvaluation<Number, 3> phi_m(*mf_, space_, quad_, true);
-    FEFaceEvaluation<Number, 3> phi_p(*mf_, space_, quad_, false);
-    const auto process_inner = [&](const unsigned int b) {
-      phi_m.reinit(b);
-      phi_p.reinit(b);
-      phi_m.read_dof_values(src);
-      phi_p.read_dof_values(src);
-      phi_m.evaluate(true, true);
-      phi_p.evaluate(true, true);
-      const VA sigma = phi_m.penalty_parameter();
-      for (unsigned int q = 0; q < phi_m.n_q_points; ++q)
-      {
-        const Tensor1<VA> jump = phi_m.get_value(q) - phi_p.get_value(q);
-        const Tensor1<VA> avg_dn =
-          Number(0.5) *
-          (phi_m.get_normal_derivative(q) - phi_p.get_normal_derivative(q));
-        Tensor1<VA> flux, w;
-        for (unsigned int c = 0; c < dim; ++c)
+      const auto cell = [phi, &dst_v, &src, this](const unsigned int b) {
+        phi->reinit(b);
+        phi->read_dof_values(src);
+        phi->evaluate(true, true);
+        for (unsigned int q = 0; q < phi->n_q_points; ++q)
         {
-          flux[c] = nu_ * (sigma * jump[c] - avg_dn[c]);
-          w[c] = nu_ * Number(-0.5) * jump[c];
+          if (mass_factor_ != Number(0))
+            phi->submit_value(mass_factor_ * phi->get_value(q), q);
+          Tensor2<VA> g = phi->get_gradient(q);
+          for (unsigned int i = 0; i < dim; ++i)
+            for (unsigned int j = 0; j < dim; ++j)
+              g[i][j] = nu_ * g[i][j];
+          phi->submit_gradient(g, q);
         }
-        phi_m.submit_value(flux, q);
-        phi_p.submit_value(-flux, q);
-        phi_m.submit_normal_derivative(w, q);
-        phi_p.submit_normal_derivative(-w, q);
-      }
-      phi_m.integrate(true, true);
-      phi_p.integrate(true, true);
-      phi_m.distribute_local_to_global(dst);
-      phi_p.distribute_local_to_global(dst);
-    };
+        phi->integrate(mass_factor_ != Number(0), true);
+        phi->distribute_local_to_global(dst_v);
+      };
 
-    const auto process_boundary = [&](const unsigned int b) {
-      phi_m.reinit(b);
-      const FlowBoundary &bdata = bc_->at(phi_m.boundary_id());
-      if (bdata.kind != FlowBoundary::Kind::velocity_dirichlet)
-        return; // natural (do-nothing) on pressure boundaries
-      phi_m.read_dof_values(src);
-      phi_m.evaluate(true, true);
-      const VA sigma = phi_m.penalty_parameter();
-      for (unsigned int q = 0; q < phi_m.n_q_points; ++q)
-      {
-        const Tensor1<VA> u = phi_m.get_value(q);
-        const Tensor1<VA> dn = phi_m.get_normal_derivative(q);
-        Tensor1<VA> flux, w;
-        for (unsigned int c = 0; c < dim; ++c)
+      const auto inner = [phi_m, phi_p, &dst_v, &src,
+                          this](const unsigned int b) {
+        phi_m->reinit(b);
+        phi_p->reinit(b);
+        phi_m->read_dof_values(src);
+        phi_p->read_dof_values(src);
+        phi_m->evaluate(true, true);
+        phi_p->evaluate(true, true);
+        const VA sigma = phi_m->penalty_parameter();
+        for (unsigned int q = 0; q < phi_m->n_q_points; ++q)
         {
-          flux[c] = nu_ * (Number(2) * sigma * u[c] - dn[c]);
-          w[c] = -nu_ * u[c];
+          const Tensor1<VA> jump = phi_m->get_value(q) - phi_p->get_value(q);
+          const Tensor1<VA> avg_dn =
+            Number(0.5) * (phi_m->get_normal_derivative(q) -
+                           phi_p->get_normal_derivative(q));
+          Tensor1<VA> flux, w;
+          for (unsigned int c = 0; c < dim; ++c)
+          {
+            flux[c] = nu_ * (sigma * jump[c] - avg_dn[c]);
+            w[c] = nu_ * Number(-0.5) * jump[c];
+          }
+          phi_m->submit_value(flux, q);
+          phi_p->submit_value(-flux, q);
+          phi_m->submit_normal_derivative(w, q);
+          phi_p->submit_normal_derivative(-w, q);
         }
-        phi_m.submit_value(flux, q);
-        phi_m.submit_normal_derivative(w, q);
-      }
-      phi_m.integrate(true, true);
-      phi_m.distribute_local_to_global(dst);
+        phi_m->integrate(true, true);
+        phi_p->integrate(true, true);
+        phi_m->distribute_local_to_global(dst_v);
+        phi_p->distribute_local_to_global(dst_v);
+      };
+
+      const auto boundary = [phi_m, &dst_v, &src, this](const unsigned int b) {
+        phi_m->reinit(b);
+        const FlowBoundary &bdata = bc_->at(phi_m->boundary_id());
+        if (bdata.kind != FlowBoundary::Kind::velocity_dirichlet)
+          return; // natural (do-nothing) on pressure boundaries
+        phi_m->read_dof_values(src);
+        phi_m->evaluate(true, true);
+        const VA sigma = phi_m->penalty_parameter();
+        for (unsigned int q = 0; q < phi_m->n_q_points; ++q)
+        {
+          const Tensor1<VA> u = phi_m->get_value(q);
+          const Tensor1<VA> dn = phi_m->get_normal_derivative(q);
+          Tensor1<VA> flux, w;
+          for (unsigned int c = 0; c < dim; ++c)
+          {
+            flux[c] = nu_ * (Number(2) * sigma * u[c] - dn[c]);
+            w[c] = -nu_ * u[c];
+          }
+          phi_m->submit_value(flux, q);
+          phi_m->submit_normal_derivative(w, q);
+        }
+        phi_m->integrate(true, true);
+        phi_m->distribute_local_to_global(dst_v);
+      };
+
+      return LoopKernels{cell, inner, boundary};
     };
 
     const unsigned int block = 3 * mf_->dofs_per_cell(space_);
-    cell_face_loop(*mf_, dst, src, block, block, process_cell, process_inner,
-                   process_boundary, std::forward<PreFn>(pre),
-                   std::forward<PostFn>(post));
+    cell_face_loop(*mf_, dst, src, block, block, make_kernels,
+                   std::forward<PreFn>(pre), std::forward<PostFn>(post));
   }
 
   /// Adds the inhomogeneous boundary contributions to @p rhs: Dirichlet data

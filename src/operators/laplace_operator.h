@@ -72,71 +72,81 @@ public:
     DGFLOW_PROF_GAUGE("laplace_bytes_per_dof",
                       mf_->estimated_vmult_bytes_per_dof(space_, quad_));
 
-    FEEvaluation<Number, 1> phi(*mf_, space_, quad_);
-    const auto process_cell = [&](const unsigned int b) {
-      phi.reinit(b);
-      phi.read_dof_values(src);
-      phi.evaluate(false, true);
-      for (unsigned int q = 0; q < phi.n_q_points; ++q)
-        phi.submit_gradient(phi.get_gradient(q), q);
-      phi.integrate(false, true);
-      phi.distribute_local_to_global(dst);
-    };
+    // kernel factory: one evaluator set (with private scratch) per kernel
+    // set the loop driver requests — one for the serial sweep, one per
+    // thread chunk for the parallel sweep
+    const auto make_kernels = [&, this](auto &dst_v) {
+      auto phi =
+        std::make_shared<FEEvaluation<Number, 1>>(*mf_, space_, quad_);
+      auto phi_m = std::make_shared<FEFaceEvaluation<Number, 1>>(
+        *mf_, space_, quad_, true);
+      auto phi_p = std::make_shared<FEFaceEvaluation<Number, 1>>(
+        *mf_, space_, quad_, false);
 
-    FEFaceEvaluation<Number, 1> phi_m(*mf_, space_, quad_, true);
-    FEFaceEvaluation<Number, 1> phi_p(*mf_, space_, quad_, false);
-    const auto process_inner = [&](const unsigned int b) {
-      phi_m.reinit(b);
-      phi_p.reinit(b);
-      phi_m.read_dof_values(src);
-      phi_p.read_dof_values(src);
-      phi_m.evaluate(true, true);
-      phi_p.evaluate(true, true);
-      const VA sigma = phi_m.penalty_parameter();
-      for (unsigned int q = 0; q < phi_m.n_q_points; ++q)
-      {
-        const VA jump = phi_m.get_value(q) - phi_p.get_value(q);
-        // normal derivative w.r.t. the minus normal on both sides
-        const VA avg_dn = Number(0.5) * (phi_m.get_normal_derivative(q) -
-                                         phi_p.get_normal_derivative(q));
-        const VA flux = sigma * jump - avg_dn;
-        phi_m.submit_value(flux, q);
-        phi_p.submit_value(-flux, q);
-        // -[u] {grad v . n}: each side tests with its own outward normal
-        const VA w = Number(-0.5) * jump;
-        phi_m.submit_normal_derivative(w, q);
-        phi_p.submit_normal_derivative(-w, q);
-      }
-      phi_m.integrate(true, true);
-      phi_p.integrate(true, true);
-      phi_m.distribute_local_to_global(dst);
-      phi_p.distribute_local_to_global(dst);
-    };
+      const auto cell = [phi, &dst_v, &src](const unsigned int b) {
+        phi->reinit(b);
+        phi->read_dof_values(src);
+        phi->evaluate(false, true);
+        for (unsigned int q = 0; q < phi->n_q_points; ++q)
+          phi->submit_gradient(phi->get_gradient(q), q);
+        phi->integrate(false, true);
+        phi->distribute_local_to_global(dst_v);
+      };
 
-    const auto process_boundary = [&](const unsigned int b) {
-      phi_m.reinit(b);
-      const BoundaryType type = bc_.type_of(phi_m.boundary_id());
-      if (type == BoundaryType::neumann)
-        return; // homogeneous operator: no contribution
-      phi_m.read_dof_values(src);
-      phi_m.evaluate(true, true);
-      const VA sigma = phi_m.penalty_parameter();
-      for (unsigned int q = 0; q < phi_m.n_q_points; ++q)
-      {
-        const VA u = phi_m.get_value(q);
-        const VA dn = phi_m.get_normal_derivative(q);
-        // mirror ghost: u+ = -u => jump = 2u, {dn} = dn
-        phi_m.submit_value(Number(2) * sigma * u - dn, q);
-        phi_m.submit_normal_derivative(-u, q);
-      }
-      phi_m.integrate(true, true);
-      phi_m.distribute_local_to_global(dst);
+      const auto inner = [phi_m, phi_p, &dst_v, &src](const unsigned int b) {
+        phi_m->reinit(b);
+        phi_p->reinit(b);
+        phi_m->read_dof_values(src);
+        phi_p->read_dof_values(src);
+        phi_m->evaluate(true, true);
+        phi_p->evaluate(true, true);
+        const VA sigma = phi_m->penalty_parameter();
+        for (unsigned int q = 0; q < phi_m->n_q_points; ++q)
+        {
+          const VA jump = phi_m->get_value(q) - phi_p->get_value(q);
+          // normal derivative w.r.t. the minus normal on both sides
+          const VA avg_dn = Number(0.5) * (phi_m->get_normal_derivative(q) -
+                                           phi_p->get_normal_derivative(q));
+          const VA flux = sigma * jump - avg_dn;
+          phi_m->submit_value(flux, q);
+          phi_p->submit_value(-flux, q);
+          // -[u] {grad v . n}: each side tests with its own outward normal
+          const VA w = Number(-0.5) * jump;
+          phi_m->submit_normal_derivative(w, q);
+          phi_p->submit_normal_derivative(-w, q);
+        }
+        phi_m->integrate(true, true);
+        phi_p->integrate(true, true);
+        phi_m->distribute_local_to_global(dst_v);
+        phi_p->distribute_local_to_global(dst_v);
+      };
+
+      const auto boundary = [phi_m, &dst_v, &src, this](const unsigned int b) {
+        phi_m->reinit(b);
+        const BoundaryType type = bc_.type_of(phi_m->boundary_id());
+        if (type == BoundaryType::neumann)
+          return; // homogeneous operator: no contribution
+        phi_m->read_dof_values(src);
+        phi_m->evaluate(true, true);
+        const VA sigma = phi_m->penalty_parameter();
+        for (unsigned int q = 0; q < phi_m->n_q_points; ++q)
+        {
+          const VA u = phi_m->get_value(q);
+          const VA dn = phi_m->get_normal_derivative(q);
+          // mirror ghost: u+ = -u => jump = 2u, {dn} = dn
+          phi_m->submit_value(Number(2) * sigma * u - dn, q);
+          phi_m->submit_normal_derivative(-u, q);
+        }
+        phi_m->integrate(true, true);
+        phi_m->distribute_local_to_global(dst_v);
+      };
+
+      return LoopKernels{cell, inner, boundary};
     };
 
     const unsigned int block = mf_->dofs_per_cell(space_);
-    cell_face_loop(*mf_, dst, src, block, block, process_cell, process_inner,
-                   process_boundary, std::forward<PreFn>(pre),
-                   std::forward<PostFn>(post));
+    cell_face_loop(*mf_, dst, src, block, block, make_kernels,
+                   std::forward<PreFn>(pre), std::forward<PostFn>(post));
   }
 
   /// Assembles the right-hand side for -laplace(u) = f with Dirichlet data

@@ -66,23 +66,25 @@ private:
                            src.size());
     const auto &metric = mf_->cell_metric(quad_);
     const unsigned int nq = metric.n_q;
-    const auto process_cell = [&](const unsigned int b) {
-      const auto &batch = mf_->cell_batch(b);
-      for (unsigned int l = 0; l < batch.n_filled; ++l)
-      {
-        const std::size_t base =
-          std::size_t(batch.cells[l]) * nq * n_components;
-        for (int c = 0; c < n_components; ++c)
-          for (unsigned int q = 0; q < nq; ++q)
-          {
-            const Number jxw = metric.jxw(b, q)[l];
-            const std::size_t idx = base + c * nq + q;
-            dst[idx] = inverse ? src[idx] / jxw : src[idx] * jxw;
-          }
-      }
+    const auto make_cell = [&metric, nq, &src, this](auto &dst_v) {
+      return [&metric, nq, &dst_v, &src, this](const unsigned int b) {
+        const auto &batch = mf_->cell_batch(b);
+        for (unsigned int l = 0; l < batch.n_filled; ++l)
+        {
+          const std::size_t base =
+            std::size_t(batch.cells[l]) * nq * n_components;
+          for (int c = 0; c < n_components; ++c)
+            for (unsigned int q = 0; q < nq; ++q)
+            {
+              const Number jxw = metric.jxw(b, q)[l];
+              const std::size_t idx = base + c * nq + q;
+              dst_v[idx] = inverse ? src[idx] / jxw : src[idx] * jxw;
+            }
+        }
+      };
     };
     const unsigned int block = nq * n_components;
-    cell_only_loop(*mf_, dst, src, block, block, process_cell,
+    cell_only_loop(*mf_, dst, src, block, block, make_cell,
                    std::forward<PreFn>(pre), std::forward<PostFn>(post));
   }
 

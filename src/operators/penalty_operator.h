@@ -103,52 +103,61 @@ public:
     DGFLOW_PROF_COUNT("mf_dofs", src.size() + dst.size());
     DGFLOW_PROF_THROUGHPUT("penalty_op", src.size());
 
-    FEEvaluation<Number, 3> phi(*mf_, space_, quad_);
-    const auto process_cell = [&](const unsigned int b) {
-      phi.reinit(b);
-      phi.read_dof_values(src);
-      phi.evaluate(true, true);
-      for (unsigned int q = 0; q < phi.n_q_points; ++q)
-      {
-        phi.submit_value(phi.get_value(q), q);
-        phi.submit_divergence(dt_ * tau_div_[b] * phi.get_divergence(q), q);
-      }
-      phi.integrate(true, true);
-      phi.distribute_local_to_global(dst);
-    };
+    const auto make_kernels = [&, this](auto &dst_v) {
+      auto phi =
+        std::make_shared<FEEvaluation<Number, 3>>(*mf_, space_, quad_);
+      auto phi_m = std::make_shared<FEFaceEvaluation<Number, 3>>(
+        *mf_, space_, quad_, true);
+      auto phi_p = std::make_shared<FEFaceEvaluation<Number, 3>>(
+        *mf_, space_, quad_, false);
 
-    FEFaceEvaluation<Number, 3> phi_m(*mf_, space_, quad_, true);
-    FEFaceEvaluation<Number, 3> phi_p(*mf_, space_, quad_, false);
-    const auto process_inner = [&](const unsigned int b) {
-      phi_m.reinit(b);
-      phi_p.reinit(b);
-      phi_m.read_dof_values(src);
-      phi_p.read_dof_values(src);
-      phi_m.evaluate(true, false);
-      phi_p.evaluate(true, false);
-      for (unsigned int q = 0; q < phi_m.n_q_points; ++q)
-      {
-        const Tensor1<VA> n = phi_m.get_normal_vector(q);
-        const VA jump_n =
-          dot(phi_m.get_value(q) - phi_p.get_value(q), n);
-        const VA w = dt_ * tau_cont_[b] * jump_n;
-        // each side tests with its own outward normal
-        phi_m.submit_value(w * phi_m.get_normal_vector(q), q);
-        phi_p.submit_value(w * phi_p.get_normal_vector(q), q);
-      }
-      phi_m.integrate(true, false);
-      phi_p.integrate(true, false);
-      phi_m.distribute_local_to_global(dst);
-      phi_p.distribute_local_to_global(dst);
-    };
+      const auto cell = [phi, &dst_v, &src, this](const unsigned int b) {
+        phi->reinit(b);
+        phi->read_dof_values(src);
+        phi->evaluate(true, true);
+        for (unsigned int q = 0; q < phi->n_q_points; ++q)
+        {
+          phi->submit_value(phi->get_value(q), q);
+          phi->submit_divergence(dt_ * tau_div_[b] * phi->get_divergence(q),
+                                 q);
+        }
+        phi->integrate(true, true);
+        phi->distribute_local_to_global(dst_v);
+      };
 
-    // no boundary penalty term, but the loop still drives the hook schedule
-    const auto process_boundary = [&](const unsigned int) {};
+      const auto inner = [phi_m, phi_p, &dst_v, &src,
+                          this](const unsigned int b) {
+        phi_m->reinit(b);
+        phi_p->reinit(b);
+        phi_m->read_dof_values(src);
+        phi_p->read_dof_values(src);
+        phi_m->evaluate(true, false);
+        phi_p->evaluate(true, false);
+        for (unsigned int q = 0; q < phi_m->n_q_points; ++q)
+        {
+          const Tensor1<VA> n = phi_m->get_normal_vector(q);
+          const VA jump_n =
+            dot(phi_m->get_value(q) - phi_p->get_value(q), n);
+          const VA w = dt_ * tau_cont_[b] * jump_n;
+          // each side tests with its own outward normal
+          phi_m->submit_value(w * phi_m->get_normal_vector(q), q);
+          phi_p->submit_value(w * phi_p->get_normal_vector(q), q);
+        }
+        phi_m->integrate(true, false);
+        phi_p->integrate(true, false);
+        phi_m->distribute_local_to_global(dst_v);
+        phi_p->distribute_local_to_global(dst_v);
+      };
+
+      // no boundary penalty term, but the loop still drives the hook schedule
+      const auto boundary = [](const unsigned int) {};
+
+      return LoopKernels{cell, inner, boundary};
+    };
 
     const unsigned int block = 3 * mf_->dofs_per_cell(space_);
-    cell_face_loop(*mf_, dst, src, block, block, process_cell, process_inner,
-                   process_boundary, std::forward<PreFn>(pre),
-                   std::forward<PostFn>(post));
+    cell_face_loop(*mf_, dst, src, block, block, make_kernels,
+                   std::forward<PreFn>(pre), std::forward<PostFn>(post));
   }
 
 private:

@@ -23,10 +23,25 @@ struct MachineModel
   double network_latency = 1.8e-6;         ///< s per point-to-point message
   double network_bandwidth = 1.25e10;      ///< B/s per node link
   double mpi_ranks_per_node = 48;
+  /// fraction of the node's stream bandwidth one core can draw by itself;
+  /// the shared memory controllers saturate at ~1/fraction active cores.
+  /// 1 (the default) models a node whose single core already saturates the
+  /// memory system — every existing single-core calibration is unchanged.
+  double single_core_bandwidth_fraction = 1.;
 
   double peak_dp_flops() const
   {
     return cores_per_node * clock_hz * dp_flops_per_cycle_per_core;
+  }
+
+  /// Node bandwidth reachable with @p n_active_cores streaming concurrently:
+  /// linear core scaling until the shared controllers saturate at the full
+  /// stream rate (the classic shared-bandwidth roofline closure).
+  double effective_bandwidth(const double n_active_cores) const
+  {
+    return memory_bandwidth *
+           std::min(1., single_core_bandwidth_fraction *
+                          std::max(1., n_active_cores));
   }
 
   double cache_bytes() const { return cores_per_node * cache_per_core; }
@@ -50,6 +65,9 @@ struct MachineModel
     m.network_latency = 1.8e-6; // OmniPath
     m.network_bandwidth = 1.25e10;
     m.mpi_ranks_per_node = 48;
+    // ~13 GB/s single-core triad of the 205 GB/s node: ~16 streaming cores
+    // saturate the six memory channels per socket
+    m.single_core_bandwidth_fraction = 1. / 16.;
     return m;
   }
 

@@ -40,6 +40,12 @@ struct ScalingModel
   double neighbor_messages = 20.;
   /// fraction of communication latency hidden behind computation
   double overlap_fraction = 0.4;
+  /// pool threads per rank (shared-memory cell loops): the product with
+  /// mpi_ranks_per_node gives the streaming cores per node, which sets the
+  /// reachable bandwidth through MachineModel::effective_bandwidth. The
+  /// default 1 with a fully populated node reproduces the previous model
+  /// exactly (48 ranks already saturate the node's memory system).
+  double threads_per_rank = 1.;
 
   /// Time of one matrix-free operator evaluation (mat-vec) [s].
   double matvec_time(const double n_dofs, const unsigned int degree,
@@ -56,7 +62,11 @@ struct ScalingModel
     // cache boost: working set = vectors + metric
     const double working_set =
       dofs_per_node * kernel.ideal_bytes_per_dof();
-    double bw = machine.memory_bandwidth * bandwidth_efficiency;
+    const double active_cores =
+      std::min(double(machine.cores_per_node),
+               machine.mpi_ranks_per_node * threads_per_rank);
+    double bw = machine.effective_bandwidth(active_cores) *
+                bandwidth_efficiency;
     if (working_set < machine.cache_bytes())
       bw *= machine.cache_bandwidth_factor;
     else if (working_set < 4. * machine.cache_bytes())

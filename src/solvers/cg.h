@@ -137,8 +137,14 @@ public:
   {
     DGFLOW_DEBUG_ASSERT(src.size() == inv_diag_.size(), "size mismatch");
     dst.reinit_like(src, true);
-    for (std::size_t i = 0; i < src.size(); ++i)
-      dst[i] = inv_diag_[i] * src[i];
+    Number *DGFLOW_RESTRICT d = dst.data();
+    const Number *DGFLOW_RESTRICT s = src.data();
+    const Number *DGFLOW_RESTRICT inv = inv_diag_.data();
+    concurrency::ThreadPool::instance().parallel_for(
+      src.size(), [&](const std::size_t i0, const std::size_t i1) {
+        for (std::size_t i = i0; i < i1; ++i)
+          d[i] = inv[i] * s[i];
+      });
   }
 
   const Vector<Number> &inverse_diagonal() const { return inv_diag_; }
@@ -432,12 +438,14 @@ SolveStats solve_cg(const Operator &A, VectorType &x, const VectorType &b,
         Number *DGFLOW_RESTRICT rd = r.data();
         const Number *DGFLOW_RESTRICT pd = p.data();
         const Number *DGFLOW_RESTRICT apd = Ap.data();
-        const std::size_t n = x.size();
-        for (std::size_t i = 0; i < n; ++i)
-        {
-          xd[i] += alpha * pd[i];
-          rd[i] += (-alpha) * apd[i];
-        }
+        concurrency::ThreadPool::instance().parallel_for(
+          x.size(), [&](const std::size_t i0, const std::size_t i1) {
+            for (std::size_t i = i0; i < i1; ++i)
+            {
+              xd[i] += alpha * pd[i];
+              rd[i] += (-alpha) * apd[i];
+            }
+          });
         if constexpr (distributed)
         {
           x.invalidate_ghosts();

@@ -265,14 +265,16 @@ private:
       Number *DGFLOW_RESTRICT xd = x.data();
       const Number *DGFLOW_RESTRICT bd = b.data();
       const Number *DGFLOW_RESTRICT invd = inv_diag_.data();
-      const std::size_t n = x.size();
-      for (std::size_t i = 0; i < n; ++i)
-      {
-        rd[i] = bd[i];
-        rd[i] *= invd[i];
-        dd[i] = theta_inv * rd[i];
-        xd[i] = Number(0) + Number(1) * dd[i];
-      }
+      concurrency::ThreadPool::instance().parallel_for(
+        x.size(), [&](const std::size_t i0, const std::size_t i1) {
+          for (std::size_t i = i0; i < i1; ++i)
+          {
+            rd[i] = bd[i];
+            rd[i] *= invd[i];
+            dd[i] = theta_inv * rd[i];
+            xd[i] = Number(0) + Number(1) * dd[i];
+          }
+        });
       if constexpr (distributed)
         x.invalidate_ghosts();
     }

@@ -8,6 +8,7 @@
 
 #include "common/env.h"
 #include "common/exceptions.h"
+#include "concurrency/thread_pool.h"
 #include "instrumentation/profiler.h"
 
 namespace dgflow::vmpi
@@ -61,6 +62,11 @@ void run(const int n_ranks, const std::function<void(Communicator &)> &f)
   for (int r = 0; r < n_ranks; ++r)
     comms.emplace_back(state, r);
 
+  // rank threads count against the worker pool's concurrency budget: with
+  // n_ranks rank threads computing, at most n_threads - n_ranks pool workers
+  // may join a parallel region (concurrency/thread_pool.h)
+  concurrency::ThreadPool::instance().set_external_concurrency(
+    static_cast<unsigned int>(n_ranks));
   for (int r = 0; r < n_ranks; ++r)
     threads.emplace_back([&, r]() {
       try
@@ -74,6 +80,7 @@ void run(const int n_ranks, const std::function<void(Communicator &)> &f)
     });
   for (auto &t : threads)
     t.join();
+  concurrency::ThreadPool::instance().set_external_concurrency(1);
 
   if (prof::Profiler::instance().enabled())
   {

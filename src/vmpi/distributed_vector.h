@@ -193,9 +193,11 @@ public:
     DGFLOW_DEBUG_ASSERT(x.size() == size(), "size mismatch");
     Number *DGFLOW_RESTRICT d = data_.data();
     const Number *DGFLOW_RESTRICT xd = x.data_.data();
-    const std::size_t n = size();
-    for (std::size_t i = 0; i < n; ++i)
-      d[i] += a * xd[i];
+    concurrency::ThreadPool::instance().parallel_for(
+      size(), [&](const std::size_t i0, const std::size_t i1) {
+        for (std::size_t i = i0; i < i1; ++i)
+          d[i] += a * xd[i];
+      });
     state_ = GhostState::owned_only;
   }
 
@@ -205,9 +207,11 @@ public:
     DGFLOW_DEBUG_ASSERT(x.size() == size(), "size mismatch");
     Number *DGFLOW_RESTRICT d = data_.data();
     const Number *DGFLOW_RESTRICT xd = x.data_.data();
-    const std::size_t n = size();
-    for (std::size_t i = 0; i < n; ++i)
-      d[i] = s * d[i] + a * xd[i];
+    concurrency::ThreadPool::instance().parallel_for(
+      size(), [&](const std::size_t i0, const std::size_t i1) {
+        for (std::size_t i = i0; i < i1; ++i)
+          d[i] = s * d[i] + a * xd[i];
+      });
     state_ = GhostState::owned_only;
   }
 
@@ -217,9 +221,11 @@ public:
     DGFLOW_DEBUG_ASSERT(x.size() == size(), "size mismatch");
     Number *DGFLOW_RESTRICT d = data_.data();
     const Number *DGFLOW_RESTRICT xd = x.data_.data();
-    const std::size_t n = size();
-    for (std::size_t i = 0; i < n; ++i)
-      d[i] = a * xd[i];
+    concurrency::ThreadPool::instance().parallel_for(
+      size(), [&](const std::size_t i0, const std::size_t i1) {
+        for (std::size_t i = i0; i < i1; ++i)
+          d[i] = a * xd[i];
+      });
     state_ = GhostState::owned_only;
   }
 
@@ -232,16 +238,22 @@ public:
     Number *DGFLOW_RESTRICT d = data_.data();
     const Number *DGFLOW_RESTRICT xd = x.data_.data();
     const Number *DGFLOW_RESTRICT yd = y.data_.data();
-    const std::size_t n = size();
-    for (std::size_t i = 0; i < n; ++i)
-      d[i] = a * xd[i] + b * yd[i];
+    concurrency::ThreadPool::instance().parallel_for(
+      size(), [&](const std::size_t i0, const std::size_t i1) {
+        for (std::size_t i = i0; i < i1; ++i)
+          d[i] = a * xd[i] + b * yd[i];
+      });
     state_ = GhostState::owned_only;
   }
 
   void scale(const Number a)
   {
-    for (std::size_t i = 0; i < size(); ++i)
-      data_[i] *= a;
+    Number *DGFLOW_RESTRICT d = data_.data();
+    concurrency::ThreadPool::instance().parallel_for(
+      size(), [&](const std::size_t i0, const std::size_t i1) {
+        for (std::size_t i = i0; i < i1; ++i)
+          d[i] *= a;
+      });
     state_ = GhostState::owned_only;
   }
 
@@ -249,23 +261,25 @@ public:
   void scale_pointwise(const DistributedVector &x)
   {
     DGFLOW_DEBUG_ASSERT(x.size() == size(), "size mismatch");
-    for (std::size_t i = 0; i < size(); ++i)
-      data_[i] *= x.data_[i];
+    Number *DGFLOW_RESTRICT d = data_.data();
+    const Number *DGFLOW_RESTRICT xd = x.data_.data();
+    concurrency::ThreadPool::instance().parallel_for(
+      size(), [&](const std::size_t i0, const std::size_t i1) {
+        for (std::size_t i = i0; i < i1; ++i)
+          d[i] *= xd[i];
+      });
     state_ = GhostState::owned_only;
   }
 
-  /// Global dot product: rank-local partial sums (accumulated in double,
-  /// like the serial Vector) combined with one allreduce. The allreduce
-  /// folds contributions in rank order, so the result is deterministic.
+  /// Global dot product: rank-local partial sums (the deterministically
+  /// blocked double accumulation of the serial Vector — bitwise identical at
+  /// any thread count) combined with one allreduce. The allreduce folds
+  /// contributions in rank order, so the result is deterministic.
   Number dot(const DistributedVector &x) const
   {
     DGFLOW_DEBUG_ASSERT(x.size() == size(), "size mismatch");
-    double s = 0;
-    const Number *DGFLOW_RESTRICT d = data_.data();
-    const Number *DGFLOW_RESTRICT xd = x.data_.data();
-    const std::size_t n = size();
-    for (std::size_t i = 0; i < n; ++i)
-      s += double(d[i]) * double(xd[i]);
+    const double s =
+      dgflow::internal::chunked_dot(data_.data(), x.data_.data(), size());
     return Number(comm_->allreduce(s, Communicator::Op::sum));
   }
 

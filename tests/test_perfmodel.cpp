@@ -64,6 +64,51 @@ TEST(ScalingModelTest, CacheRegimeBoostsThroughput)
   EXPECT_GT(t_cache, 1.5 * t_big);
 }
 
+TEST(MachineModelTest, EffectiveBandwidthScalesLinearlyThenSaturates)
+{
+  const MachineModel m = MachineModel::supermuc_ng();
+  // one streaming core draws its single-core fraction of the node rate
+  EXPECT_DOUBLE_EQ(m.effective_bandwidth(1.),
+                   m.memory_bandwidth * m.single_core_bandwidth_fraction);
+  // monotone in the active core count, saturating at the full stream rate
+  double prev = 0;
+  for (double cores = 1; cores <= m.cores_per_node; cores *= 2)
+  {
+    const double bw = m.effective_bandwidth(cores);
+    EXPECT_GE(bw, prev);
+    EXPECT_LE(bw, m.memory_bandwidth);
+    prev = bw;
+  }
+  EXPECT_DOUBLE_EQ(m.effective_bandwidth(m.cores_per_node),
+                   m.memory_bandwidth);
+  // a default-constructed machine keeps the pre-threading behavior: a
+  // single core already saturates the node
+  const MachineModel d;
+  EXPECT_DOUBLE_EQ(d.effective_bandwidth(1.), d.memory_bandwidth);
+}
+
+TEST(ScalingModelTest, DefaultThreadingReproducesSaturatedModel)
+{
+  // threads_per_rank = 1 with a fully populated node must not change any
+  // previous prediction: 48 ranks x 1 thread already saturate the memory
+  // system of the SuperMUC-NG model
+  ScalingModel model;
+  EXPECT_DOUBLE_EQ(model.threads_per_rank, 1.);
+  const double t_default = model.matvec_time(1e8, 3, 1.);
+  ScalingModel threaded = model;
+  threaded.threads_per_rank = 8.;
+  EXPECT_DOUBLE_EQ(threaded.matvec_time(1e8, 3, 1.), t_default);
+
+  // an underpopulated node (few ranks) gains from pool threads: more
+  // streaming cores reach more of the shared bandwidth
+  ScalingModel sparse = model;
+  sparse.machine.mpi_ranks_per_node = 2;
+  const double t_serial = sparse.matvec_time(1e8, 3, 1.);
+  sparse.threads_per_rank = 8.;
+  const double t_threads = sparse.matvec_time(1e8, 3, 1.);
+  EXPECT_LT(t_threads, t_serial);
+}
+
 TEST(ScalingModelTest, PoissonSolveFloorsAroundPaperValues)
 {
   ScalingModel model;
