@@ -35,12 +35,16 @@ if [ -z "$DGFLOW_SKIP_VERIFY" ]; then
   # wire packs/unpacks hand-rolled buffers, and the ABFT guard flips bits in
   # live payloads and checksums raw memory regions; an out-of-range hook
   # range, wire offset or stale artifact region must fail here, not corrupt
-  # a timing run below.
-  echo "verify pass: mixed_precision|abft under DGFLOW_SANITIZE=address"
+  # a timing run below. The perf smoke label rides along: it drives every
+  # kernel backend (batch AoSoA tables, SoA lane-major staging, generic)
+  # through a full vmult harness, so a staging-buffer overrun in a backend
+  # fails here first.
+  echo "verify pass: mixed_precision|abft|perf under DGFLOW_SANITIZE=address"
   cmake -B build-asan -S . -DDGFLOW_SANITIZE=address > /dev/null
   cmake --build build-asan -j \
-    --target test_mixed_precision test_abft abft_microbench > /dev/null
-  (cd build-asan && ctest -L "mixed_precision|abft" --output-on-failure)
+    --target test_mixed_precision test_abft abft_microbench \
+    kernels_microbench ablation_precision threads_microbench > /dev/null
+  (cd build-asan && ctest -L "mixed_precision|abft|perf" --output-on-failure)
 
   # Third verify pass: the resilience and ABFT suites under UBSan — the
   # bit-flip injection and checksum paths reinterpret raw bytes and shift
@@ -60,6 +64,7 @@ for b in build/bench/*; do
     # benchmarks that support it also archive machine-readable results;
     # one mapping from binary name to archive name:
     #   kernels     - roofline fast-path comparison (acceptance criteria)
+    #                 + kernel-backend section (backend_soa_vs_batch_speedup*)
     #   distributed - ghost-exchange traffic validation on 1/2/4/8 ranks
     #   recovery    - agreement latency, shard checkpoints, shrink recovery
     #   abft        - SDC-guard overhead (< 3%) and the flip-repair check

@@ -301,6 +301,9 @@ void cell_face_loop(const MatrixFree<Number> &mf, VectorType &dst,
   int rank = -1;
   if constexpr (distributed)
     rank = src.rank();
+  // which backend's kernels this traversal drives (evaluators constructed by
+  // make_kernels resolve it from the same MatrixFree)
+  DGFLOW_PROF_GAUGE("mf_backend", double(static_cast<int>(mf.kernel_backend())));
   const auto &part = mf.thread_partition(rank);
   if (part.chunks.size() > 1)
   {
@@ -404,6 +407,7 @@ void cell_only_loop(const MatrixFree<Number> &mf, VectorType &dst,
 {
   constexpr bool has_pre = !internal::is_no_hook_v<PreFn>;
   constexpr bool has_post = !internal::is_no_hook_v<PostFn>;
+  DGFLOW_PROF_GAUGE("mf_backend", double(static_cast<int>(mf.kernel_backend())));
   const std::size_t src_base = src.first_local_index();
   const std::size_t dst_base = dst.first_local_index();
   const auto run_batch = [&](auto &cell_kernel, const unsigned int b) {

@@ -12,9 +12,14 @@
 // (n_q_1d == degree+1) the interpolation step disappears entirely.
 //
 // Two fast paths resolve at construction/reinit:
-//  * kernel dispatch: when fem/kernel_dispatch.h has a fixed-size
-//    instantiation for (degree, n_q_1d), the fully-unrolled kernels replace
-//    the runtime-extent sweeps (bit-identical results by construction);
+//  * kernel backend: the sum-factorization sweeps are delegated to the
+//    KernelBackend the MatrixFree resolved at reinit (fem/kernel_backend.h).
+//    The batch backend applies the fixed-size AoSoA dispatch tables when an
+//    instantiation for (degree, n_q_1d) exists and the verified
+//    runtime-extent sweeps otherwise (bit-identical results by
+//    construction); the SoA backend stages into lane-major scalar tensors.
+//    The collocation shortcut (n_q_1d == degree+1 skips interpolation) is
+//    layout-independent and stays here, in front of the backend;
 //  * metric compression: get_gradient/submit_gradient/JxW branch on the
 //    batch's GeometryType - Cartesian batches multiply by the constant
 //    diagonal of J^{-T}, affine batches by the constant full tensor, and
@@ -22,7 +27,7 @@
 
 #include <type_traits>
 
-#include "fem/kernel_dispatch.h"
+#include "fem/kernel_backend.h"
 #include "matrixfree/matrix_free.h"
 
 namespace dgflow
@@ -46,10 +51,9 @@ public:
   FEEvaluation(const MatrixFree<Number> &mf, const unsigned int space,
                const unsigned int quad, const bool use_even_odd = true)
     : mf_(mf), space_(space), quad_(quad), shape_(mf.shape_info(space, quad)),
-      n_(shape_.n_dofs_1d), nq_(shape_.n_q_1d), even_odd_(use_even_odd),
-      kernels_(use_even_odd
-                 ? lookup_cell_kernels<Number>(shape_.degree, shape_.n_q_1d)
-                 : nullptr),
+      n_(shape_.n_dofs_1d), nq_(shape_.n_q_1d),
+      backend_(
+        make_kernel_backend<Number>(mf.kernel_backend(), shape_, use_even_odd)),
       q_weight_(mf.cell_metric(quad).q_weight.data())
   {
     n_q_points = nq_ * nq_ * nq_;
@@ -57,10 +61,6 @@ public:
     values_dofs_.resize(n_components * dofs_per_component);
     values_quad_.resize(n_components * n_q_points);
     gradients_quad_.resize(n_components * dim * n_q_points);
-    const unsigned int tmp_size =
-      std::max(n_, nq_) * std::max(n_, nq_) * std::max(n_, nq_);
-    tmp1_.resize(tmp_size);
-    tmp2_.resize(tmp_size);
   }
 
   void reinit(const unsigned int cell_batch)
@@ -154,25 +154,8 @@ public:
       VA *vq = values_quad_.data() + c * n_q_points;
       interpolate_to_quad(dofs, vq);
       if (gradients)
-      {
-        VA *gq = gradients_quad_.data() + c * dim * n_q_points;
-        if (kernels_)
-        {
-          kernels_->collocation_gradients(shape_, vq, gq);
-          continue;
-        }
-        for (unsigned int d = 0; d < dim; ++d)
-        {
-          if (even_odd_)
-            apply_matrix_1d_evenodd<false, false>(
-              shape_.grad_colloc_eo_e.data(), shape_.grad_colloc_eo_o.data(),
-              nq_, nq_, -1, vq, gq + d * n_q_points, d, {{nq_, nq_, nq_}});
-          else
-            apply_matrix_1d<false, false>(shape_.grad_colloc.data(), nq_, nq_,
-                                          vq, gq + d * n_q_points, d,
-                                          {{nq_, nq_, nq_}});
-        }
-      }
+        backend_->collocation_gradients(
+          vq, gradients_quad_.data() + c * dim * n_q_points);
     }
     (void)values; // values are always produced as part of the chain
   }
@@ -182,42 +165,9 @@ public:
     for (int c = 0; c < n_components; ++c)
     {
       VA *vq = values_quad_.data() + c * n_q_points;
-      if (gradients && kernels_)
-      {
-        kernels_->collocation_gradients_transpose(
-          shape_, gradients_quad_.data() + c * dim * n_q_points, vq, !values);
-        integrate_from_quad(vq, values_dofs_.data() + c * dofs_per_component);
-        continue;
-      }
       if (gradients)
-        for (unsigned int d = 0; d < dim; ++d)
-        {
-          // D^T accumulates into the value array; if no value contributions
-          // were submitted, the first sweep overwrites
-          const VA *gq = gradients_quad_.data() + (c * dim + d) * n_q_points;
-          if (even_odd_)
-          {
-            if (!values && d == 0)
-              apply_matrix_1d_evenodd<true, false>(
-                shape_.grad_colloc_eo_e.data(),
-                shape_.grad_colloc_eo_o.data(), nq_, nq_, -1, gq, vq, d,
-                {{nq_, nq_, nq_}});
-            else
-              apply_matrix_1d_evenodd<true, true>(
-                shape_.grad_colloc_eo_e.data(),
-                shape_.grad_colloc_eo_o.data(), nq_, nq_, -1, gq, vq, d,
-                {{nq_, nq_, nq_}});
-          }
-          else
-          {
-            if (!values && d == 0)
-              apply_matrix_1d<true, false>(shape_.grad_colloc.data(), nq_,
-                                           nq_, gq, vq, d, {{nq_, nq_, nq_}});
-            else
-              apply_matrix_1d<true, true>(shape_.grad_colloc.data(), nq_,
-                                          nq_, gq, vq, d, {{nq_, nq_, nq_}});
-          }
-        }
+        backend_->collocation_gradients_transpose(
+          gradients_quad_.data() + c * dim * n_q_points, vq, !values);
       integrate_from_quad(vq, values_dofs_.data() + c * dofs_per_component);
     }
   }
@@ -379,31 +329,7 @@ private:
         vq[i] = dofs[i];
       return;
     }
-    if (kernels_)
-    {
-      kernels_->interpolate_to_quad(shape_, dofs, vq, tmp1_.data(),
-                                    tmp2_.data());
-      return;
-    }
-    if (even_odd_)
-    {
-      apply_matrix_1d_evenodd<false, false>(
-        shape_.values_eo_e.data(), shape_.values_eo_o.data(), nq_, n_, 1,
-        dofs, tmp1_.data(), 0, {{n_, n_, n_}});
-      apply_matrix_1d_evenodd<false, false>(
-        shape_.values_eo_e.data(), shape_.values_eo_o.data(), nq_, n_, 1,
-        tmp1_.data(), tmp2_.data(), 1, {{nq_, n_, n_}});
-      apply_matrix_1d_evenodd<false, false>(
-        shape_.values_eo_e.data(), shape_.values_eo_o.data(), nq_, n_, 1,
-        tmp2_.data(), vq, 2, {{nq_, nq_, n_}});
-      return;
-    }
-    apply_matrix_1d<false, false>(shape_.values.data(), nq_, n_, dofs,
-                                  tmp1_.data(), 0, {{n_, n_, n_}});
-    apply_matrix_1d<false, false>(shape_.values.data(), nq_, n_, tmp1_.data(),
-                                  tmp2_.data(), 1, {{nq_, n_, n_}});
-    apply_matrix_1d<false, false>(shape_.values.data(), nq_, n_, tmp2_.data(),
-                                  vq, 2, {{nq_, nq_, n_}});
+    backend_->interpolate_to_quad(dofs, vq);
   }
 
   void integrate_from_quad(const VA *vq, VA *dofs)
@@ -414,31 +340,7 @@ private:
         dofs[i] = vq[i];
       return;
     }
-    if (kernels_)
-    {
-      kernels_->integrate_from_quad(shape_, vq, dofs, tmp1_.data(),
-                                    tmp2_.data());
-      return;
-    }
-    if (even_odd_)
-    {
-      apply_matrix_1d_evenodd<true, false>(
-        shape_.values_eo_e.data(), shape_.values_eo_o.data(), nq_, n_, 1, vq,
-        tmp1_.data(), 2, {{nq_, nq_, nq_}});
-      apply_matrix_1d_evenodd<true, false>(
-        shape_.values_eo_e.data(), shape_.values_eo_o.data(), nq_, n_, 1,
-        tmp1_.data(), tmp2_.data(), 1, {{nq_, nq_, n_}});
-      apply_matrix_1d_evenodd<true, false>(
-        shape_.values_eo_e.data(), shape_.values_eo_o.data(), nq_, n_, 1,
-        tmp2_.data(), dofs, 0, {{nq_, n_, n_}});
-      return;
-    }
-    apply_matrix_1d<true, false>(shape_.values.data(), nq_, n_, vq,
-                                 tmp1_.data(), 2, {{nq_, nq_, nq_}});
-    apply_matrix_1d<true, false>(shape_.values.data(), nq_, n_, tmp1_.data(),
-                                 tmp2_.data(), 1, {{nq_, nq_, n_}});
-    apply_matrix_1d<true, false>(shape_.values.data(), nq_, n_, tmp2_.data(),
-                                 dofs, 0, {{nq_, n_, n_}});
+    backend_->integrate_from_quad(vq, dofs);
   }
 
   template <bool add>
@@ -463,9 +365,8 @@ private:
   unsigned int space_, quad_;
   const ShapeInfo<Number> &shape_;
   unsigned int n_, nq_;
-  bool even_odd_ = true;
-  /// Specialized kernel table for (degree, n_q_1d), nullptr -> generic path.
-  const CellKernels<Number> *kernels_ = nullptr;
+  /// Sum-factorization backend (owns layout, dispatch tables, and scratch).
+  std::unique_ptr<KernelBackend<Number>> backend_;
   /// Tensorized reference quadrature weights (for compressed-metric JxW).
   const Number *q_weight_ = nullptr;
   unsigned int batch_ = 0;
@@ -479,7 +380,6 @@ private:
   VA det_const_;                       ///< batch |det J| (compressed batches)
 
   AlignedVector<VA> values_dofs_, values_quad_, gradients_quad_;
-  AlignedVector<VA> tmp1_, tmp2_;
 };
 
 } // namespace dgflow

@@ -8,12 +8,15 @@
 // points). The fine cell is always the "interior" (minus) side; its ordering
 // defines the quadrature layout shared by both sides and the stored metric.
 //
-// Mirrors the two fast paths of FEEvaluation: fixed-size face kernels
-// resolved once at construction (fem/kernel_dispatch.h), and per-batch
+// Mirrors the two fast paths of FEEvaluation: the face sum-factorization
+// sweeps are delegated to the KernelBackend resolved at construction
+// (fem/kernel_backend.h - the batch backend applies the fixed-size face
+// tables, the SoA backend stages lane-major scalar planes), and per-batch
 // constant metric data (normal, surface Jacobian, J^{-T}) cached by reinit
-// for Cartesian/affine face batches.
+// for Cartesian/affine face batches. The collocation plane shortcut and the
+// orientation permutation are layout-independent and stay here.
 
-#include "fem/kernel_dispatch.h"
+#include "fem/kernel_backend.h"
 #include "matrixfree/matrix_free.h"
 
 namespace dgflow
@@ -36,7 +39,7 @@ public:
     : mf_(mf), space_(space), quad_(quad), interior_(interior),
       shape_(mf.shape_info(space, quad)), n_(shape_.n_dofs_1d),
       nq_(shape_.n_q_1d),
-      kernels_(lookup_face_kernels<Number>(shape_.degree, shape_.n_q_1d)),
+      backend_(make_kernel_backend<Number>(mf.kernel_backend(), shape_)),
       q_weight_(mf.face_metric(quad).q_weight.data())
   {
     n_q_points = nq_ * nq_;
@@ -47,7 +50,6 @@ public:
     const unsigned int plane = std::max(n_, nq_) * std::max(n_, nq_);
     plane_v_.resize(n_components * plane);
     plane_dn_.resize(n_components * plane);
-    tmp_.resize(plane);
     tmp2_.resize(plane);
     perm_.resize(n_q_points);
   }
@@ -175,28 +177,16 @@ public:
   void evaluate(const bool values, const bool gradients)
   {
     (void)values;
-    const std::array<unsigned int, 3> cell_e{{n_, n_, n_}};
     for (int c = 0; c < n_components; ++c)
     {
       const VA *dofs = values_dofs_.data() + c * dofs_per_component;
       VA *pv = plane_v_.data() + c * plane_stride();
       VA *pdn = plane_dn_.data() + c * plane_stride();
-      if (kernels_)
-      {
-        kernels_->contract_to_face[normal_dir_](
-          shape_.face_value[side_].data(), dofs, pv);
-        if (gradients)
-          kernels_->contract_to_face[normal_dir_](
-            shape_.face_grad[side_].data(), dofs, pdn);
-      }
-      else
-      {
-        contract_to_face<false>(shape_.face_value[side_].data(), n_, dofs, pv,
-                                normal_dir_, cell_e);
-        if (gradients)
-          contract_to_face<false>(shape_.face_grad[side_].data(), n_, dofs,
-                                  pdn, normal_dir_, cell_e);
-      }
+      backend_->contract_to_face(shape_.face_value[side_].data(), dofs, pv,
+                                 normal_dir_);
+      if (gradients)
+        backend_->contract_to_face(shape_.face_grad[side_].data(), dofs, pdn,
+                                   normal_dir_);
 
       // 2D interpolation to quadrature points in this side's own ordering
       VA *vq = values_quad_.data() + c * n_q_points;
@@ -239,7 +229,6 @@ public:
             permute_from_minus(gradients_quad_.data() +
                                (c * dim + d) * n_q_points);
     }
-    const std::array<unsigned int, 3> cell_e{{n_, n_, n_}};
     for (int c = 0; c < n_components; ++c)
     {
       VA *dofs = values_dofs_.data() + c * dofs_per_component;
@@ -270,24 +259,12 @@ public:
                                       value_matrix(0), value_matrix(1));
         have_pv = true;
       }
-      if (kernels_)
-      {
-        if (have_pv)
-          kernels_->expand_from_face_add[normal_dir_](
-            shape_.face_value[side_].data(), pv, dofs);
-        if (gradients)
-          kernels_->expand_from_face_add[normal_dir_](
-            shape_.face_grad[side_].data(), pdn, dofs);
-      }
-      else
-      {
-        if (have_pv)
-          expand_from_face<true>(shape_.face_value[side_].data(), n_, pv,
-                                 dofs, normal_dir_, cell_e);
-        if (gradients)
-          expand_from_face<true>(shape_.face_grad[side_].data(), n_, pdn,
-                                 dofs, normal_dir_, cell_e);
-      }
+      if (have_pv)
+        backend_->expand_from_face_add(shape_.face_value[side_].data(), pv,
+                                       dofs, normal_dir_);
+      if (gradients)
+        backend_->expand_from_face_add(shape_.face_grad[side_].data(), pdn,
+                                       dofs, normal_dir_);
     }
   }
 
@@ -488,15 +465,7 @@ private:
         out[i] = in[i];
       return;
     }
-    if (kernels_)
-    {
-      kernels_->interp_plane(M0, M1, in, out, tmp_.data());
-      return;
-    }
-    apply_matrix_2d<false, false>(M0, nq_, n_, in, tmp_.data(), 0,
-                                  {{n_, n_}});
-    apply_matrix_2d<false, false>(M1, nq_, n_, tmp_.data(), out, 1,
-                                  {{nq_, n_}});
+    backend_->interp_plane(M0, M1, in, out);
   }
 
   /// Transpose of interp_plane; accumulates into out when add is set.
@@ -515,17 +484,7 @@ private:
           out[i] = in[i];
       return;
     }
-    if (kernels_)
-    {
-      if constexpr (add)
-        kernels_->interp_plane_transpose_add(M0, M1, in, out, tmp_.data());
-      else
-        kernels_->interp_plane_transpose(M0, M1, in, out, tmp_.data());
-      return;
-    }
-    apply_matrix_2d<true, false>(M1, nq_, n_, in, tmp_.data(), 1,
-                                 {{nq_, nq_}});
-    apply_matrix_2d<true, add>(M0, nq_, n_, tmp_.data(), out, 0, {{nq_, n_}});
+    backend_->interp_plane_transpose(M0, M1, in, out, add);
   }
 
   void permute_to_minus(VA *data)
@@ -549,8 +508,8 @@ private:
   bool interior_;
   const ShapeInfo<Number> &shape_;
   unsigned int n_, nq_;
-  /// Specialized kernel table for (degree, n_q_1d), nullptr -> generic path.
-  const FaceKernels<Number> *kernels_ = nullptr;
+  /// Sum-factorization backend (owns layout, dispatch tables, and scratch).
+  std::unique_ptr<KernelBackend<Number>> backend_;
   /// Tensorized 2D reference weights (for compressed-metric JxW).
   const Number *q_weight_ = nullptr;
 
@@ -572,7 +531,7 @@ private:
   bool use_perm_ = false;
 
   AlignedVector<VA> values_dofs_, values_quad_, gradients_quad_;
-  AlignedVector<VA> plane_v_, plane_dn_, tmp_, tmp2_;
+  AlignedVector<VA> plane_v_, plane_dn_, tmp2_;
   std::vector<unsigned int> perm_;
 };
 

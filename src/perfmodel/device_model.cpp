@@ -1,0 +1,16 @@
+#include "perfmodel/device_model.h"
+
+namespace dgflow
+{
+DeviceModel DeviceModel::mi300a()
+{
+  DeviceModel d;
+  d.name = "AMD Instinct MI300A (unified HBM3 APU)";
+  d.hbm_bandwidth = 3.7e12; // ~70% of the 5.3 TB/s peak sustains in stream
+  d.dp_peak_flops = 6.13e13;
+  d.sp_peak_flops = 1.226e14;
+  d.host_link_bandwidth = 0.; // unified memory: no host staging
+  return d;
+}
+
+} // namespace dgflow

@@ -1,0 +1,55 @@
+#pragma once
+
+// Device (APU/GPU) description for the roofline model: projects what the
+// SoA-backend kernels would sustain on an accelerator with HBM-class
+// bandwidth. Constants follow the GALAEXI port of a high-order DG solver to
+// AMD MI300A APUs (arXiv 2606.18927) and public hardware data. Like the
+// sum-factorization operators on CPUs, the DG mat-vec stays strongly
+// bandwidth-bound on devices, so the HBM stream roof - not the enormous
+// vector peak - governs the projected throughput.
+
+#include <algorithm>
+#include <string>
+
+namespace dgflow
+{
+struct DeviceModel
+{
+  std::string name;
+  double hbm_bandwidth = 3.0e12;   ///< B/s sustained HBM stream
+  double dp_peak_flops = 5.0e13;   ///< FP64 vector peak, flop/s
+  double sp_peak_flops = 1.0e14;   ///< FP32 vector peak, flop/s
+  double host_link_bandwidth = 1e11; ///< B/s host<->device (0 = unified)
+
+  /// Attainable flop/s at arithmetic intensity @p flops_per_byte (classic
+  /// roofline closure against the HBM stream roof).
+  double roof(const double flops_per_byte) const
+  {
+    return std::min(dp_peak_flops, hbm_bandwidth * flops_per_byte);
+  }
+
+  /// DoF/s of a kernel streaming @p bytes_per_dof and executing
+  /// @p flops_per_dof, whichever roof binds.
+  double projected_dofs_per_s(const double bytes_per_dof,
+                              const double flops_per_dof) const
+  {
+    const double by_bandwidth = hbm_bandwidth / bytes_per_dof;
+    const double by_compute = dp_peak_flops / flops_per_dof;
+    return std::min(by_bandwidth, by_compute);
+  }
+
+  /// Projected speedup over a host machine sustaining
+  /// @p host_bandwidth B/s, for a bandwidth-bound kernel (the regime every
+  /// sum-factorization operator of this code sits in, cf. Figure 7).
+  double projected_speedup_vs_host(const double host_bandwidth) const
+  {
+    return host_bandwidth > 0. ? hbm_bandwidth / host_bandwidth : 0.;
+  }
+
+  /// AMD Instinct MI300A APU (the GALAEXI target): 128 GB unified HBM3 at
+  /// 5.3 TB/s peak - ~3.7 TB/s sustained stream - 61.3 TFLOP/s FP64 vector
+  /// peak, no host link (unified memory).
+  static DeviceModel mi300a();
+};
+
+} // namespace dgflow

@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "fem/kernel_backend.h"
 #include "fem/kernel_dispatch.h"
 #include "fem/kernel_dispatch_sizes.h"
 #include "instrumentation/profiler.h"
@@ -115,12 +116,19 @@ void protect_kernel_tables(ArtifactGuard &guard)
   add(lookup_cell_kernels<double>(deg, nq));                                  \
   add(lookup_face_kernels<double>(deg, nq));                                  \
   add(lookup_cell_kernels<float>(deg, nq));                                   \
-  add(lookup_face_kernels<float>(deg, nq));
+  add(lookup_face_kernels<float>(deg, nq));                                   \
+  add(lookup_soa_cell_kernels<double>(deg, nq));                              \
+  add(lookup_soa_face_kernels<double>(deg, nq));                              \
+  add(lookup_soa_cell_kernels<float>(deg, nq));                               \
+  add(lookup_soa_face_kernels<float>(deg, nq));
       DGFLOW_KERNEL_DISPATCH_SIZES(DGFLOW_ABFT_ADD_TABLES)
 #undef DGFLOW_ABFT_ADD_TABLES
       return r;
     },
-    []() { set_specialized_kernels_enabled(false); });
+    // routing to the generic backend default disables fixed-size dispatch in
+    // every backend: lookup_* and lookup_soa_* return nullptr afterwards, so
+    // batch/soa evaluators degrade to the verified runtime-extent sweeps
+    []() { set_default_kernel_backend(KernelBackendType::generic); });
 }
 
 } // namespace dgflow::resilience

@@ -450,3 +450,181 @@ TEST(LaplaceFastPath, FullyGenericPathMatchesFullFastPath)
     expect_vectors_near(fast, slow, 1e-12);
   }
 }
+
+// ---------------------------------------------------------------------------
+// Kernel backends: the SIP Laplacian selected through AdditionalData::backend
+// must be bitwise-identical to today's default for the batch backend, bitwise
+// identical to the legacy generic toggle for the generic backend, and agree
+// to 1e-13 for the SoA backend — on Cartesian, affine, and deformed meshes,
+// serially and on four vmpi ranks with threads.
+// ---------------------------------------------------------------------------
+
+#include <cstring>
+
+#include "concurrency/thread_pool.h"
+#include "fem/kernel_backend.h"
+#include "mesh/partition.h"
+#include "vmpi/distributed_vector.h"
+#include "vmpi/partitioner.h"
+
+namespace
+{
+/// Applies the SIP Laplacian to a fixed random vector with the given kernel
+/// backend request (std::nullopt = the process default resolution).
+Vector<double> laplace_action_backend(const Mesh &mesh, const Geometry &geom,
+                                      const unsigned int degree,
+                                      const unsigned int n_q_1d,
+                                      const std::optional<KernelBackendType> backend)
+{
+  MatrixFree<double> mf;
+  MatrixFree<double>::AdditionalData data;
+  data.degrees = {degree};
+  data.n_q_points_1d = {n_q_1d};
+  data.backend = backend;
+  mf.reinit(mesh, geom, data);
+  if (backend)
+    EXPECT_EQ(mf.kernel_backend(), *backend);
+
+  LaplaceOperator<double> laplace;
+  laplace.reinit(mf, 0, 0, all_dirichlet());
+  const auto u = random_vec(laplace.n_dofs(), 99);
+  Vector<double> au(u.size());
+  laplace.vmult(au, u);
+  return au;
+}
+
+bool vectors_bitwise_equal(const Vector<double> &a, const Vector<double> &b)
+{
+  return a.size() == b.size() &&
+         std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0;
+}
+} // namespace
+
+TEST(LaplaceBackend, BatchIsBitwiseIdenticalToDefault)
+{
+  ASSERT_EQ(default_kernel_backend(), KernelBackendType::batch);
+  for (auto &m : fast_path_meshes())
+    for (const unsigned int degree : {2u, 3u, 5u})
+      for (const unsigned int n_q_1d : {degree + 1, (3 * (degree + 1)) / 2})
+      {
+        SCOPED_TRACE(std::string(m.name) + " degree " +
+                     std::to_string(degree) + " n_q " + std::to_string(n_q_1d));
+        const auto by_default = laplace_action_backend(m.mesh, *m.geom, degree,
+                                                       n_q_1d, std::nullopt);
+        const auto batch = laplace_action_backend(
+          m.mesh, *m.geom, degree, n_q_1d, KernelBackendType::batch);
+        EXPECT_TRUE(vectors_bitwise_equal(batch, by_default));
+      }
+}
+
+TEST(LaplaceBackend, GenericIsBitwiseIdenticalToLegacyToggle)
+{
+  for (auto &m : fast_path_meshes())
+  {
+    SCOPED_TRACE(m.name);
+    // the deprecated bool reproduced by its backend equivalent
+    const auto legacy = laplace_action(m.mesh, *m.geom, 3, 5, true, false);
+    const auto generic = laplace_action_backend(m.mesh, *m.geom, 3, 5,
+                                                KernelBackendType::generic);
+    EXPECT_TRUE(vectors_bitwise_equal(generic, legacy));
+  }
+}
+
+TEST(LaplaceBackend, SoAMatchesBatchTo1em13)
+{
+  for (auto &m : fast_path_meshes())
+    for (const unsigned int degree : {2u, 3u, 5u})
+      for (const unsigned int n_q_1d : {degree + 1, (3 * (degree + 1)) / 2})
+      {
+        SCOPED_TRACE(std::string(m.name) + " degree " +
+                     std::to_string(degree) + " n_q " + std::to_string(n_q_1d));
+        const auto batch = laplace_action_backend(
+          m.mesh, *m.geom, degree, n_q_1d, KernelBackendType::batch);
+        const auto soa = laplace_action_backend(m.mesh, *m.geom, degree,
+                                                n_q_1d, KernelBackendType::soa);
+        expect_vectors_near(soa, batch, 1e-13);
+      }
+}
+
+TEST(LaplaceBackend, EnvSelectsBackendAtReinit)
+{
+  ASSERT_EQ(setenv("DGFLOW_BACKEND", "soa", 1), 0);
+  Mesh mesh(unit_cube());
+  mesh.refine_uniform(1);
+  TrilinearGeometry geom(mesh.coarse());
+  MatrixFree<double> mf;
+  setup_mf(mf, mesh, geom, 3);
+  EXPECT_EQ(mf.kernel_backend(), KernelBackendType::soa);
+  // an explicit AdditionalData::backend request beats the env variable
+  MatrixFree<double> mf2;
+  MatrixFree<double>::AdditionalData data;
+  data.degrees = {3};
+  data.n_q_points_1d = {4};
+  data.backend = KernelBackendType::batch;
+  mf2.reinit(mesh, geom, data);
+  EXPECT_EQ(mf2.kernel_backend(), KernelBackendType::batch);
+  ASSERT_EQ(unsetenv("DGFLOW_BACKEND"), 0);
+}
+
+namespace
+{
+/// The distributed threaded Laplacian action on 4 vmpi ranks, gathered to a
+/// full-length vector, with the given backend on every rank.
+Vector<double> distributed_threaded_action(const Mesh &mesh,
+                                           const unsigned int degree,
+                                           const unsigned int nt,
+                                           const KernelBackendType backend)
+{
+  concurrency::ThreadPool::instance().set_n_threads(nt);
+  const int n_ranks = 4;
+  const std::vector<int> rank_of_cell = partition_cells(mesh, n_ranks);
+  TrilinearGeometry geom(mesh.coarse());
+  MatrixFree<double> mf;
+  MatrixFree<double>::AdditionalData data;
+  data.degrees = {degree};
+  data.n_q_points_1d = {degree + 1};
+  data.rank_of_cell = rank_of_cell;
+  data.n_ranks = n_ranks;
+  data.n_threads = nt;
+  data.backend = backend;
+  mf.reinit(mesh, geom, data);
+  LaplaceOperator<double> laplace;
+  laplace.reinit(mf, 0, 0, all_dirichlet());
+  const unsigned int dofs_per_cell = mf.dofs_per_cell(0);
+
+  const auto src = random_vec(laplace.n_dofs(), 99);
+  Vector<double> dst(laplace.n_dofs());
+  vmpi::run(n_ranks, [&](vmpi::Communicator &comm) {
+    const auto part = vmpi::Partitioner::cell_partitioner(
+      mesh, rank_of_cell, comm.rank(), n_ranks);
+    vmpi::DistributedVector<double> xd(part, comm, dofs_per_cell), yd;
+    xd.copy_owned_from(src);
+    laplace.vmult(yd, xd);
+    for (std::size_t i = 0; i < yd.size(); ++i)
+      dst[yd.first_local_index() + i] = yd.data()[i];
+  });
+  concurrency::ThreadPool::instance().set_n_threads(1);
+  return dst;
+}
+} // namespace
+
+TEST(LaplaceBackend, FourRanksThreadedSoAMatchesBatch)
+{
+  Mesh mesh(unit_cube());
+  mesh.refine_uniform(2);
+  const unsigned int degree = 2;
+  const auto batch_serial =
+    distributed_threaded_action(mesh, degree, 1, KernelBackendType::batch);
+  // batch stays bitwise deterministic across thread counts...
+  const auto batch_threaded =
+    distributed_threaded_action(mesh, degree, 4, KernelBackendType::batch);
+  EXPECT_TRUE(vectors_bitwise_equal(batch_threaded, batch_serial));
+  // ...and the SoA backend agrees to 1e-13 under ranks x threads as well
+  for (const unsigned int nt : {1u, 4u})
+  {
+    SCOPED_TRACE(nt);
+    const auto soa =
+      distributed_threaded_action(mesh, degree, nt, KernelBackendType::soa);
+    expect_vectors_near(soa, batch_serial, 1e-13);
+  }
+}
