@@ -22,12 +22,16 @@ if [ -z "$DGFLOW_SKIP_VERIFY" ]; then
   # threading): the thread-parallel cell loops, the fused per-thread hooks
   # and the chunked reductions must be race-free before any threaded
   # speedup below is trusted.
-  echo "verify pass: distributed_resilience|threading under DGFLOW_SANITIZE=thread"
+  # The io_resilience label rides in the same pass: the asynchronous
+  # checkpoint writer hands encoded images to a background service thread
+  # while the solver keeps mutating its state, and the back-pressure /
+  # drain handshake is exactly the kind of protocol TSan breaks open.
+  echo "verify pass: distributed_resilience|io_resilience|threading under DGFLOW_SANITIZE=thread"
   cmake -B build-tsan -S . -DDGFLOW_SANITIZE=thread > /dev/null
   cmake --build build-tsan -j \
-    --target test_distributed_resilience test_threading recovery_microbench \
-    threads_microbench > /dev/null
-  (cd build-tsan && ctest -L "distributed_resilience|threading" --output-on-failure)
+    --target test_distributed_resilience test_ckpt_io test_threading \
+    recovery_microbench threads_microbench > /dev/null
+  (cd build-tsan && ctest -L "distributed_resilience|io_resilience|threading" --output-on-failure)
 
   # Second verify pass: the fused-kernel equivalence, mixed-precision and
   # ABFT tests under AddressSanitizer — the fused hooks write through raw

@@ -16,6 +16,9 @@
 //    simply runs its chunks inline on its own thread. Because of the
 //    determinism contract this fallback is bitwise identical, so vmpi
 //    ranks-as-threads can race for the pool without affecting results.
+//  * async(task) enqueues fire-and-forget work on a dedicated FIFO service
+//    thread (the asynchronous checkpoint writer's disk lane) — strictly
+//    ordered, drained on destruction, separate from the fork-join workers.
 //  * set_external_concurrency(n_ranks) caps worker participation while
 //    vmpi::run has n_ranks rank threads alive, so ranks x threads never
 //    oversubscribes beyond max(n_threads, n_ranks) runnable threads.
@@ -29,6 +32,8 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdio>
+#include <deque>
 #include <exception>
 #include <functional>
 #include <memory>
@@ -64,7 +69,11 @@ public:
     set_n_threads(n_threads);
   }
 
-  ~ThreadPool() { join_workers(); }
+  ~ThreadPool()
+  {
+    join_service_thread();
+    join_workers();
+  }
 
   ThreadPool(const ThreadPool &) = delete;
   ThreadPool &operator=(const ThreadPool &) = delete;
@@ -140,6 +149,26 @@ public:
       std::rethrow_exception(error);
   }
 
+  /// Enqueues @p task on the pool's background service thread — the fire-
+  /// and-forget counterpart to the fork-join regions above, used by the
+  /// asynchronous checkpoint writer to take disk I/O off the solver thread.
+  /// Tasks run strictly FIFO on ONE dedicated thread (spawned lazily, and
+  /// separate from the fork-join workers so a long disk write never steals
+  /// a compute lane), so two async submissions never race each other: the
+  /// ordering guarantee the multi-generation checkpoint ring's monotonic
+  /// HEAD depends on. The destructor drains the queue before joining — an
+  /// enqueued task always runs. A task must not throw; escaped exceptions
+  /// are swallowed after a stderr note (there is no caller left to rethrow
+  /// to).
+  void async(std::function<void()> task)
+  {
+    std::lock_guard<std::mutex> lock(async_mutex_);
+    async_queue_.push_back(std::move(task));
+    if (!service_thread_.joinable())
+      service_thread_ = std::thread([this] { service_loop(); });
+    async_cv_.notify_one();
+  }
+
   /// Elementwise parallel sweep: f(begin, end) over a contiguous split of
   /// [0, n) into at most n_threads() chunks. Small sweeps (and a serial
   /// pool) run inline as a single f(0, n). Only safe for operations whose
@@ -212,6 +241,47 @@ private:
     }
   }
 
+  void service_loop()
+  {
+    while (true)
+    {
+      std::function<void()> task;
+      {
+        std::unique_lock<std::mutex> lock(async_mutex_);
+        async_cv_.wait(lock,
+                       [&] { return async_stop_ || !async_queue_.empty(); });
+        if (async_queue_.empty())
+          return; // stop requested and the queue is drained
+        task = std::move(async_queue_.front());
+        async_queue_.pop_front();
+      }
+      try
+      {
+        task();
+      }
+      catch (const std::exception &e)
+      {
+        std::fprintf(stderr, "ThreadPool::async task threw: %s\n", e.what());
+      }
+      catch (...)
+      {
+        std::fprintf(stderr, "ThreadPool::async task threw\n");
+      }
+    }
+  }
+
+  void join_service_thread()
+  {
+    {
+      std::lock_guard<std::mutex> lock(async_mutex_);
+      async_stop_ = true;
+      async_cv_.notify_all();
+    }
+    if (service_thread_.joinable())
+      service_thread_.join();
+    async_stop_ = false;
+  }
+
   void worker_loop()
   {
     std::shared_ptr<Job> last;
@@ -268,6 +338,13 @@ private:
   std::shared_ptr<Job> job_;
   bool stop_ = false;
   std::vector<std::thread> workers_;
+
+  // background service thread (async()): FIFO queue, drained before join
+  std::mutex async_mutex_;
+  std::condition_variable async_cv_;
+  std::deque<std::function<void()>> async_queue_;
+  std::thread service_thread_;
+  bool async_stop_ = false;
 };
 
 } // namespace dgflow::concurrency

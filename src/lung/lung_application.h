@@ -112,6 +112,7 @@ public:
       outlet_fluxes_[o] = solver_.boundary_flux(lung_mesh_.outlet_ids[o]);
     const double inflow = -solver_.boundary_flux(LungMesh::inlet_id);
     ventilation_->update(info.time, info.dt, inflow, outlet_fluxes_);
+    maybe_checkpoint();
     return info;
   }
 
@@ -151,6 +152,76 @@ public:
                   "trailing bytes after the application checkpoint records");
   }
 
+  /// Enables asynchronous multi-generation checkpointing of the *coupled*
+  /// state (flow solver + ventilation model + flux coupling buffer) into a
+  /// generation ring rooted at @p root. advance() then snapshots whenever
+  /// the failure-rate-driven scheduler says a checkpoint is due — the
+  /// Young/Daly optimum from measured checkpoint cost and observed MTBF —
+  /// and the encoded image is written by the background thread, so the
+  /// coupled step never blocks on disk.
+  void enable_checkpointing(
+    const std::string &root,
+    const resilience::AsyncCheckpointer::Options &options = {},
+    const resilience::CheckpointScheduler::Options &schedule = {})
+  {
+    checkpointer_ =
+      std::make_unique<resilience::AsyncCheckpointer>(root, options);
+    ckpt_scheduler_ =
+      std::make_unique<resilience::CheckpointScheduler>(schedule);
+    ckpt_clock_.restart();
+  }
+
+  /// Takes a checkpoint if checkpointing is enabled and one is due. Write
+  /// failures never propagate into the solve (see AsyncCheckpointer).
+  void maybe_checkpoint()
+  {
+    if (checkpointer_ == nullptr)
+      return;
+    const double now = ckpt_clock_.seconds();
+    if (!ckpt_scheduler_->should_checkpoint(now))
+    {
+      ckpt_scheduler_->observe(now);
+      return;
+    }
+    Timer stall;
+    resilience::CheckpointWriter writer("app.ckpt"); // encode-only: no disk
+    solver_.serialize(writer);
+    ventilation_->save_state(writer);
+    writer.write_u64(outlet_fluxes_.size());
+    for (const double q : outlet_fluxes_)
+      writer.write_double(q);
+    std::vector<resilience::AsyncCheckpointer::NamedImage> images;
+    images.push_back({"app.ckpt", writer.encode()});
+    checkpointer_->submit(std::move(images));
+    DGFLOW_PROF_COUNT("ckpt_writes", 1);
+    const double cost = stall.seconds();
+    DGFLOW_PROF_GAUGE("ckpt_stall_seconds", cost);
+    ckpt_scheduler_->record_checkpoint_cost(cost);
+    ckpt_scheduler_->checkpoint_taken(ckpt_clock_.seconds());
+  }
+
+  /// Restores the coupled state from the newest generation whose files all
+  /// verify (falling back generation by generation); false when none does.
+  bool restore_latest()
+  {
+    DGFLOW_ASSERT(checkpointer_ != nullptr, "checkpointing is not enabled");
+    checkpointer_->drain();
+    const auto generation =
+      checkpointer_->store().newest_valid_generation();
+    if (!generation)
+      return false;
+    load_checkpoint(
+      checkpointer_->store().generation_directory(*generation) +
+      "/app.ckpt");
+    return true;
+  }
+
+  resilience::AsyncCheckpointer *checkpointer() { return checkpointer_.get(); }
+  resilience::CheckpointScheduler *checkpoint_scheduler()
+  {
+    return ckpt_scheduler_.get();
+  }
+
   Solver &solver() { return solver_; }
   const Mesh &mesh() const { return *mesh_; }
   const AirwayTree &tree() const { return tree_; }
@@ -166,6 +237,11 @@ private:
   std::unique_ptr<VentilationModel> ventilation_;
   Solver solver_;
   std::vector<double> outlet_fluxes_;
+
+  // asynchronous checkpointing (enable_checkpointing; owned)
+  std::unique_ptr<resilience::AsyncCheckpointer> checkpointer_;
+  std::unique_ptr<resilience::CheckpointScheduler> ckpt_scheduler_;
+  Timer ckpt_clock_;
 };
 
 } // namespace dgflow

@@ -1,7 +1,6 @@
 #include "resilience/checkpoint.h"
 
-#include <cstdio>
-#include <fstream>
+#include "resilience/ckpt_io.h"
 
 namespace dgflow::resilience
 {
@@ -37,28 +36,16 @@ std::uint64_t CheckpointWriter::close()
     internal::fnv1a64(payload_.data(), payload_.size());
   const std::vector<char> image = encode();
 
-  const std::string tmp = path_ + ".tmp";
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out)
-      throw CheckpointError("cannot open '" + tmp + "' for writing");
-    out.write(image.data(), static_cast<std::streamsize>(image.size()));
-    out.flush();
-    if (!out)
-      throw CheckpointError("short write to '" + tmp + "'");
-  }
-  if (std::rename(tmp.c_str(), path_.c_str()) != 0)
-    throw CheckpointError("cannot publish '" + tmp + "' as '" + path_ + "'");
+  // the CkptIo shim does the durable atomic publish (tmp + fsync + rename +
+  // parent-dir fsync) and is where deterministic I/O faults are injected
+  CkptIo::instance().write_file_atomic(path_, image.data(), image.size(),
+                                       durable_);
   return checksum;
 }
 
 CheckpointReader::CheckpointReader(const std::string &path)
 {
-  std::ifstream in(path, std::ios::binary);
-  if (!in)
-    throw CheckpointError("cannot open '" + path + "'");
-  std::vector<char> image((std::istreambuf_iterator<char>(in)),
-                          std::istreambuf_iterator<char>());
+  const std::vector<char> image = CkptIo::instance().read_file(path);
   parse(image.data(), image.size(), "'" + path + "'");
 }
 

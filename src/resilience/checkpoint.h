@@ -21,9 +21,13 @@
 //
 // Values are written bit-for-bit (no text round-trip), which is what gives
 // a restarted simulation the exact trajectory of the uninterrupted one.
-// The writer stages the payload in memory and publishes the file atomically
-// (write to "<path>.tmp", then rename), so a crash mid-checkpoint never
-// leaves a half-written file where a restart would look for a good one.
+// The writer stages the payload in memory and publishes the file durably and
+// atomically through the resilience/ckpt_io.h shim (write "<path>.tmp",
+// fsync, rename, fsync the parent directory), so neither a crash
+// mid-checkpoint nor a power loss right after publish can leave a torn file
+// where a restart would look for a good one. Routing through the shim also
+// makes every checkpoint byte reachable by the DGFLOW_FAULT_IO_* fault
+// injection.
 
 #include <cstdint>
 #include <cstring>
@@ -97,9 +101,14 @@ public:
     append_raw(v.data(), v.size() * sizeof(Number));
   }
 
-  /// Checksums the payload and atomically publishes the file. Returns the
-  /// payload checksum (shard manifests record it for integrity checks).
+  /// Checksums the payload and durably + atomically publishes the file via
+  /// the CkptIo shim. Returns the payload checksum (shard manifests record
+  /// it for integrity checks).
   std::uint64_t close();
+
+  /// Disables the fsyncs on publish (benchmark baselines measuring the raw
+  /// write path; production checkpoints stay durable).
+  void set_durable(const bool durable) { durable_ = durable; }
 
   /// Serializes the complete file image (header + checksum + payload) into
   /// memory without touching disk — the form a shard takes when replicated
@@ -118,6 +127,7 @@ private:
   std::string path_;
   std::vector<char> payload_;
   bool closed_ = false;
+  bool durable_ = true;
 };
 
 class CheckpointReader

@@ -1,0 +1,140 @@
+#pragma once
+
+// Failure-rate-driven checkpoint interval selection. Fixed-interval
+// checkpointing is wrong in both directions: too frequent and the solver
+// pays checkpoint overhead it never needs, too rare and every failure
+// replays a long tail of lost work. The classical optimum (Young 1974,
+// refined by Daly 2006) balances the two from exactly the quantities this
+// codebase already measures — the per-checkpoint cost δ (encode + submit
+// stall, fed from the instrumentation gauges by AsyncCheckpointer's caller)
+// and the mean time between failures M (observed by the run_resilient
+// recovery ladder, which reports every rung it takes).
+//
+// Daly's higher-order solution for the optimal interval τ between
+// checkpoint *starts*, valid for δ < 2M:
+//
+//   τ = sqrt(2 δ M) · [1 + (1/3)·sqrt(δ/(2M)) + (1/9)·(δ/(2M))] − δ
+//
+// and τ = M when δ ≥ 2M (checkpointing costs as much as failing — do it
+// once per expected failure). With no failures observed yet, M falls back
+// to a configurable prior so a healthy run checkpoints rarely instead of
+// never.
+//
+// The scheduler is deterministic: it holds no clock of its own — every
+// method takes the caller's notion of "now" (a Timer the caller owns), so
+// tests drive it with synthetic times and get exact interval assertions.
+
+#include <algorithm>
+#include <cmath>
+
+namespace dgflow::resilience
+{
+class CheckpointScheduler
+{
+public:
+  struct Options
+  {
+    /// interval used until the first checkpoint cost is measured
+    double default_interval_seconds = 60.;
+    /// clamp on the computed interval: never checkpoint more often than
+    /// this (a pathological δ/M estimate must not turn the run into a
+    /// checkpoint storm) ...
+    double min_interval_seconds = 1e-3;
+    /// ... nor less often than this (bounds lost work even when the
+    /// failure estimate says the machine is immortal)
+    double max_interval_seconds = 3600.;
+    /// assumed MTBF before any failure is observed
+    double prior_mtbf_seconds = 3600.;
+  };
+
+  CheckpointScheduler() = default;
+
+  explicit CheckpointScheduler(const Options &options) : options_(options) {}
+
+  /// Feeds one measured checkpoint cost δ (encode + submit stall in
+  /// seconds). Smoothed with an EWMA so one slow disk burp does not whipsaw
+  /// the interval.
+  void record_checkpoint_cost(const double seconds)
+  {
+    if (seconds < 0.)
+      return;
+    if (n_cost_samples_ == 0)
+      cost_ewma_ = seconds;
+    else
+      cost_ewma_ = (1. - cost_alpha_) * cost_ewma_ + cost_alpha_ * seconds;
+    ++n_cost_samples_;
+  }
+
+  /// Records a failure observed at elapsed time @p now (the recovery
+  /// ladder calls this from every rung it takes).
+  void record_failure(const double now)
+  {
+    ++n_failures_;
+    observe(now);
+  }
+
+  /// Advances the scheduler's knowledge of elapsed run time (MTBF is
+  /// elapsed/failures, so it needs to know how long the run has been
+  /// healthy, not only when it failed).
+  void observe(const double now) { elapsed_ = std::max(elapsed_, now); }
+
+  /// Observed mean time between failures; the configured prior until the
+  /// first failure (or while elapsed time is still ~0).
+  double mtbf() const
+  {
+    if (n_failures_ == 0 || elapsed_ <= 0.)
+      return options_.prior_mtbf_seconds;
+    return elapsed_ / double(n_failures_);
+  }
+
+  double checkpoint_cost() const { return cost_ewma_; }
+  unsigned long long failures() const { return n_failures_; }
+
+  /// The Daly-optimal interval between checkpoint starts, clamped to the
+  /// configured bounds; the default interval until a cost is measured.
+  double interval() const
+  {
+    double tau = options_.default_interval_seconds;
+    if (n_cost_samples_ > 0)
+    {
+      const double delta = std::max(cost_ewma_, 0.);
+      const double m = mtbf();
+      if (delta >= 2. * m)
+        tau = m;
+      else
+      {
+        const double r = std::sqrt(delta / (2. * m));
+        tau = std::sqrt(2. * delta * m) * (1. + r / 3. + r * r / 9.) - delta;
+      }
+    }
+    return std::clamp(tau, options_.min_interval_seconds,
+                      options_.max_interval_seconds);
+  }
+
+  /// True when the elapsed time since the last checkpoint exceeds the
+  /// current interval. The caller checkpoints and then reports it via
+  /// checkpoint_taken().
+  bool should_checkpoint(const double now) const
+  {
+    return now - last_checkpoint_ >= interval();
+  }
+
+  void checkpoint_taken(const double now)
+  {
+    last_checkpoint_ = std::max(last_checkpoint_, now);
+    observe(now);
+  }
+
+  const Options &options() const { return options_; }
+
+private:
+  Options options_;
+  double cost_ewma_ = 0.;
+  double cost_alpha_ = 0.25;
+  unsigned long long n_cost_samples_ = 0;
+  unsigned long long n_failures_ = 0;
+  double elapsed_ = 0.;
+  double last_checkpoint_ = 0.;
+};
+
+} // namespace dgflow::resilience

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <sstream>
 
+#include "common/timer.h"
 #include "instrumentation/profiler.h"
+#include "resilience/ckpt_scheduler.h"
 
 namespace dgflow::resilience
 {
@@ -91,6 +93,14 @@ DistributedRunReport run_resilient(
   attempt.n_ranks = n_ranks;
   attempt.initial_n_ranks = n_ranks;
 
+  // failure-rate feed for the Daly checkpoint interval: every rung taken is
+  // one observed failure at the elapsed time it occurred
+  Timer run_clock;
+  const auto record_failure = [&] {
+    if (options.checkpoint_scheduler != nullptr)
+      options.checkpoint_scheduler->record_failure(run_clock.seconds());
+  };
+
   int retries_at_width = 0;
   while (true)
   {
@@ -104,10 +114,13 @@ DistributedRunReport run_resilient(
       });
       report.succeeded = true;
       report.final_n_ranks = attempt.n_ranks;
+      if (options.checkpoint_scheduler != nullptr)
+        options.checkpoint_scheduler->observe(run_clock.seconds());
       return report;
     }
     catch (const vmpi::RankFailure &failure)
     {
+      record_failure();
       // agreed death: shrink immediately (retrying at the same width would
       // meet the same dead rank again) and restore from the shard
       // checkpoint over the surviving count
@@ -132,6 +145,7 @@ DistributedRunReport run_resilient(
     }
     catch (const SdcDetected &)
     {
+      record_failure();
       // cheapest rung: an ABFT guard caught silent data corruption the
       // in-solve rollback could not absorb — rerun at the same width with a
       // scrub pass (the body verifies and rebuilds its protected setup
@@ -148,6 +162,7 @@ DistributedRunReport run_resilient(
     }
     catch (const std::exception &)
     {
+      record_failure();
       // transient failure (timeout, corruption, abandoned solve): climb the
       // retry -> restore rungs at the current width
       ++retries_at_width;

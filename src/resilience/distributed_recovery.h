@@ -55,6 +55,8 @@
 
 namespace dgflow::resilience
 {
+class CheckpointScheduler;
+
 /// Silent data corruption detected by an ABFT guard (residual-replay drift,
 /// checksum mismatch) that in-solve rollback could not absorb — e.g. the
 /// rollback budget was exhausted or the corruption predates the oldest
@@ -153,6 +155,11 @@ struct DistributedRecoveryOptions
   /// toward max_retries_per_width: a scrubbed rerun starts clean)
   int max_sdc_repairs = 2;
   RecoveryContext::Options context;
+  /// when set (borrowed), every recovery rung taken reports one observed
+  /// failure to the scheduler — the MTBF feed of the Young/Daly checkpoint
+  /// interval (resilience/ckpt_scheduler.h), closing the loop between "how
+  /// often does this run actually fail" and "how often should it checkpoint"
+  CheckpointScheduler *checkpoint_scheduler = nullptr;
 };
 
 struct DistributedRunReport

@@ -43,6 +43,24 @@
 // The flip fires exactly once per plan, so a rollback-and-redo repair path
 // is not re-injured by its own retry.
 //
+// Checkpoint I/O fault injection (consumed by the resilience/ckpt_io.h shim
+// when the plan is installed via CkptIo::install_fault_handler; decisions
+// are pure hashes of (seed, path, per-path operation sequence)):
+//   DGFLOW_FAULT_IO_SHORT_WRITE  per-write short-write probability: only a
+//                           prefix persists and the write FAILS (structured
+//                           error, truncated .tmp left for GC)
+//   DGFLOW_FAULT_IO_TORN_WRITE   per-write torn-write probability: only a
+//                           prefix persists but the write reports SUCCESS
+//                           (lying-disk/power-cut model — only checksum
+//                           verification on read can find the tear)
+//   DGFLOW_FAULT_IO_ENOSPC       per-write disk-full probability
+//   DGFLOW_FAULT_IO_READ_EIO     per-read I/O-error probability
+//   DGFLOW_FAULT_IO_STALL        per-operation slow-disk probability
+//   DGFLOW_FAULT_IO_STALL_MS     injected disk latency (default 20 ms)
+//   DGFLOW_FAULT_IO_PATH         substring filter: only operations whose
+//                           path contains it are candidates (e.g.
+//                           "gen000002" tears exactly one generation)
+//
 // All values are parsed strictly (common/env.h): a set-but-malformed or
 // out-of-range value throws EnvVarError naming the variable instead of
 // silently becoming 0 and vacuously passing the test that relied on it.
@@ -58,11 +76,14 @@
 
 #include "common/abft_hooks.h"
 #include "common/env.h"
+#include "resilience/ckpt_io.h"
 #include "vmpi/communicator.h"
 
 namespace dgflow::resilience
 {
-class FaultPlan : public vmpi::FaultHandler, public AbftInjector
+class FaultPlan : public vmpi::FaultHandler,
+                  public AbftInjector,
+                  public IoFaultHandler
 {
 public:
   struct Config
@@ -89,6 +110,17 @@ public:
     unsigned long long bitflip_step = 0; ///< step/iteration of the flip
     int bitflip_rank = 0;                ///< rank whose payload is flipped
     long long bitflip_bit = -1;          ///< bit index (-1: seeded draw)
+
+    // checkpoint I/O faults (IoFaultHandler; consumed by the CkptIo shim)
+    double io_short_write_rate = 0.; ///< prefix persists, write fails
+    double io_torn_write_rate = 0.;  ///< prefix persists, write "succeeds"
+    double io_enospc_rate = 0.;      ///< write fails before any byte lands
+    double io_read_error_rate = 0.;  ///< read fails with EIO
+    double io_stall_rate = 0.;       ///< slow-disk probability per operation
+    double io_stall_seconds = 0.02;  ///< injected disk latency
+    /// substring filter: only paths containing it are fault candidates
+    /// ("" = all checkpoint I/O)
+    std::string io_path_filter;
   };
 
   /// Injection counts, summed over all ranks sharing the plan.
@@ -102,6 +134,11 @@ public:
     unsigned long long kills = 0;
     unsigned long long corrupted_collectives = 0;
     unsigned long long bitflips = 0;
+    unsigned long long io_short_writes = 0;
+    unsigned long long io_torn_writes = 0;
+    unsigned long long io_enospc_failures = 0;
+    unsigned long long io_read_errors = 0;
+    unsigned long long io_stalls = 0;
   };
 
   explicit FaultPlan(const Config &config) : config_(config) {}
@@ -137,6 +174,16 @@ public:
     c.bitflip_rank = static_cast<int>(
       env_integer("DGFLOW_FAULT_BITFLIP_RANK", 0, 0, max_rank));
     c.bitflip_bit = env_integer("DGFLOW_FAULT_BITFLIP_BIT", -1, -1, max_step);
+    c.io_short_write_rate =
+      env_real("DGFLOW_FAULT_IO_SHORT_WRITE", 0., 0., 1.);
+    c.io_torn_write_rate = env_real("DGFLOW_FAULT_IO_TORN_WRITE", 0., 0., 1.);
+    c.io_enospc_rate = env_real("DGFLOW_FAULT_IO_ENOSPC", 0., 0., 1.);
+    c.io_read_error_rate = env_real("DGFLOW_FAULT_IO_READ_EIO", 0., 0., 1.);
+    c.io_stall_rate = env_real("DGFLOW_FAULT_IO_STALL", 0., 0., 1.);
+    c.io_stall_seconds =
+      env_real("DGFLOW_FAULT_IO_STALL_MS", 20., 0., 1e9) * 1e-3;
+    if (const char *v = std::getenv("DGFLOW_FAULT_IO_PATH"))
+      c.io_path_filter = v;
     return c;
   }
 
@@ -154,6 +201,12 @@ public:
     c.corrupted_collectives =
       corrupted_collectives_.load(std::memory_order_relaxed);
     c.bitflips = bitflips_.load(std::memory_order_relaxed);
+    c.io_short_writes = io_short_writes_.load(std::memory_order_relaxed);
+    c.io_torn_writes = io_torn_writes_.load(std::memory_order_relaxed);
+    c.io_enospc_failures =
+      io_enospc_failures_.load(std::memory_order_relaxed);
+    c.io_read_errors = io_read_errors_.load(std::memory_order_relaxed);
+    c.io_stalls = io_stalls_.load(std::memory_order_relaxed);
     return c;
   }
 
@@ -248,7 +301,91 @@ public:
     bitflips_.fetch_add(1, std::memory_order_relaxed);
   }
 
+  /// IoFaultHandler: per-write fault decision for the CkptIo shim. Draws
+  /// are pure hashes of (seed, path hash, per-path sequence), so a faulty
+  /// run replays identically whether the write happens on the solver thread
+  /// or the background checkpoint writer. At most one fault class fires per
+  /// operation (distinct salts, checked in severity order); truncation
+  /// offsets are themselves seeded draws over [0, bytes).
+  IoWriteFault on_ckpt_write(const std::string &path,
+                             const std::size_t bytes,
+                             const unsigned long long seq) override
+  {
+    IoWriteFault fault;
+    if (!io_path_matches(path))
+      return fault;
+    const std::uint64_t h = path_hash(path);
+    if (iodraw(10, h, seq) < config_.io_enospc_rate)
+    {
+      io_enospc_failures_.fetch_add(1, std::memory_order_relaxed);
+      fault.enospc = true;
+      return fault;
+    }
+    if (bytes > 0 && iodraw(11, h, seq) < config_.io_torn_write_rate)
+    {
+      fault.torn_write_at =
+        static_cast<long long>(mix64({12, h, seq}) % std::uint64_t(bytes));
+      io_torn_writes_.fetch_add(1, std::memory_order_relaxed);
+      return fault;
+    }
+    if (bytes > 0 && iodraw(13, h, seq) < config_.io_short_write_rate)
+    {
+      fault.short_write_at =
+        static_cast<long long>(mix64({14, h, seq}) % std::uint64_t(bytes));
+      io_short_writes_.fetch_add(1, std::memory_order_relaxed);
+      return fault;
+    }
+    if (iodraw(15, h, seq) < config_.io_stall_rate)
+    {
+      fault.stall_seconds = config_.io_stall_seconds;
+      io_stalls_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return fault;
+  }
+
+  IoReadFault on_ckpt_read(const std::string &path,
+                           const unsigned long long seq) override
+  {
+    IoReadFault fault;
+    if (!io_path_matches(path))
+      return fault;
+    const std::uint64_t h = path_hash(path);
+    if (iodraw(16, h, seq) < config_.io_read_error_rate)
+    {
+      io_read_errors_.fetch_add(1, std::memory_order_relaxed);
+      fault.eio = true;
+      return fault;
+    }
+    if (iodraw(17, h, seq) < config_.io_stall_rate)
+    {
+      fault.stall_seconds = config_.io_stall_seconds;
+      io_stalls_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return fault;
+  }
+
 private:
+  bool io_path_matches(const std::string &path) const
+  {
+    return config_.io_path_filter.empty() ||
+           path.find(config_.io_path_filter) != std::string::npos;
+  }
+
+  static std::uint64_t path_hash(const std::string &path)
+  {
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (const char c : path)
+      h = (h ^ std::uint64_t((unsigned char)c)) * 0x100000001b3ull;
+    return h;
+  }
+
+  /// Uniform draw in [0,1) keyed on (salt, path hash, operation sequence).
+  double iodraw(const std::uint64_t salt, const std::uint64_t path_hash,
+                const unsigned long long seq) const
+  {
+    return double(mix64({salt, path_hash, seq}) >> 11) * 0x1.0p-53;
+  }
+
   /// splitmix64 finalizer folded over the keys, seeded by config_.seed.
   std::uint64_t mix64(std::initializer_list<std::uint64_t> keys) const
   {
@@ -278,6 +415,8 @@ private:
     corrupted_{0}, stalls_{0}, kills_{0}, corrupted_collectives_{0};
   std::atomic<unsigned long long> bitflips_{0};
   std::atomic<bool> bitflip_fired_{false};
+  std::atomic<unsigned long long> io_short_writes_{0}, io_torn_writes_{0},
+    io_enospc_failures_{0}, io_read_errors_{0}, io_stalls_{0};
 };
 
 } // namespace dgflow::resilience

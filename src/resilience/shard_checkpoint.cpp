@@ -1,6 +1,6 @@
 #include "resilience/shard_checkpoint.h"
 
-#include <filesystem>
+#include "resilience/ckpt_io.h"
 
 namespace dgflow::resilience
 {
@@ -11,11 +11,9 @@ ShardCheckpointWriter::ShardCheckpointWriter(const std::string &directory,
 {
   DGFLOW_ASSERT(rank >= 0 && rank < n_ranks,
                 "invalid shard rank " << rank << " of " << n_ranks);
-  std::error_code ec;
-  std::filesystem::create_directories(directory, ec);
-  if (ec)
-    throw CheckpointError("cannot create checkpoint directory '" + directory +
-                          "': " + ec.message());
+  // through the shim: idempotent, and a CkptIoError (subclass of
+  // CheckpointError) on real failure
+  CkptIo::instance().create_directories(directory);
 }
 
 ShardCheckpointWriter::Shard ShardCheckpointWriter::close()
